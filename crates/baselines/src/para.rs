@@ -1,0 +1,138 @@
+//! PARA — Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+//!
+//! The reference static-probability technique: "whenever a row is
+//! activated, one of its neighboring rows is probabilistically activated
+//! based on p".  Stateless — no tables, no counters — which is why it is
+//! the resource-usage baseline of Table III.  Its weakness is the flip
+//! side: the probability cannot adapt, so every activation of a benign
+//! row carries the full `p = 0.001`, producing the highest class of
+//! activation overhead and false positives among the compared schemes.
+
+use dram_sim::{BankId, Geometry, RowAddr};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tivapromi::{Mitigation, MitigationAction};
+
+/// The PARA mitigation.
+///
+/// See the [crate example](crate) for usage.
+#[derive(Debug)]
+pub struct Para {
+    probability: f64,
+    rows_per_bank: u32,
+    rng: StdRng,
+}
+
+impl Para {
+    /// Creates PARA with an explicit trigger probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1]`.
+    pub fn new(probability: f64, rows_per_bank: u32, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0, 1]"
+        );
+        Para {
+            probability,
+            rows_per_bank,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's configuration: `p = 0.001` ("a value of at least
+    /// 0.001 is considered as effective").
+    pub fn paper(geometry: &Geometry, seed: u64) -> Self {
+        Para::new(0.001, geometry.rows_per_bank(), seed)
+    }
+
+    /// The configured trigger probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl Mitigation for Para {
+    fn name(&self) -> &str {
+        "PARA"
+    }
+
+    fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
+        if self.rng.random_bool(self.probability) {
+            // Pick one of the two neighbors at random (edge rows have
+            // only one choice).
+            let up = self.rng.random_bool(0.5);
+            let victim = if up && row.0 + 1 < self.rows_per_bank {
+                RowAddr(row.0 + 1)
+            } else if row.0 > 0 {
+                RowAddr(row.0 - 1)
+            } else {
+                RowAddr(row.0 + 1)
+            };
+            actions.push(MitigationAction::RefreshRow { bank, row: victim });
+        }
+    }
+
+    fn on_refresh_interval(&mut self, _actions: &mut Vec<MitigationAction>) {}
+
+    fn storage_bits_per_bank(&self) -> u64 {
+        0 // stateless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_rate_matches_probability() {
+        let mut para = Para::new(0.01, 1024, 1);
+        let mut actions = Vec::new();
+        for _ in 0..100_000 {
+            para.on_activate(BankId(0), RowAddr(500), &mut actions);
+        }
+        let rate = actions.len() as f64 / 100_000.0;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn refreshes_only_adjacent_rows() {
+        let mut para = Para::new(0.5, 1024, 2);
+        let mut actions = Vec::new();
+        for _ in 0..1000 {
+            para.on_activate(BankId(0), RowAddr(500), &mut actions);
+        }
+        assert!(actions.iter().all(|a| {
+            let r = a.row().0;
+            r == 499 || r == 501
+        }));
+        // Both sides are chosen.
+        assert!(actions.iter().any(|a| a.row().0 == 499));
+        assert!(actions.iter().any(|a| a.row().0 == 501));
+    }
+
+    #[test]
+    fn edge_rows_never_select_outside_bank() {
+        let mut para = Para::new(1.0, 8, 3);
+        let mut actions = Vec::new();
+        for _ in 0..100 {
+            para.on_activate(BankId(0), RowAddr(0), &mut actions);
+            para.on_activate(BankId(0), RowAddr(7), &mut actions);
+        }
+        assert!(actions.iter().all(|a| a.row().0 < 8));
+    }
+
+    #[test]
+    fn stateless_has_zero_storage() {
+        let g = Geometry::paper();
+        assert_eq!(Para::paper(&g, 1).storage_bits_per_bank(), 0);
+        assert!((Para::paper(&g, 1).probability() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        let _ = Para::new(1.5, 8, 1);
+    }
+}

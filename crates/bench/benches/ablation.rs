@@ -1,0 +1,56 @@
+//! Design-choice ablation regenerator + data-structure micro-benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram_sim::RowAddr;
+use rand::SeedableRng;
+use rh_bench::bench_scale;
+use rh_harness::experiments::ablation;
+use std::hint::black_box;
+use tivapromi::{linear_weight, log_weight, CounterTable, HistoryTable};
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    println!("\n=== Ablations (reduced scale) ===");
+    let scale = bench_scale();
+    let mut results = ablation::history_sweep(&scale);
+    results.extend(ablation::lock_threshold_sweep(&scale));
+    println!("{}", ablation::render(&results));
+
+    c.bench_function("history_table/lookup_miss_32", |b| {
+        let mut t = HistoryTable::new(32);
+        for i in 0..32u32 {
+            t.record(RowAddr(i * 7), i);
+        }
+        b.iter(|| black_box(t.lookup(black_box(RowAddr(40_000)))))
+    });
+
+    c.bench_function("history_table/record_evict", |b| {
+        let mut t = HistoryTable::new(32);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(t.record(RowAddr(i % 4096), i % 8192))
+        })
+    });
+
+    c.bench_function("counter_table/observe_64", |b| {
+        let mut t = CounterTable::new(64, 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(t.observe(RowAddr(i % 96), None, &mut rng))
+        })
+    });
+
+    c.bench_function("weights/linear_plus_log", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 8192;
+            let w = linear_weight(black_box(i), black_box(8191 - i), 8192);
+            black_box(log_weight(w))
+        })
+    });
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §IV flooding-point regenerator + flooding-run benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_bench::{bench_scale, print_scale};
+use rh_harness::experiments::flooding;
+use rh_harness::{engine, scenario, techniques, RunConfig};
+use rh_hwmodel::Technique;
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    println!("\n=== §IV flooding first-trigger points (reduced scale) ===");
+    let mut scale = print_scale();
+    scale.seeds = 4;
+    println!("{}", flooding::render(&flooding::run(&scale)));
+
+    let config = RunConfig::paper(&bench_scale());
+    let mut group = c.benchmark_group("flooding_one_window");
+    group.sample_size(10);
+    for technique in [Technique::LiPromi, Technique::CaPromi] {
+        group.bench_function(technique.name(), |b| {
+            b.iter(|| {
+                let trace = scenario::flooding(&config, flooding::FLOODED_ROW);
+                let mut mitigation = techniques::build(technique, &config, 1);
+                black_box(engine::run(trace, mitigation.as_mut(), &config))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

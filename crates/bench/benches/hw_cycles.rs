@@ -1,0 +1,33 @@
+//! Table II regenerator + hardware-model benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dram_sim::DramGeneration;
+use rh_harness::experiments::table2;
+use rh_hwmodel::{area, fsm_cycles, HwParams, Technique};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    println!("\n=== Table II — FSM clock cycles (model vs paper: exact) ===");
+    println!("{}", table2::render(&table2::run()));
+
+    let params = HwParams::paper();
+    c.bench_function("table2/fsm_cycles_all", |b| {
+        b.iter(|| {
+            for t in Technique::TABLE3 {
+                black_box(fsm_cycles(black_box(t), black_box(&params)));
+            }
+        })
+    });
+
+    c.bench_function("table2/area_model_all", |b| {
+        b.iter(|| {
+            for t in Technique::TABLE3 {
+                black_box(area::area(t, &params, DramGeneration::Ddr4).total());
+                black_box(area::area(t, &params, DramGeneration::Ddr3).total());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table I regenerator + configuration-path benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rh_harness::experiments::table1;
+use rh_harness::{ExperimentScale, RunConfig};
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    // Regenerate Table I (pure configuration — full scale is free).
+    println!("\n=== Table I — simulated system specifications ===");
+    println!("{}", table1::render(&ExperimentScale::full()));
+
+    c.bench_function("table1/render", |b| {
+        let scale = ExperimentScale::full();
+        b.iter(|| black_box(table1::render(black_box(&scale))))
+    });
+
+    c.bench_function("table1/build_device", |b| {
+        let config = RunConfig::paper(&ExperimentScale::quick());
+        b.iter(|| black_box(config.build_device()))
+    });
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Per-activation mitigation cost: the simulator-side analogue of the
+//! paper's cycle budget — how expensive is `on_activate` for each of
+//! the nine techniques?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dram_sim::{BankId, RowAddr};
+use rand::{RngExt, SeedableRng};
+use rh_bench::bench_scale;
+use rh_harness::{techniques, RunConfig};
+use rh_hwmodel::Technique;
+use std::hint::black_box;
+
+fn per_activation_cost(c: &mut Criterion) {
+    let config = RunConfig::paper(&bench_scale());
+    let mut group = c.benchmark_group("on_activate");
+    group.throughput(Throughput::Elements(1));
+
+    // A pre-generated mixed address pattern: a few hot rows + noise.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let rows: Vec<RowAddr> = (0..4096)
+        .map(|i| {
+            if i % 4 == 0 {
+                RowAddr(30_000) // hammered row
+            } else {
+                RowAddr(rng.random_range(0..config.geometry.rows_per_bank()))
+            }
+        })
+        .collect();
+
+    for technique in Technique::TABLE3 {
+        group.bench_function(technique.name(), |b| {
+            let mut mitigation = techniques::build(technique, &config, 1);
+            let mut actions = Vec::new();
+            let mut cursor = 0usize;
+            b.iter(|| {
+                let row = rows[cursor & 4095];
+                cursor = cursor.wrapping_add(1);
+                mitigation.on_activate(BankId(0), black_box(row), &mut actions);
+                actions.clear();
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("on_refresh_interval");
+    for technique in [Technique::CaPromi, Technique::TwiCe, Technique::ProHit] {
+        group.bench_function(technique.name(), |b| {
+            let mut mitigation = techniques::build(technique, &config, 1);
+            let mut actions = Vec::new();
+            // Populate tables realistically.
+            for i in 0..64u32 {
+                mitigation.on_activate(BankId(0), RowAddr(1000 + i * 3), &mut actions);
+            }
+            actions.clear();
+            b.iter(|| {
+                mitigation.on_refresh_interval(&mut actions);
+                actions.clear();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_activation_cost);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! # rh-bench — benchmark harness
+//!
+//! Criterion benches, one per paper table/figure plus a per-event
+//! throughput bench and the ablation sweeps.  Each bench first *prints*
+//! the regenerated table/series (at a small, documented scale — the
+//! experiment binaries in `rh-harness` regenerate them at full scale)
+//! and then measures the hot paths that produce it.
+//!
+//! | Bench | Regenerates | Measures |
+//! |---|---|---|
+//! | `tables` | Table I | configuration & rendering |
+//! | `hw_cycles` | Table II | FSM cycle/area model evaluation |
+//! | `tradeoff` | Fig. 4 series | full engine run per technique |
+//! | `comparison` | Table III | LUT model across techniques |
+//! | `flooding` | §IV flooding points | flooding run |
+//! | `throughput` | — | per-activation mitigation cost (all 9) |
+//! | `ablation` | design-choice sweeps | table data-structure ops |
+
+use rh_harness::ExperimentScale;
+
+/// The scale used inside benches: small enough for Criterion iteration,
+/// large enough to exercise every code path (1 window, 1 bank, 1 seed).
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        windows: 1,
+        banks: 1,
+        seeds: 1,
+    }
+}
+
+/// A slightly larger scale for the printed tables (2 windows, 2 seeds).
+pub fn print_scale() -> ExperimentScale {
+    ExperimentScale {
+        windows: 2,
+        banks: 1,
+        seeds: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_small() {
+        assert!(bench_scale().windows <= print_scale().windows);
+        assert_eq!(bench_scale().seeds, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Address newtypes for banks and rows.
+//!
+//! Row and bank numbers are both small integers; mixing them up is a
+//! classic simulator bug, so each gets a newtype ([`RowAddr`],
+//! [`BankId`]).  Both are plain `u32` wrappers with public fields — they
+//! are passive identifiers, not invariant-bearing types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical row address within one bank.
+///
+/// The paper operates on *physical* row numbers: row `r`'s physical
+/// neighbors are whatever the [`RowMapping`](crate::RowMapping) says they
+/// are (usually `r−1` and `r+1`, but remapped for defect-replaced rows).
+///
+/// ```
+/// use dram_sim::RowAddr;
+/// let r = RowAddr(41);
+/// assert_eq!(r.0 + 1, 42);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RowAddr(pub u32);
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row{}", self.0)
+    }
+}
+
+impl From<u32> for RowAddr {
+    fn from(value: u32) -> Self {
+        RowAddr(value)
+    }
+}
+
+impl From<RowAddr> for u32 {
+    fn from(value: RowAddr) -> Self {
+        value.0
+    }
+}
+
+impl RowAddr {
+    /// Index usable for `Vec` based per-row state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bank identifier within the device.
+///
+/// Every bank carries its own mitigation state (history tables, counter
+/// tables) because banks can be attacked independently of each other.
+///
+/// ```
+/// use dram_sim::BankId;
+/// assert_eq!(BankId(3).to_string(), "bank3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BankId(pub u32);
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+impl From<u32> for BankId {
+    fn from(value: u32) -> Self {
+        BankId(value)
+    }
+}
+
+impl From<BankId> for u32 {
+    fn from(value: BankId) -> Self {
+        value.0
+    }
+}
+
+impl BankId {
+    /// Index usable for `Vec` based per-bank state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_addr_roundtrips_through_u32() {
+        let r: RowAddr = 7u32.into();
+        assert_eq!(u32::from(r), 7);
+        assert_eq!(r.index(), 7);
+    }
+
+    #[test]
+    fn bank_id_roundtrips_through_u32() {
+        let b: BankId = 2u32.into();
+        assert_eq!(u32::from(b), 2);
+        assert_eq!(b.index(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        assert_eq!(RowAddr(5).to_string(), "row5");
+        assert_eq!(BankId(5).to_string(), "bank5");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(RowAddr(1) < RowAddr(2));
+        assert!(BankId(0) < BankId(1));
+    }
+}

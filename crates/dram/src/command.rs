@@ -1,0 +1,113 @@
+//! Memory-controller commands visible to the disturbance model.
+
+use crate::{BankId, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// A command arriving at the DRAM device.
+///
+/// Only the commands that matter for row-hammer behaviour are modelled:
+/// row activations (the disturbance source), auto-refresh (the periodic
+/// restore), and the `act_n` "activate neighbors" command used by
+/// mitigations in the literature (Kim et al., TWiCe) and by TiVaPRoMi's
+/// interrupt path.
+///
+/// ```
+/// use dram_sim::{Command, BankId, RowAddr};
+/// let cmd = Command::Activate { bank: BankId(0), row: RowAddr(3) };
+/// assert_eq!(cmd.bank(), Some(BankId(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Command {
+    /// Activate `row` in `bank` (a normal memory access).
+    Activate {
+        /// Target bank.
+        bank: BankId,
+        /// Activated row.
+        row: RowAddr,
+    },
+    /// Auto-refresh: executes the next refresh interval on every bank.
+    Refresh,
+    /// `act_n`: activate both physical neighbors of `row` to restore
+    /// their charge (the mitigation command).  The neighbor addresses are
+    /// resolved inside the device because they depend on the internal
+    /// row mapping.
+    ActivateNeighbors {
+        /// Target bank.
+        bank: BankId,
+        /// The aggressor row whose neighbors are restored.
+        row: RowAddr,
+    },
+    /// Refresh a single explicit row (used by mitigations that restore
+    /// one victim at a time: PARA, ProHit, MRLoc).
+    RefreshRow {
+        /// Target bank.
+        bank: BankId,
+        /// The victim row to restore.
+        row: RowAddr,
+    },
+}
+
+impl Command {
+    /// The bank the command addresses, if it is bank-specific.
+    pub fn bank(&self) -> Option<BankId> {
+        match self {
+            Command::Activate { bank, .. }
+            | Command::ActivateNeighbors { bank, .. }
+            | Command::RefreshRow { bank, .. } => Some(*bank),
+            Command::Refresh => None,
+        }
+    }
+
+    /// The row the command addresses, if any.
+    pub fn row(&self) -> Option<RowAddr> {
+        match self {
+            Command::Activate { row, .. }
+            | Command::ActivateNeighbors { row, .. }
+            | Command::RefreshRow { row, .. } => Some(*row),
+            Command::Refresh => None,
+        }
+    }
+
+    /// Whether this command was issued by a mitigation rather than the
+    /// workload (counts toward activation overhead).
+    pub fn is_mitigation(&self) -> bool {
+        matches!(
+            self,
+            Command::ActivateNeighbors { .. } | Command::RefreshRow { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let act = Command::Activate {
+            bank: BankId(1),
+            row: RowAddr(2),
+        };
+        assert_eq!(act.bank(), Some(BankId(1)));
+        assert_eq!(act.row(), Some(RowAddr(2)));
+        assert!(!act.is_mitigation());
+
+        let refr = Command::Refresh;
+        assert_eq!(refr.bank(), None);
+        assert_eq!(refr.row(), None);
+        assert!(!refr.is_mitigation());
+
+        let actn = Command::ActivateNeighbors {
+            bank: BankId(0),
+            row: RowAddr(9),
+        };
+        assert!(actn.is_mitigation());
+        assert_eq!(actn.row(), Some(RowAddr(9)));
+
+        let rr = Command::RefreshRow {
+            bank: BankId(0),
+            row: RowAddr(9),
+        };
+        assert!(rr.is_mitigation());
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for device and geometry construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a device configuration is internally inconsistent.
+///
+/// ```
+/// use dram_sim::Geometry;
+/// // 10 rows cannot be split evenly into 4 refresh intervals.
+/// assert!(Geometry::new(10, 1, 4).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `rows_per_bank` must be a positive multiple of the interval count.
+    RowsNotDivisible {
+        /// Configured number of rows per bank.
+        rows_per_bank: u32,
+        /// Configured number of refresh intervals per window.
+        intervals_per_window: u32,
+    },
+    /// A structural parameter was zero.
+    ZeroParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A row address is outside the bank.
+    RowOutOfRange {
+        /// The offending row.
+        row: u32,
+        /// Number of rows per bank.
+        rows_per_bank: u32,
+    },
+    /// A bank id is outside the device.
+    BankOutOfRange {
+        /// The offending bank.
+        bank: u32,
+        /// Number of banks.
+        banks: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::RowsNotDivisible {
+                rows_per_bank,
+                intervals_per_window,
+            } => write!(
+                f,
+                "rows per bank ({rows_per_bank}) is not divisible by refresh intervals per window ({intervals_per_window})"
+            ),
+            ConfigError::ZeroParameter { name } => {
+                write!(f, "configuration parameter `{name}` must be nonzero")
+            }
+            ConfigError::RowOutOfRange { row, rows_per_bank } => {
+                write!(f, "row {row} out of range for bank with {rows_per_bank} rows")
+            }
+            ConfigError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range for device with {banks} banks")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ConfigError::RowsNotDivisible {
+            rows_per_bank: 10,
+            intervals_per_window: 4,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('4'));
+
+        let e = ConfigError::ZeroParameter { name: "banks" };
+        assert!(e.to_string().contains("banks"));
+
+        let e = ConfigError::RowOutOfRange {
+            row: 99,
+            rows_per_bank: 64,
+        };
+        assert!(e.to_string().contains("99"));
+
+        let e = ConfigError::BankOutOfRange { bank: 9, banks: 4 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,263 @@
+//! Device geometry: banks, rows, and the refresh-window structure.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// Structural parameters of the simulated DRAM device.
+///
+/// A refresh *window* (64 ms for DDR4) consists of `intervals_per_window`
+/// refresh *intervals* (`RefInt` in the paper, 8192 for DDR4); each
+/// interval refreshes `rows_per_interval` (`RowsPI`) rows, so that every
+/// row is refreshed exactly once per window.
+///
+/// The paper's reference geometry ([`Geometry::paper`]) uses 65 536 rows
+/// per bank, 8192 intervals and therefore `RowsPI = 8` — exactly the
+/// worked example in §III ("if RowsPI = 8 then the first refresh interval
+/// refreshes rows 0−7, the second interval refreshes rows 8−15, etc.").
+///
+/// ```
+/// use dram_sim::Geometry;
+/// let g = Geometry::paper();
+/// assert_eq!(g.rows_per_interval(), 8);
+/// assert_eq!(g.intervals_per_window(), 8192);
+/// // Row→interval mapping f_r = r / RowsPI:
+/// assert_eq!(g.home_interval(dram_sim::RowAddr(17)), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    rows_per_bank: u32,
+    banks: u32,
+    intervals_per_window: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry, validating that every interval refreshes the
+    /// same number of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroParameter`] if any argument is zero and
+    /// [`ConfigError::RowsNotDivisible`] if `rows_per_bank` is not a
+    /// multiple of `intervals_per_window`.
+    ///
+    /// ```
+    /// use dram_sim::Geometry;
+    /// # fn main() -> Result<(), dram_sim::ConfigError> {
+    /// let g = Geometry::new(1024, 4, 128)?;
+    /// assert_eq!(g.rows_per_interval(), 8);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(
+        rows_per_bank: u32,
+        banks: u32,
+        intervals_per_window: u32,
+    ) -> Result<Self, ConfigError> {
+        if rows_per_bank == 0 {
+            return Err(ConfigError::ZeroParameter {
+                name: "rows_per_bank",
+            });
+        }
+        if banks == 0 {
+            return Err(ConfigError::ZeroParameter { name: "banks" });
+        }
+        if intervals_per_window == 0 {
+            return Err(ConfigError::ZeroParameter {
+                name: "intervals_per_window",
+            });
+        }
+        if !rows_per_bank.is_multiple_of(intervals_per_window) {
+            return Err(ConfigError::RowsNotDivisible {
+                rows_per_bank,
+                intervals_per_window,
+            });
+        }
+        Ok(Geometry {
+            rows_per_bank,
+            banks,
+            intervals_per_window,
+        })
+    }
+
+    /// The paper's simulated DDR4 geometry: 65 536 rows per 1 GB bank,
+    /// 4 banks under attack, 8192 refresh intervals per 64 ms window.
+    pub fn paper() -> Self {
+        Geometry {
+            rows_per_bank: 65_536,
+            banks: 4,
+            intervals_per_window: 8192,
+        }
+    }
+
+    /// A reduced geometry for fast tests and examples that preserves the
+    /// paper's `RowsPI = 8` ratio.
+    ///
+    /// `scale` divides both the row count and the interval count; scale 1
+    /// reproduces [`Geometry::paper`] with a single bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero or larger than 8192.
+    pub fn scaled_down(scale: u32) -> Self {
+        assert!(scale > 0 && scale <= 8192, "scale must be in 1..=8192");
+        Geometry {
+            rows_per_bank: 65_536 / scale,
+            banks: 1,
+            intervals_per_window: 8192 / scale,
+        }
+    }
+
+    /// Number of rows in every bank (`RowsPB`).
+    #[inline]
+    pub fn rows_per_bank(&self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// Number of independently attackable banks.
+    #[inline]
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Number of refresh intervals per refresh window (`RefInt`).
+    #[inline]
+    pub fn intervals_per_window(&self) -> u32 {
+        self.intervals_per_window
+    }
+
+    /// Number of rows refreshed by each interval (`RowsPI`).
+    #[inline]
+    pub fn rows_per_interval(&self) -> u32 {
+        self.rows_per_bank / self.intervals_per_window
+    }
+
+    /// Returns a copy with a different bank count.
+    ///
+    /// ```
+    /// use dram_sim::Geometry;
+    /// let g = Geometry::paper().with_banks(1);
+    /// assert_eq!(g.banks(), 1);
+    /// ```
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        assert!(banks > 0, "banks must be nonzero");
+        self.banks = banks;
+        self
+    }
+
+    /// The refresh interval in which row `r` is refreshed under the
+    /// paper's sequential-neighbors assumption: `f_r = r / RowsPI`.
+    ///
+    /// This is the quantity the TiVaPRoMi weight equation (Eq. 1) is
+    /// built on; with `RowsPI` a power of two it is a simple right shift
+    /// in hardware.
+    #[inline]
+    pub fn home_interval(&self, row: crate::RowAddr) -> u32 {
+        row.0 / self.rows_per_interval()
+    }
+
+    /// Validates a row address against this geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::RowOutOfRange`] when the row does not exist.
+    pub fn check_row(&self, row: crate::RowAddr) -> Result<(), ConfigError> {
+        if row.0 < self.rows_per_bank {
+            Ok(())
+        } else {
+            Err(ConfigError::RowOutOfRange {
+                row: row.0,
+                rows_per_bank: self.rows_per_bank,
+            })
+        }
+    }
+
+    /// Validates a bank id against this geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BankOutOfRange`] when the bank does not exist.
+    pub fn check_bank(&self, bank: crate::BankId) -> Result<(), ConfigError> {
+        if bank.0 < self.banks {
+            Ok(())
+        } else {
+            Err(ConfigError::BankOutOfRange {
+                bank: bank.0,
+                banks: self.banks,
+            })
+        }
+    }
+}
+
+impl Default for Geometry {
+    /// Defaults to the paper geometry.
+    fn default() -> Self {
+        Geometry::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RowAddr;
+
+    #[test]
+    fn paper_geometry_matches_table_i() {
+        let g = Geometry::paper();
+        assert_eq!(g.intervals_per_window(), 8192);
+        assert_eq!(g.rows_per_interval(), 8);
+        assert_eq!(g.rows_per_bank(), 65_536);
+    }
+
+    #[test]
+    fn home_interval_follows_paper_example() {
+        // "the first refresh interval refreshes rows 0−7, the second
+        // interval refreshes rows 8−15"
+        let g = Geometry::paper();
+        assert_eq!(g.home_interval(RowAddr(0)), 0);
+        assert_eq!(g.home_interval(RowAddr(7)), 0);
+        assert_eq!(g.home_interval(RowAddr(8)), 1);
+        assert_eq!(g.home_interval(RowAddr(15)), 1);
+        assert_eq!(g.home_interval(RowAddr(65_535)), 8191);
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(Geometry::new(0, 1, 1).is_err());
+        assert!(Geometry::new(8, 0, 1).is_err());
+        assert!(Geometry::new(8, 1, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_nondivisible_rows() {
+        assert_eq!(
+            Geometry::new(10, 1, 4),
+            Err(ConfigError::RowsNotDivisible {
+                rows_per_bank: 10,
+                intervals_per_window: 4
+            })
+        );
+    }
+
+    #[test]
+    fn scaled_down_preserves_rows_per_interval() {
+        for scale in [1, 2, 4, 16, 64, 256] {
+            let g = Geometry::scaled_down(scale);
+            assert_eq!(g.rows_per_interval(), 8, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn check_row_and_bank_bounds() {
+        let g = Geometry::new(64, 2, 8).unwrap();
+        assert!(g.check_row(RowAddr(63)).is_ok());
+        assert!(g.check_row(RowAddr(64)).is_err());
+        assert!(g.check_bank(crate::BankId(1)).is_ok());
+        assert!(g.check_bank(crate::BankId(2)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn scaled_down_rejects_zero() {
+        let _ = Geometry::scaled_down(0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the cycle-level memory controller.
+
+use dram_sim::controller::{ControllerConfig, MemoryController, MitigationPriority, Request};
+use dram_sim::{BankId, DramTiming, Geometry, RowAddr};
+use proptest::prelude::*;
+
+fn geometry() -> Geometry {
+    Geometry::paper().with_banks(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every enqueued demand request completes, and every
+    /// mitigation activation is issued, for arbitrary arrival patterns.
+    #[test]
+    fn all_work_completes(
+        demands in proptest::collection::vec((0u32..4, 0u32..100, 0u64..20_000), 0..60),
+        mitigations in proptest::collection::vec((0u32..4, 0u32..100), 0..20),
+        urgent in any::<bool>(),
+    ) {
+        let priority = if urgent {
+            MitigationPriority::Urgent
+        } else {
+            MitigationPriority::Background
+        };
+        let config = ControllerConfig::from_timing(&DramTiming::ddr4()).with_priority(priority);
+        let mut mc = MemoryController::new(geometry(), config);
+        // FCFS queue semantics require non-decreasing arrivals.
+        let mut sorted = demands.clone();
+        sorted.sort_by_key(|&(_, _, a)| a);
+        for &(bank, row, arrival) in &sorted {
+            mc.enqueue_demand(Request {
+                bank: BankId(bank),
+                row: RowAddr(row),
+                arrival_cycle: arrival,
+            });
+        }
+        for &(bank, row) in &mitigations {
+            mc.enqueue_mitigation(BankId(bank), RowAddr(row));
+        }
+        mc.drain(0);
+        let stats = mc.stats();
+        prop_assert_eq!(stats.completed, sorted.len() as u64);
+        prop_assert_eq!(stats.mitigation_activations, mitigations.len() as u64);
+        prop_assert_eq!(mc.mitigation_backlog(), 0);
+    }
+
+    /// Every demand latency is at least tRC (the activation itself).
+    #[test]
+    fn latency_lower_bound(
+        demands in proptest::collection::vec((0u32..4, 0u64..5000), 1..30),
+    ) {
+        let config = ControllerConfig::from_timing(&DramTiming::ddr4());
+        let mut mc = MemoryController::new(geometry(), config);
+        let mut sorted = demands.clone();
+        sorted.sort_by_key(|&(_, a)| a);
+        for &(bank, arrival) in &sorted {
+            mc.enqueue_demand(Request {
+                bank: BankId(bank),
+                row: RowAddr(1),
+                arrival_cycle: arrival,
+            });
+        }
+        mc.drain(0);
+        let stats = mc.stats();
+        prop_assert!(stats.total_latency_cycles >= 54 * stats.completed);
+        prop_assert!(stats.max_latency_cycles >= 54);
+        prop_assert!(
+            u128::from(stats.max_latency_cycles) * u128::from(stats.completed)
+                >= u128::from(stats.total_latency_cycles)
+        );
+    }
+
+    /// Same-bank activations never issue closer than tRC apart.
+    #[test]
+    fn t_rc_is_respected(count in 1usize..20) {
+        let config = ControllerConfig::from_timing(&DramTiming::ddr4());
+        let mut mc = MemoryController::new(geometry(), config);
+        mc.record_issued(true);
+        for _ in 0..count {
+            mc.enqueue_demand(Request { bank: BankId(2), row: RowAddr(9), arrival_cycle: 0 });
+        }
+        mc.drain(0);
+        let issued: Vec<u64> = mc
+            .issued()
+            .iter()
+            .filter(|(b, _, _)| *b == BankId(2))
+            .map(|&(_, _, c)| c)
+            .collect();
+        for pair in issued.windows(2) {
+            prop_assert!(pair[1] >= pair[0] + 54, "{pair:?}");
+        }
+    }
+
+    /// Refreshes happen on cadence regardless of load.
+    #[test]
+    fn refresh_cadence_holds(load in 0usize..50, horizon in 1u64..6) {
+        let config = ControllerConfig::from_timing(&DramTiming::ddr4());
+        let mut mc = MemoryController::new(geometry(), config);
+        for i in 0..load {
+            mc.enqueue_demand(Request {
+                bank: BankId((i % 4) as u32),
+                row: RowAddr(1),
+                arrival_cycle: 0,
+            });
+        }
+        let cycles = horizon * 9360 + 1;
+        mc.run_until(cycles);
+        prop_assert_eq!(mc.stats().refreshes, horizon);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the DRAM substrate.
+
+use dram_sim::{
+    BankId, Command, DisturbState, DramDevice, Geometry, IdentityMapping, RefreshOrder,
+    RefreshSchedule, RowAddr, RowMapping,
+};
+use proptest::prelude::*;
+
+/// Geometries with power-of-two interval counts (as real DRAM uses).
+fn geometries() -> impl Strategy<Value = Geometry> {
+    (3u32..=7, 1u32..=4).prop_map(|(log_intervals, rpi_factor)| {
+        let intervals = 1 << log_intervals;
+        Geometry::new(intervals * 8 * rpi_factor, 1, intervals).expect("valid geometry")
+    })
+}
+
+fn policies() -> impl Strategy<Value = RefreshOrder> {
+    prop_oneof![
+        Just(RefreshOrder::SequentialNeighbors),
+        any::<u64>().prop_map(|seed| RefreshOrder::FullyRandom { seed }),
+        any::<u32>().prop_map(|mask| RefreshOrder::CounterMask { mask }),
+        (0u32..8, 8u32..16).prop_map(|(a, b)| RefreshOrder::SequentialWithReplacements {
+            replacements: vec![(RowAddr(a), RowAddr(b))],
+        }),
+    ]
+}
+
+proptest! {
+    /// Every refresh policy refreshes every row exactly once per window.
+    #[test]
+    fn schedule_is_permutation(geometry in geometries(), policy in policies()) {
+        let schedule = RefreshSchedule::new(&geometry, &policy);
+        let mut seen = vec![false; geometry.rows_per_bank() as usize];
+        for i in 0..schedule.intervals() {
+            for &row in schedule.rows_for_interval(i) {
+                prop_assert!(!seen[row.index()], "row {row} refreshed twice under {policy}");
+                seen[row.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// `interval_of` is consistent with `rows_for_interval`.
+    #[test]
+    fn schedule_inverse_is_consistent(geometry in geometries(), policy in policies()) {
+        let schedule = RefreshSchedule::new(&geometry, &policy);
+        for i in 0..schedule.intervals() {
+            for &row in schedule.rows_for_interval(i) {
+                prop_assert_eq!(schedule.interval_of(row), i);
+            }
+        }
+    }
+
+    /// The disturbance counter equals the number of `disturb` calls since
+    /// the last `restore`, regardless of interleaving.
+    #[test]
+    fn disturbance_counts_since_restore(ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut state = DisturbState::new(4, u32::MAX);
+        let mut expected = 0u32;
+        for is_disturb in ops {
+            if is_disturb {
+                state.disturb(RowAddr(1));
+                expected += 1;
+            } else {
+                state.restore(RowAddr(1));
+                expected = 0;
+            }
+            prop_assert_eq!(state.disturbance(RowAddr(1)), expected);
+        }
+    }
+
+    /// A row flips iff its disturbance ever reached the threshold, and
+    /// each flip is reported exactly once.
+    #[test]
+    fn flips_match_threshold_crossings(
+        threshold in 1u32..50,
+        hits in proptest::collection::vec(0u32..4, 0..300),
+    ) {
+        let mut state = DisturbState::new(4, threshold);
+        let mut counts = [0u32; 4];
+        let mut expected_flips = [false; 4];
+        for row in hits {
+            state.disturb(RowAddr(row));
+            counts[row as usize] += 1;
+            if counts[row as usize] >= threshold {
+                expected_flips[row as usize] = true;
+            }
+        }
+        let mut reported = [false; 4];
+        for row in state.take_new_flips() {
+            prop_assert!(!reported[row.index()], "duplicate flip report");
+            reported[row.index()] = true;
+        }
+        for r in 0..4u32 {
+            prop_assert_eq!(state.is_flipped(RowAddr(r)), expected_flips[r as usize]);
+            prop_assert_eq!(reported[r as usize], expected_flips[r as usize]);
+        }
+    }
+
+    /// Interior rows have exactly two neighbors at distance one; edge
+    /// rows have one.
+    #[test]
+    fn neighbors_are_adjacent(geometry in geometries(), row in 0u32..64) {
+        prop_assume!(row < geometry.rows_per_bank());
+        let row = RowAddr(row);
+        let neighbors = IdentityMapping.neighbors(row, &geometry);
+        let edge = row.0 == 0 || row.0 == geometry.rows_per_bank() - 1;
+        prop_assert_eq!(neighbors.len(), if edge { 1 } else { 2 });
+        for n in neighbors.iter() {
+            prop_assert_eq!(n.0.abs_diff(row.0), 1);
+        }
+    }
+
+    /// Device invariant: without mitigation, hammering a row `k` times
+    /// between refreshes flips its neighbors iff `k ≥ threshold` survives
+    /// the refresh schedule.
+    #[test]
+    fn refresh_resets_disturbance_in_device(
+        hammer_per_round in 1u32..8,
+        rounds in 1u32..12,
+    ) {
+        let geometry = Geometry::new(64, 1, 8).unwrap();
+        let mut device = DramDevice::new(geometry);
+        let threshold = 10;
+        device.set_flip_threshold(threshold);
+        let aggressor = RowAddr(5); // victims 4 and 6 refresh at interval 0
+        for _ in 0..rounds {
+            for _ in 0..hammer_per_round {
+                device.apply(Command::Activate { bank: BankId(0), row: aggressor });
+            }
+            for _ in 0..8 {
+                device.apply(Command::Refresh);
+            }
+        }
+        // Each round's disturbance is cleared by its full-window refresh,
+        // so flips occur iff one round alone crosses the threshold.
+        prop_assert_eq!(!device.flips().is_empty(), hammer_per_round >= threshold);
+    }
+}

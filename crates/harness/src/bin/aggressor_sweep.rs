@@ -1,0 +1,16 @@
+//! Fixed aggressor-count sweep — the 1→20 ramp decomposed into phases.
+//!
+//! Usage: `aggressor_sweep [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::aggressor_sweep;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    println!("Aggressor-count sweep — fixed k aggressors per bank, mixed workload");
+    println!();
+    print!("{}", aggressor_sweep::render(&aggressor_sweep::run(&scale)));
+}

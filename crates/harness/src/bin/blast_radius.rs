@@ -1,0 +1,18 @@
+//! Blast-radius extension study: second-order disturbance coupling vs
+//! ±1-only mitigations, and the ±2-widened `act_n` fix.
+//!
+//! Usage: `blast_radius [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::blast_radius;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    println!("Blast-radius study — distance-2 coupling under worst-phase flooding");
+    println!("(`+d2` = act_n widened to ±2 via the WideNeighborhood adapter)");
+    println!();
+    print!("{}", blast_radius::render(&blast_radius::run(&scale)));
+}

@@ -1,0 +1,17 @@
+//! Extension techniques (CAT, Graphene) on the Fig. 4 plane, plus the
+//! access-level cache-filtered workload cross-validation.
+//!
+//! Usage: `extensions [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::extensions;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    let points = extensions::extension_points(&scale);
+    let validation = extensions::cache_validation(&scale);
+    print!("{}", extensions::render(&points, &validation));
+}

@@ -1,0 +1,19 @@
+//! §IV flooding check — first extra activation under a full-rate flood
+//! of one row, for the four TiVaPRoMi variants (PARA as reference).
+//!
+//! Usage: `flooding [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::flooding;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    let results = flooding::run(&scale);
+    println!("Flooding attack — worst-phase flood (attack starts right after the");
+    println!("flooded row's refresh, where time-varying weights are smallest)");
+    println!();
+    print!("{}", flooding::render(&results));
+}

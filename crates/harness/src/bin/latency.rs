@@ -1,0 +1,18 @@
+//! Demand-latency impact study: mitigation traffic through the
+//! cycle-level memory controller.
+//!
+//! Usage: `latency [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::latency;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    println!("Demand latency — mixed trace through the cycle-level controller");
+    println!("(background priority unless marked @urgent)");
+    println!();
+    print!("{}", latency::render(&latency::run(&scale)));
+}

@@ -1,0 +1,23 @@
+//! §IV refresh-policy robustness — the four refresh orders against the
+//! four TiVaPRoMi variants.
+//!
+//! Usage: `refresh_policies [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::refresh_policies;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    let results = refresh_policies::run(&scale);
+    println!("Refresh-policy robustness — TiVaPRoMi variants × 4 policies");
+    println!();
+    print!("{}", refresh_policies::render(&results));
+    println!();
+    println!("max overhead deviation vs. sequential baseline:");
+    for (t, dev) in refresh_policies::policy_spread(&results) {
+        println!("  {t}: {:.1}%", dev * 100.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! §IV reliability check — the ramping multi-aggressor attack flips
+//! bits unprotected and is stopped by all nine techniques.
+//!
+//! Usage: `reliability [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::reliability;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    let results = reliability::run(&scale);
+    println!("Reliability — 1→20 aggressors per bank, mixed workload");
+    println!();
+    print!("{}", reliability::render(&results));
+}

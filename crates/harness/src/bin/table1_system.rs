@@ -1,0 +1,17 @@
+//! Regenerates Table I — simulated system specifications.
+//!
+//! Usage: `table1_system [quick|paper|full]` (default: full, since
+//! Table I is pure configuration).
+
+use rh_harness::experiments::table1;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::full);
+    println!("Table I — simulated system specifications");
+    println!();
+    print!("{}", table1::render(&scale));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table II — FSM clock cycles per observed `act`/`ref`.
+
+use rh_harness::experiments::table2;
+
+fn main() {
+    let results = table2::run();
+    println!("Table II — clock cycles per FSM loop (DDR4, 1.2 GHz)");
+    println!();
+    print!("{}", table2::render(&results));
+    println!();
+    let exact = results
+        .iter()
+        .all(|r| r.act == r.paper_act && r.refresh == r.paper_refresh);
+    println!(
+        "paper agreement: {}",
+        if exact { "exact" } else { "deviations present" }
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table III — LUTs (DDR4/DDR3), vulnerability, activation
+//! overhead μ ± σ, and false-positive rate, next to the paper's values.
+//!
+//! Usage: `table3_comparison [quick|paper|full]` (default: paper).
+
+use rh_harness::experiments::table3;
+use rh_harness::ExperimentScale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| ExperimentScale::from_name(&s))
+        .unwrap_or_else(ExperimentScale::paper_shape);
+    eprintln!(
+        "running table3 at {} windows × {} banks × {} seeds…",
+        scale.windows, scale.banks, scale.seeds
+    );
+    let results = table3::run(&scale);
+    println!("Table III — comparison with state-of-the-art RH mitigation solutions");
+    println!();
+    print!("{}", table3::render(&results));
+}

@@ -1,0 +1,255 @@
+//! The run engine: drives a trace through a mitigation and the DRAM
+//! device, collecting [`RunMetrics`].
+//!
+//! Per refresh interval the engine
+//!
+//! 1. delivers the interval's activations — each goes to the device
+//!    (disturbance accounting) and to the mitigation (`on_activate`),
+//!    whose actions are applied immediately;
+//! 2. issues the auto-refresh to the device;
+//! 3. calls the mitigation's `on_refresh_interval`, applying the
+//!    interval-granular actions (CaPRoMi's collective decisions,
+//!    ProHit's hot-table refresh).
+//!
+//! False-positive attribution uses the trace's ground-truth aggressor
+//! labels: a trigger is a false positive when the row it names (the
+//! suspected aggressor for `act_n`, the victim for `RefreshRow`) is not,
+//! respectively adjacent to, an attacker-hammered row.
+
+use crate::config::RunConfig;
+use crate::metrics::RunMetrics;
+use dram_sim::{BankId, Command, DramDevice, RowAddr};
+use mem_trace::{TraceEvent, TraceSource};
+use std::collections::HashSet;
+use tivapromi::{Mitigation, MitigationAction};
+
+/// Tracks which rows the attacker has hammered, for ground-truth
+/// false-positive attribution.
+#[derive(Debug, Default)]
+struct AggressorLedger {
+    rows: HashSet<(u32, u32)>,
+}
+
+impl AggressorLedger {
+    fn record(&mut self, event: &TraceEvent) {
+        if event.aggressor {
+            self.rows.insert((event.bank.0, event.row.0));
+        }
+    }
+
+    fn is_aggressor(&self, bank: BankId, row: RowAddr) -> bool {
+        self.rows.contains(&(bank.0, row.0))
+    }
+
+    /// Is this action aimed at real attacker activity?
+    fn is_true_positive(&self, action: &MitigationAction) -> bool {
+        match action {
+            // act_n names the suspected aggressor.
+            MitigationAction::ActivateNeighbors { bank, row } => self.is_aggressor(*bank, *row),
+            // RefreshRow names a victim; it is justified if either
+            // physical neighbor is an attacker row.
+            MitigationAction::RefreshRow { bank, row } => {
+                (row.0 > 0 && self.is_aggressor(*bank, RowAddr(row.0 - 1)))
+                    || self.is_aggressor(*bank, RowAddr(row.0 + 1))
+            }
+        }
+    }
+}
+
+/// Runs `trace` through `mitigation` on a device built from `config`.
+///
+/// The trace is consumed until it is exhausted or `config.intervals()`
+/// refresh intervals have elapsed, whichever comes first.
+///
+/// See the [crate example](crate) for usage.
+pub fn run<S: TraceSource>(
+    mut trace: S,
+    mitigation: &mut dyn Mitigation,
+    config: &RunConfig,
+) -> RunMetrics {
+    let mut device = config.build_device();
+    run_on_device(&mut trace, mitigation, config, &mut device)
+}
+
+/// Like [`run`], but on a caller-provided device (lets callers inspect
+/// device state afterwards).
+pub fn run_on_device<S: TraceSource>(
+    trace: &mut S,
+    mitigation: &mut dyn Mitigation,
+    config: &RunConfig,
+    device: &mut DramDevice,
+) -> RunMetrics {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut actions: Vec<MitigationAction> = Vec::new();
+    let mut ledger = AggressorLedger::default();
+
+    let mut trigger_events = 0u64;
+    let mut false_positive_events = 0u64;
+    let mut first_trigger_act = None;
+    let mut workload_acts = 0u64;
+    let max_intervals = config.intervals();
+
+    let apply_actions = |actions: &mut Vec<MitigationAction>,
+                         device: &mut DramDevice,
+                         ledger: &AggressorLedger,
+                         workload_acts: u64,
+                         trigger_events: &mut u64,
+                         false_positive_events: &mut u64,
+                         first_trigger_act: &mut Option<u64>| {
+        for action in actions.drain(..) {
+            *trigger_events += 1;
+            if !ledger.is_true_positive(&action) {
+                *false_positive_events += 1;
+            }
+            if first_trigger_act.is_none() {
+                *first_trigger_act = Some(workload_acts);
+            }
+            device.apply(action.to_command());
+        }
+    };
+
+    for _ in 0..max_intervals {
+        events.clear();
+        if !trace.next_interval(&mut events) {
+            break;
+        }
+        for event in &events {
+            ledger.record(event);
+            workload_acts += 1;
+            device.apply(Command::Activate {
+                bank: event.bank,
+                row: event.row,
+            });
+            mitigation.on_activate(event.bank, event.row, &mut actions);
+            if !actions.is_empty() {
+                apply_actions(
+                    &mut actions,
+                    device,
+                    &ledger,
+                    workload_acts,
+                    &mut trigger_events,
+                    &mut false_positive_events,
+                    &mut first_trigger_act,
+                );
+            }
+        }
+        device.apply(Command::Refresh);
+        mitigation.on_refresh_interval(&mut actions);
+        if !actions.is_empty() {
+            apply_actions(
+                &mut actions,
+                device,
+                &ledger,
+                workload_acts,
+                &mut trigger_events,
+                &mut false_positive_events,
+                &mut first_trigger_act,
+            );
+        }
+    }
+
+    let stats = device.stats();
+    RunMetrics {
+        technique: mitigation.name().to_string(),
+        workload_activations: stats.workload_activations,
+        mitigation_activations: stats.mitigation_activations,
+        trigger_events,
+        false_positive_events,
+        flips: device.flips().len(),
+        max_disturbance: device.max_disturbance_seen(),
+        flip_threshold: config.flip_threshold,
+        first_trigger_act,
+        storage_bytes_per_bank: mitigation.storage_bytes_per_bank(),
+        intervals: stats.refresh_intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+    use crate::{scenario, techniques};
+    use mem_trace::{AttackConfig, Attacker, ReplayTrace};
+    use rh_hwmodel::Technique;
+
+    fn quick_config() -> RunConfig {
+        RunConfig::paper(&ExperimentScale::quick())
+    }
+
+    #[test]
+    fn unprotected_attack_flips_bits() {
+        // A null mitigation: the attack must succeed.
+        #[derive(Debug)]
+        struct Null;
+        impl Mitigation for Null {
+            fn name(&self) -> &str {
+                "none"
+            }
+            fn on_activate(&mut self, _: BankId, _: RowAddr, _: &mut Vec<MitigationAction>) {}
+            fn on_refresh_interval(&mut self, _: &mut Vec<MitigationAction>) {}
+            fn storage_bits_per_bank(&self) -> u64 {
+                0
+            }
+        }
+        let config = quick_config();
+        let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
+        let metrics = run(attack, &mut Null, &config);
+        assert!(metrics.flips > 0, "{metrics:?}");
+        assert_eq!(metrics.mitigation_activations, 0);
+        assert_eq!(metrics.first_trigger_act, None);
+    }
+
+    #[test]
+    fn twice_stops_the_same_attack() {
+        let config = quick_config();
+        let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
+        let mut twice = techniques::build(Technique::TwiCe, &config, 1);
+        let metrics = run(attack, twice.as_mut(), &config);
+        assert_eq!(metrics.flips, 0, "{metrics:?}");
+        assert!(metrics.trigger_events > 0);
+        // Pure attack trace → no false positives.
+        assert_eq!(metrics.false_positive_events, 0);
+    }
+
+    #[test]
+    fn false_positives_attribute_to_benign_rows() {
+        let config = quick_config();
+        // Benign-only trace with PARA: every trigger is a false positive.
+        let trace = scenario::workload_only(&config, 3);
+        let mut para = techniques::build(Technique::Para, &config, 3);
+        let metrics = run(trace, para.as_mut(), &config);
+        assert!(metrics.trigger_events > 0);
+        assert_eq!(metrics.false_positive_events, metrics.trigger_events);
+    }
+
+    #[test]
+    fn first_trigger_records_activation_count() {
+        let config = quick_config();
+        let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
+        let mut twice = techniques::build(Technique::TwiCe, &config, 1);
+        let metrics = run(attack, twice.as_mut(), &config);
+        // TWiCe triggers deterministically at 34 750 activations.
+        assert_eq!(metrics.first_trigger_act, Some(34_750));
+    }
+
+    #[test]
+    fn run_stops_at_configured_intervals() {
+        let config = quick_config();
+        // An endless trace is clipped at config.intervals().
+        let long = ReplayTrace::new(vec![vec![]; 10 * config.intervals() as usize]);
+        #[derive(Debug)]
+        struct Null;
+        impl Mitigation for Null {
+            fn name(&self) -> &str {
+                "none"
+            }
+            fn on_activate(&mut self, _: BankId, _: RowAddr, _: &mut Vec<MitigationAction>) {}
+            fn on_refresh_interval(&mut self, _: &mut Vec<MitigationAction>) {}
+            fn storage_bits_per_bank(&self) -> u64 {
+                0
+            }
+        }
+        let metrics = run(long, &mut Null, &config);
+        assert_eq!(metrics.intervals, config.intervals());
+    }
+}

@@ -1,0 +1,20 @@
+//! One module per paper table/figure, plus the ablations.
+//!
+//! Every experiment follows the same pattern: a `run(scale)` function
+//! returning structured results, and a `render(results)` function
+//! producing the text table the corresponding binary prints.
+
+pub mod ablation;
+pub mod aggressor_sweep;
+pub mod blast_radius;
+pub mod extensions;
+pub mod fig4;
+pub mod flooding;
+pub mod latency;
+pub mod refresh_policies;
+pub mod reliability;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod vulnerability;
+pub mod weak_dram;

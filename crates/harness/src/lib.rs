@@ -1,0 +1,54 @@
+//! # rh-harness — the experiment engine
+//!
+//! Everything needed to regenerate the paper's evaluation: the run
+//! engine wiring *trace → mitigation → DRAM device*, metric collection
+//! (activation overhead, false-positive rate, bit flips, attack
+//! margins), multi-seed statistics, and one experiment module per table
+//! and figure:
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`experiments::table1`] | Table I — simulated system specification |
+//! | [`experiments::table2`] | Table II — FSM clock cycles |
+//! | [`experiments::fig4`] | Fig. 4 — table size vs. activation overhead |
+//! | [`experiments::table3`] | Table III — LUTs, vulnerability, overhead μ±σ, FPR |
+//! | [`experiments::reliability`] | §IV — no attack succeeds under any of the 9 techniques |
+//! | [`experiments::refresh_policies`] | §IV — four refresh-order policies |
+//! | [`experiments::flooding`] | §IV — flooding first-trigger points |
+//! | [`experiments::vulnerability`] | Table III "Vulnerable" column evidence |
+//! | [`experiments::ablation`] | design-choice sweeps (history size, `P_base`, lock threshold) |
+//!
+//! Each experiment has a matching binary (`cargo run --release --bin
+//! fig4_tradeoff` etc.) and a Criterion bench in the `rh-bench` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use rh_harness::{engine, scenario, techniques, RunConfig};
+//! use rh_harness::ExperimentScale;
+//! use rh_hwmodel::Technique;
+//!
+//! // A tiny run: PARA against the mixed workload, 2 windows, 1 bank.
+//! let scale = ExperimentScale::quick();
+//! let config = RunConfig::paper(&scale);
+//! let trace = scenario::paper_mix(&config, 1);
+//! let mut mitigation = techniques::build(Technique::Para, &config, 1);
+//! let metrics = engine::run(trace, mitigation.as_mut(), &config);
+//! assert!(metrics.workload_activations > 0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod parallel;
+pub mod plot;
+pub mod report;
+pub mod scenario;
+pub mod table;
+pub mod techniques;
+
+pub use config::{ExperimentScale, RunConfig};
+pub use engine::run;
+pub use metrics::{MeanStd, RunMetrics};
+pub use table::TextTable;

@@ -1,0 +1,157 @@
+//! Run metrics and multi-seed statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Technique name.
+    pub technique: String,
+    /// Workload activations driven through the device.
+    pub workload_activations: u64,
+    /// Extra activations issued by the mitigation (`act_n` counts the
+    /// neighbors it touches).
+    pub mitigation_activations: u64,
+    /// Mitigation trigger *events* (one `act_n`/`RefreshRow` = one event).
+    pub trigger_events: u64,
+    /// Trigger events attributable to benign rows (ground-truth false
+    /// positives).
+    pub false_positive_events: u64,
+    /// Bit flips — successful row-hammer attacks.
+    pub flips: usize,
+    /// Highest disturbance counter reached anywhere (attack margin).
+    pub max_disturbance: u32,
+    /// The flip threshold in effect.
+    pub flip_threshold: u32,
+    /// Workload activation count at the first trigger event, if any.
+    pub first_trigger_act: Option<u64>,
+    /// Storage the technique needs per bank, bytes.
+    pub storage_bytes_per_bank: f64,
+    /// Refresh intervals simulated.
+    pub intervals: u64,
+}
+
+impl RunMetrics {
+    /// Activation overhead in percent — Fig. 4's y-axis and Table III's
+    /// "Activations Overhead" column.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.workload_activations == 0 {
+            0.0
+        } else {
+            100.0 * self.mitigation_activations as f64 / self.workload_activations as f64
+        }
+    }
+
+    /// False-positive rate in percent: trigger events caused by benign
+    /// rows per workload activation.
+    pub fn fpr_percent(&self) -> f64 {
+        if self.workload_activations == 0 {
+            0.0
+        } else {
+            100.0 * self.false_positive_events as f64 / self.workload_activations as f64
+        }
+    }
+
+    /// How close the worst attack came to flipping a bit, as a fraction
+    /// of the threshold (1.0 = a flip happened).
+    pub fn attack_margin(&self) -> f64 {
+        f64::from(self.max_disturbance) / f64::from(self.flip_threshold)
+    }
+}
+
+/// Mean and (sample) standard deviation over seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Computes mean ± std of `values`.
+    ///
+    /// ```
+    /// use rh_harness::MeanStd;
+    /// let s = MeanStd::of(&[1.0, 2.0, 3.0]);
+    /// assert!((s.mean - 2.0).abs() < 1e-12);
+    /// assert!((s.std - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+                n: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std = if n > 1 {
+            (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        MeanStd { mean, std, n }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            technique: "X".into(),
+            workload_activations: 1000,
+            mitigation_activations: 20,
+            trigger_events: 10,
+            false_positive_events: 4,
+            flips: 0,
+            max_disturbance: 50,
+            flip_threshold: 100,
+            first_trigger_act: Some(42),
+            storage_bytes_per_bank: 120.0,
+            intervals: 16,
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = metrics();
+        assert!((m.overhead_percent() - 2.0).abs() < 1e-12);
+        assert!((m.fpr_percent() - 0.4).abs() < 1e-12);
+        assert!((m.attack_margin() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_activations_do_not_divide_by_zero() {
+        let mut m = metrics();
+        m.workload_activations = 0;
+        assert_eq!(m.overhead_percent(), 0.0);
+        assert_eq!(m.fpr_percent(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_edge_cases() {
+        let empty = MeanStd::of(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = MeanStd::of(&[5.0]);
+        assert_eq!(single.std, 0.0);
+        assert_eq!(single.mean, 5.0);
+    }
+
+    #[test]
+    fn mean_std_display_is_nonempty() {
+        assert!(MeanStd::of(&[1.0, 2.0]).to_string().contains('±'));
+    }
+}

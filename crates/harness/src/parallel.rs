@@ -1,0 +1,74 @@
+//! Thread-pool helper for multi-seed sweeps.
+//!
+//! The simulator itself is single-threaded per run; the harness
+//! parallelises across independent (technique, seed) runs with plain
+//! `std::thread` scoped threads, so no extra dependencies are needed.
+
+/// Maps `f` over `inputs` using up to `std::thread::available_parallelism`
+/// worker threads, preserving input order in the output.
+///
+/// ```
+/// use rh_harness::parallel::map;
+/// let squares = map(vec![1, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(inputs.len().max(1));
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let jobs: Vec<(usize, I)> = inputs.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(jobs);
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                match job {
+                    Some((index, input)) => {
+                        let output = f(input);
+                        results
+                            .lock()
+                            .expect("results poisoned")
+                            .push((index, output));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("results poisoned");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, o)| o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(map(vec![7], |x: i32| x + 1), vec![8]);
+    }
+}

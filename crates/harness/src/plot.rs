@@ -1,0 +1,201 @@
+//! Dependency-free SVG rendering of Fig. 4 — the log-log scatter of
+//! table size per bank vs. activation overhead.
+
+use crate::experiments::fig4::Fig4Point;
+use std::fmt::Write as _;
+
+/// Plot geometry.
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_LEFT: f64 = 80.0;
+const MARGIN_RIGHT: f64 = 30.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 70.0;
+
+/// X-axis range: 10⁰ … 10⁶ bytes (log).
+const X_DECADES: (i32, i32) = (0, 6);
+/// Y-axis range: 10⁻⁴ … 10⁰ percent (log).
+const Y_DECADES: (i32, i32) = (-4, 0);
+
+fn x_of(bytes: f64) -> f64 {
+    let logv = bytes
+        .max(1.0)
+        .log10()
+        .clamp(X_DECADES.0 as f64, X_DECADES.1 as f64);
+    MARGIN_LEFT
+        + (logv - X_DECADES.0 as f64) / f64::from(X_DECADES.1 - X_DECADES.0)
+            * (WIDTH - MARGIN_LEFT - MARGIN_RIGHT)
+}
+
+fn y_of(overhead_percent: f64) -> f64 {
+    let logv = overhead_percent
+        .max(1e-4)
+        .log10()
+        .clamp(Y_DECADES.0 as f64, Y_DECADES.1 as f64);
+    // SVG y grows downward; high overhead at the top.
+    MARGIN_TOP
+        + (Y_DECADES.1 as f64 - logv) / f64::from(Y_DECADES.1 - Y_DECADES.0)
+            * (HEIGHT - MARGIN_TOP - MARGIN_BOTTOM)
+}
+
+/// Marker colors per technique class (probabilistic / TiVaPRoMi /
+/// tabled counters / extensions).
+fn color(name: &str) -> &'static str {
+    match name {
+        "PARA" | "MRLoc" | "ProHit" => "#d62728",
+        "TWiCe" | "CRA" => "#1f77b4",
+        "CAT" | "Graphene" => "#7f7f7f",
+        _ => "#2ca02c", // the TiVaPRoMi variants
+    }
+}
+
+/// Renders the Fig. 4 scatter as a standalone SVG document.
+///
+/// ```
+/// use rh_harness::experiments::fig4::Fig4Point;
+/// use rh_harness::{plot, MeanStd};
+/// use rh_hwmodel::Technique;
+///
+/// let points = vec![Fig4Point {
+///     technique: Technique::Para,
+///     storage_bytes: 0.0,
+///     overhead: MeanStd::of(&[0.1]),
+///     fpr: MeanStd::of(&[0.06]),
+///     flips: 0,
+/// }];
+/// let svg = plot::fig4_svg(&points);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("PARA"));
+/// ```
+pub fn fig4_svg(points: &[Fig4Point]) -> String {
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="22" text-anchor="middle" font-size="15">Table size per bank vs. activation overhead (Fig. 4)</text>"#,
+        WIDTH / 2.0
+    );
+
+    // Gridlines + tick labels.
+    for d in X_DECADES.0..=X_DECADES.1 {
+        let x = x_of(10f64.powi(d));
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{MARGIN_TOP}" x2="{x:.1}" y2="{:.1}" stroke="#dddddd"/>"##,
+            HEIGHT - MARGIN_BOTTOM
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">10^{d}</text>"#,
+            HEIGHT - MARGIN_BOTTOM + 18.0
+        );
+    }
+    for d in Y_DECADES.0..=Y_DECADES.1 {
+        let y = y_of(10f64.powi(d));
+        let _ = write!(
+            svg,
+            r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#dddddd"/>"##,
+            WIDTH - MARGIN_RIGHT
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">10^{d}</text>"#,
+            MARGIN_LEFT - 8.0,
+            y + 4.0
+        );
+    }
+
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">table size per bank [B] (log)</text>"#,
+        WIDTH / 2.0,
+        HEIGHT - 22.0
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="20" y="{}" text-anchor="middle" transform="rotate(-90 20 {})">activation overhead [%] (log)</text>"#,
+        HEIGHT / 2.0,
+        HEIGHT / 2.0
+    );
+
+    // Points + labels.
+    for p in points {
+        let name = p.technique.to_string();
+        let x = x_of(p.storage_bytes);
+        let y = y_of(p.overhead.mean);
+        let c = color(&name);
+        let _ = write!(
+            svg,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="5" fill="{c}" stroke="black" stroke-width="0.5"/>"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11">{name}</text>"#,
+            x + 8.0,
+            y + 4.0
+        );
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MeanStd;
+    use rh_hwmodel::Technique;
+
+    fn point(t: Technique, bytes: f64, overhead: f64) -> Fig4Point {
+        Fig4Point {
+            technique: t,
+            storage_bytes: bytes,
+            overhead: MeanStd::of(&[overhead]),
+            fpr: MeanStd::of(&[0.0]),
+            flips: 0,
+        }
+    }
+
+    #[test]
+    fn axes_are_monotone() {
+        assert!(x_of(10.0) < x_of(1000.0));
+        // Higher overhead sits higher on the canvas (smaller y).
+        assert!(y_of(0.1) < y_of(0.001));
+        // Clamping at the range edges.
+        assert_eq!(x_of(0.5), x_of(1.0));
+        assert_eq!(y_of(1e-7), y_of(1e-4));
+    }
+
+    #[test]
+    fn svg_contains_every_point_and_is_balanced() {
+        let points = vec![
+            point(Technique::Para, 0.0, 0.1),
+            point(Technique::TwiCe, 3421.0, 0.0017),
+            point(Technique::LoLiPromi, 120.0, 0.035),
+        ];
+        let svg = fig4_svg(&points);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        for p in &points {
+            assert!(svg.contains(&p.technique.to_string()));
+        }
+        assert_eq!(svg.matches("<circle").count(), 3);
+        // Balanced text tags.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn classes_get_distinct_colors() {
+        assert_ne!(color("PARA"), color("TWiCe"));
+        assert_ne!(color("TWiCe"), color("LoLiPRoMi"));
+        assert_ne!(color("Graphene"), color("LiPRoMi"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Instantiating any of the ten techniques from a [`RunConfig`].
+
+use crate::config::RunConfig;
+use rh_baselines::{CounterTree, Cra, Graphene, MrLoc, Para, ProHit, TwiCe};
+use rh_hwmodel::Technique;
+use tivapromi::{Mitigation, TivaConfig, TivaVariant};
+
+/// Builds a boxed mitigation for `technique` under `config`, seeded
+/// deterministically.
+///
+/// ```
+/// use rh_harness::{techniques, ExperimentScale, RunConfig};
+/// use rh_hwmodel::Technique;
+///
+/// let config = RunConfig::paper(&ExperimentScale::quick());
+/// let m = techniques::build(Technique::LoLiPromi, &config, 7);
+/// assert_eq!(m.name(), "LoLiPRoMi");
+/// ```
+pub fn build(technique: Technique, config: &RunConfig, seed: u64) -> Box<dyn Mitigation> {
+    let geometry = &config.geometry;
+    let tiva = TivaConfig::paper(geometry);
+    match technique {
+        Technique::Para => Box::new(Para::paper(geometry, seed)),
+        Technique::ProHit => Box::new(ProHit::paper(geometry, seed)),
+        Technique::MrLoc => Box::new(MrLoc::paper(geometry, seed)),
+        Technique::TwiCe => Box::new(TwiCe::paper(geometry)),
+        Technique::Cra => Box::new(Cra::paper(geometry)),
+        Technique::Cat => Box::new(CounterTree::paper(geometry)),
+        Technique::Graphene => Box::new(Graphene::paper(geometry)),
+        Technique::LiPromi => TivaVariant::LiPromi.build(tiva, seed),
+        Technique::LoPromi => TivaVariant::LoPromi.build(tiva, seed),
+        Technique::LoLiPromi => TivaVariant::LoLiPromi.build(tiva, seed),
+        Technique::CaPromi => TivaVariant::CaPromi.build(tiva, seed),
+    }
+}
+
+/// Builds a TiVaPRoMi variant with a custom [`TivaConfig`] (ablations).
+pub fn build_tiva(variant: TivaVariant, tiva: TivaConfig, seed: u64) -> Box<dyn Mitigation> {
+    variant.build(tiva, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+
+    #[test]
+    fn all_techniques_build_with_expected_names() {
+        let config = RunConfig::paper(&ExperimentScale::quick());
+        for t in Technique::TABLE3 {
+            assert_eq!(build(t, &config, 1).name(), t.name());
+        }
+        assert_eq!(build(Technique::Cat, &config, 1).name(), "CAT");
+    }
+
+    #[test]
+    fn storage_matches_figure_4_clusters() {
+        let config = RunConfig::paper(&ExperimentScale::paper_shape());
+        let bytes = |t| build(t, &config, 1).storage_bytes_per_bank();
+        assert_eq!(bytes(Technique::Para), 0.0);
+        assert_eq!(bytes(Technique::LiPromi), 120.0);
+        assert!((bytes(Technique::CaPromi) - 376.0).abs() < 4.0);
+        assert!(bytes(Technique::TwiCe) > 9.0 * bytes(Technique::CaPromi) * 0.9);
+    }
+}

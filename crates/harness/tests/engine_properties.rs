@@ -1,0 +1,119 @@
+//! Property-based tests for the experiment engine: metric consistency
+//! for arbitrary traces and techniques.
+
+use dram_sim::{BankId, DramTiming, Geometry, RefreshOrder, RowAddr};
+use mem_trace::{ReplayTrace, TraceEvent};
+use proptest::prelude::*;
+use rh_harness::{engine, techniques, RunConfig};
+use rh_hwmodel::Technique;
+
+/// A fast configuration: scaled-down geometry (1024 rows, 128 intervals
+/// per window), two windows.
+fn small_config() -> RunConfig {
+    RunConfig {
+        geometry: Geometry::scaled_down(64),
+        timing: DramTiming::ddr4(),
+        refresh_order: RefreshOrder::SequentialNeighbors,
+        remapping: Vec::new(),
+        flip_threshold: dram_sim::FLIP_THRESHOLD,
+        distance2_sixteenths: 0,
+        windows: 2,
+    }
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Vec<TraceEvent>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..1024, any::<bool>()), 0..40),
+        1..40,
+    )
+    .prop_map(|intervals| {
+        intervals
+            .into_iter()
+            .map(|batch| {
+                batch
+                    .into_iter()
+                    .map(|(row, aggressor)| TraceEvent {
+                        bank: BankId(0),
+                        row: RowAddr(row),
+                        aggressor,
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Metric consistency for every technique on arbitrary traces:
+    /// workload counts match the trace, false positives never exceed
+    /// triggers, overheads are finite and non-negative, and the interval
+    /// clock matches the shorter of trace and configured length.
+    #[test]
+    fn metrics_are_consistent(
+        intervals in trace_strategy(),
+        technique_index in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let config = small_config();
+        let technique = Technique::TABLE3[technique_index];
+        let total_events: u64 = intervals.iter().map(|b| b.len() as u64).sum();
+        let trace_len = intervals.len() as u64;
+        let trace = ReplayTrace::new(intervals);
+        let mut mitigation = techniques::build(technique, &config, seed);
+        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+
+        prop_assert_eq!(metrics.workload_activations, total_events);
+        prop_assert_eq!(metrics.intervals, trace_len.min(config.intervals()));
+        prop_assert!(metrics.false_positive_events <= metrics.trigger_events);
+        prop_assert!(metrics.overhead_percent() >= 0.0);
+        prop_assert!(metrics.overhead_percent().is_finite());
+        prop_assert!(metrics.fpr_percent() <= metrics.overhead_percent() + 1e-9);
+        // Each trigger costs at most two activations (act_n).
+        prop_assert!(metrics.mitigation_activations <= 2 * metrics.trigger_events);
+        if metrics.trigger_events > 0 {
+            prop_assert!(metrics.first_trigger_act.is_some());
+            prop_assert!(metrics.first_trigger_act.unwrap() <= total_events);
+        } else {
+            prop_assert_eq!(metrics.first_trigger_act, None);
+        }
+    }
+
+    /// Determinism: identical seeds and traces give identical metrics
+    /// for the seeded probabilistic techniques.
+    #[test]
+    fn runs_are_reproducible(
+        intervals in trace_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let config = small_config();
+        let run = |intervals: Vec<Vec<TraceEvent>>| {
+            let trace = ReplayTrace::new(intervals);
+            let mut m = techniques::build(Technique::LoLiPromi, &config, seed);
+            engine::run(trace, m.as_mut(), &config)
+        };
+        let a = run(intervals.clone());
+        let b = run(intervals);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The deterministic techniques (TWiCe, CRA, Graphene) produce
+    /// seed-independent results.
+    #[test]
+    fn deterministic_techniques_ignore_seeds(
+        intervals in trace_strategy(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        which in 0usize..3,
+    ) {
+        let technique = [Technique::TwiCe, Technique::Cra, Technique::Graphene][which];
+        let config = small_config();
+        let run = |seed| {
+            let trace = ReplayTrace::new(intervals.clone());
+            let mut m = techniques::build(technique, &config, seed);
+            engine::run(trace, m.as_mut(), &config)
+        };
+        prop_assert_eq!(run(seed_a), run(seed_b));
+    }
+}

@@ -1,0 +1,87 @@
+//! Cycle-budget verification: does a technique's FSM fit between
+//! commands at a given DRAM generation's clock?
+
+use crate::cycles::{fsm_cycles, CyclePair};
+use crate::{HwParams, Technique};
+use dram_sim::DramTiming;
+use serde::{Deserialize, Serialize};
+
+/// Result of checking one technique against one timing's budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetCheck {
+    /// Technique checked.
+    pub technique: Technique,
+    /// The FSM's worst-case cycles.
+    pub cycles: CyclePair,
+    /// The available budget.
+    pub budget: crate::cycles::CyclePair,
+    /// Whether the `act` loop fits.
+    pub act_fits: bool,
+    /// Whether the `ref` loop fits.
+    pub ref_fits: bool,
+}
+
+impl BudgetCheck {
+    /// Checks `technique` against `timing`.
+    ///
+    /// ```
+    /// use rh_hwmodel::{BudgetCheck, HwParams, Technique};
+    /// use dram_sim::DramTiming;
+    ///
+    /// let check = BudgetCheck::run(Technique::CaPromi, &HwParams::paper(), &DramTiming::ddr4());
+    /// assert!(check.fits()); // 50 ≤ 54 and 258 ≤ 420
+    /// ```
+    pub fn run(technique: Technique, params: &HwParams, timing: &DramTiming) -> Self {
+        let cycles = fsm_cycles(technique, params);
+        let b = timing.cycle_budget();
+        let budget = CyclePair {
+            act: b.act_cycles,
+            refresh: b.ref_cycles,
+        };
+        BudgetCheck {
+            technique,
+            cycles,
+            budget,
+            act_fits: cycles.act <= budget.act,
+            ref_fits: cycles.refresh <= budget.refresh,
+        }
+    }
+
+    /// Whether both loops fit.
+    pub fn fits(&self) -> bool {
+        self.act_fits && self.ref_fits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violations_on_ddr4() {
+        // "From the table, it is clear that no violations of the clock
+        //  cycle limits occur."
+        let params = HwParams::paper();
+        let ddr4 = DramTiming::ddr4();
+        for t in Technique::TIVAPROMI {
+            assert!(BudgetCheck::run(t, &params, &ddr4).fits(), "{t}");
+        }
+    }
+
+    #[test]
+    fn tivapromi_misses_ddr3_budget_serially() {
+        let params = HwParams::paper();
+        let ddr3 = DramTiming::ddr3();
+        for t in Technique::TIVAPROMI {
+            assert!(!BudgetCheck::run(t, &params, &ddr3).fits(), "{t}");
+        }
+    }
+
+    #[test]
+    fn capromi_ref_dominates_its_act_margin() {
+        let check = BudgetCheck::run(Technique::CaPromi, &HwParams::paper(), &DramTiming::ddr4());
+        assert_eq!(check.cycles.refresh, 258);
+        assert_eq!(check.budget.refresh, 420);
+        assert!(check.ref_fits);
+    }
+}

@@ -1,0 +1,250 @@
+//! The paper's published numbers (Tables II & III, §IV text), kept as
+//! constants so every regenerator can print *paper vs. model/measured*
+//! side by side and EXPERIMENTS.md can be produced mechanically.
+
+use crate::Technique;
+
+/// One row of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// Technique.
+    pub technique: Technique,
+    /// LUTs when targeting DDR4.
+    pub luts_ddr4: u64,
+    /// LUTs when targeting DDR3 (parallelised variants).
+    pub luts_ddr3: u64,
+    /// The "Vulnerable to Attack" column.
+    pub vulnerable: bool,
+    /// Activations overhead mean, percent.
+    pub overhead_mean: f64,
+    /// Activations overhead standard deviation, percent.
+    pub overhead_std: f64,
+    /// False-positive rate, percent.
+    pub fpr: f64,
+}
+
+/// Table III as published.
+pub const TABLE3: [Table3Row; 9] = [
+    Table3Row {
+        technique: Technique::ProHit,
+        luts_ddr4: 1_653,
+        luts_ddr3: 4_274,
+        vulnerable: false,
+        overhead_mean: 0.6,
+        overhead_std: 0.019,
+        fpr: 0.34,
+    },
+    Table3Row {
+        technique: Technique::MrLoc,
+        luts_ddr4: 1_865,
+        luts_ddr3: 4_667,
+        vulnerable: true,
+        overhead_mean: 0.11,
+        overhead_std: 0.012,
+        fpr: 0.064,
+    },
+    Table3Row {
+        technique: Technique::Para,
+        luts_ddr4: 349,
+        luts_ddr3: 349,
+        vulnerable: true,
+        overhead_mean: 0.1,
+        overhead_std: 0.0084,
+        fpr: 0.062,
+    },
+    Table3Row {
+        technique: Technique::TwiCe,
+        luts_ddr4: 258_356,
+        luts_ddr3: 3_456_558,
+        vulnerable: false,
+        overhead_mean: 0.0037,
+        overhead_std: 0.0001,
+        fpr: 0.0,
+    },
+    Table3Row {
+        technique: Technique::Cra,
+        luts_ddr4: 5_694_107,
+        luts_ddr3: 5_694_107,
+        vulnerable: false,
+        overhead_mean: 0.0037,
+        overhead_std: 0.0001,
+        fpr: 0.0,
+    },
+    Table3Row {
+        technique: Technique::CaPromi,
+        luts_ddr4: 21_061,
+        luts_ddr3: 97_863,
+        vulnerable: false,
+        overhead_mean: 0.008,
+        overhead_std: 0.00023,
+        fpr: 0.007,
+    },
+    Table3Row {
+        technique: Technique::LiPromi,
+        luts_ddr4: 5_155,
+        luts_ddr3: 6_586,
+        vulnerable: true,
+        overhead_mean: 0.012,
+        overhead_std: 0.00034,
+        fpr: 0.013,
+    },
+    Table3Row {
+        technique: Technique::LoPromi,
+        luts_ddr4: 5_228,
+        luts_ddr3: 6_603,
+        vulnerable: false,
+        overhead_mean: 0.016,
+        overhead_std: 0.00064,
+        fpr: 0.010,
+    },
+    Table3Row {
+        technique: Technique::LoLiPromi,
+        luts_ddr4: 5_374,
+        luts_ddr3: 6_701,
+        vulnerable: false,
+        overhead_mean: 0.014,
+        overhead_std: 0.00027,
+        fpr: 0.011,
+    },
+];
+
+/// One column of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Column {
+    /// Technique.
+    pub technique: Technique,
+    /// Cycles after an `act`.
+    pub act: u32,
+    /// Cycles after a `ref`.
+    pub refresh: u32,
+}
+
+/// Table II as published (budgets: 54 cycles after `act`, 420 after
+/// `ref`, both at 1.2 GHz).
+pub const TABLE2: [Table2Column; 4] = [
+    Table2Column {
+        technique: Technique::CaPromi,
+        act: 50,
+        refresh: 258,
+    },
+    Table2Column {
+        technique: Technique::LoLiPromi,
+        act: 36,
+        refresh: 3,
+    },
+    Table2Column {
+        technique: Technique::LoPromi,
+        act: 37,
+        refresh: 3,
+    },
+    Table2Column {
+        technique: Technique::LiPromi,
+        act: 37,
+        refresh: 3,
+    },
+];
+
+/// §IV flooding-attack reference points: activation count of the first
+/// extra activation under a flood of `act`s to one row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodingPoint {
+    /// Technique.
+    pub technique: Technique,
+    /// Approximate activation count at the first triggered extra
+    /// activation, as reported in §IV.
+    pub first_trigger_acts: u64,
+}
+
+/// "LoPRoMi and LoLiPRoMi issued an extra activation in the first 10 K
+/// activations.  For CaPRoMi the extra activation is issued slightly
+/// later (at 15 K activations) and for LiPRoMi it is significantly later
+/// (around 40 K activations)."
+pub const FLOODING: [FloodingPoint; 4] = [
+    FloodingPoint {
+        technique: Technique::LoPromi,
+        first_trigger_acts: 10_000,
+    },
+    FloodingPoint {
+        technique: Technique::LoLiPromi,
+        first_trigger_acts: 10_000,
+    },
+    FloodingPoint {
+        technique: Technique::CaPromi,
+        first_trigger_acts: 15_000,
+    },
+    FloodingPoint {
+        technique: Technique::LiPromi,
+        first_trigger_acts: 40_000,
+    },
+];
+
+/// The safety bound the flooding points are compared against: half of
+/// the 139 K threshold, "to take the case into account where both
+/// neighbors are aggressors".
+pub const FLOODING_SAFETY_BOUND: u64 = 69_000;
+
+/// Storage per bank in bytes, §IV text and Fig. 4 x-axis.
+pub fn storage_bytes(technique: Technique) -> Option<f64> {
+    match technique {
+        Technique::Para => Some(0.0),
+        Technique::LiPromi | Technique::LoPromi | Technique::LoLiPromi => Some(120.0),
+        Technique::CaPromi => Some(374.0),
+        _ => None, // not stated numerically in the paper
+    }
+}
+
+/// Looks up the paper's Table III row for a technique.
+pub fn table3_row(technique: Technique) -> Option<&'static Table3Row> {
+    TABLE3.iter().find(|r| r.technique == technique)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_quoted_in_the_text_hold() {
+        // "9×−27× reduced storage requirement than Tabled Counters":
+        // TWiCe storage ≈ 27 × 120 B ≈ 9 × 374 B ≈ 3.3 KB.
+        let loli = storage_bytes(Technique::LoLiPromi).unwrap();
+        let ca = storage_bytes(Technique::CaPromi).unwrap();
+        assert!((27.0 * loli - 3240.0).abs() < 1.0);
+        assert!((9.0 * ca - 3366.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn lut_ratios_match_relative_column() {
+        // Table III quotes ratios relative to PARA.
+        let para = table3_row(Technique::Para).unwrap().luts_ddr4 as f64;
+        let check = |t: Technique, ratio: f64| {
+            let r = table3_row(t).unwrap().luts_ddr4 as f64 / para;
+            assert!((r - ratio).abs() / ratio < 0.02, "{t}: {r} vs {ratio}");
+        };
+        check(Technique::ProHit, 4.7);
+        check(Technique::MrLoc, 5.3);
+        check(Technique::TwiCe, 740.0);
+        check(Technique::Cra, 16_315.0);
+        check(Technique::CaPromi, 60.0);
+        check(Technique::LiPromi, 15.0);
+    }
+
+    #[test]
+    fn flooding_points_are_all_below_the_bound() {
+        for p in FLOODING {
+            assert!(p.first_trigger_acts < FLOODING_SAFETY_BOUND);
+        }
+    }
+
+    #[test]
+    fn vulnerable_column_matches_paper() {
+        let vulnerable: Vec<Technique> = TABLE3
+            .iter()
+            .filter(|r| r.vulnerable)
+            .map(|r| r.technique)
+            .collect();
+        assert_eq!(
+            vulnerable,
+            vec![Technique::MrLoc, Technique::Para, Technique::LiPromi]
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Configuration shared by the four TiVaPRoMi variants.
+
+use crate::history::HistoryPolicy;
+use crate::P_BASE_EXPONENT;
+use dram_sim::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a TiVaPRoMi instance.
+///
+/// [`TivaConfig::paper`] reproduces the evaluated configuration: 32-entry
+/// history table (120 B per 1 GB bank), 64-entry counter table (374 B
+/// total for CaPRoMi), `P_base = 2^-23`.
+///
+/// ```
+/// use tivapromi::TivaConfig;
+/// use dram_sim::Geometry;
+///
+/// let c = TivaConfig::paper(&Geometry::paper());
+/// assert_eq!(c.history_entries, 32);
+/// assert_eq!(c.counter_entries, 64);
+/// assert_eq!(c.ref_int, 8192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TivaConfig {
+    /// Number of banks (one history/counter table each).
+    pub banks: u32,
+    /// Rows per bank (`RowsPB`), for address-width accounting.
+    pub rows_per_bank: u32,
+    /// Refresh intervals per window (`RefInt`).
+    pub ref_int: u32,
+    /// Rows refreshed per interval (`RowsPI`), defining `f_r = r / RowsPI`.
+    pub rows_per_interval: u32,
+    /// History table entries per bank (paper: 32).
+    pub history_entries: usize,
+    /// Counter table entries per bank, CaPRoMi only (paper: 64).
+    pub counter_entries: usize,
+    /// `P_base = 2^-p_base_exponent` (paper: 23).
+    pub p_base_exponent: u32,
+    /// CaPRoMi lock threshold: a counter reaching this many activations
+    /// within one refresh interval can no longer be evicted.  The paper
+    /// does not publish the value; the default (16) keeps hammered rows
+    /// locked while leaving typical workload rows (a handful of
+    /// activations per interval) evictable.
+    pub lock_threshold: u32,
+    /// History-table replacement policy (paper: FIFO; LRU provided for
+    /// the replacement-policy ablation).
+    pub history_policy: HistoryPolicy,
+}
+
+impl TivaConfig {
+    /// The paper's evaluated configuration for the given geometry.
+    pub fn paper(geometry: &Geometry) -> Self {
+        TivaConfig {
+            banks: geometry.banks(),
+            rows_per_bank: geometry.rows_per_bank(),
+            ref_int: geometry.intervals_per_window(),
+            rows_per_interval: geometry.rows_per_interval(),
+            history_entries: 32,
+            counter_entries: 64,
+            p_base_exponent: P_BASE_EXPONENT,
+            lock_threshold: 16,
+            history_policy: HistoryPolicy::Fifo,
+        }
+    }
+
+    /// Returns a copy with a different history-table size (ablation).
+    pub fn with_history_entries(mut self, entries: usize) -> Self {
+        self.history_entries = entries;
+        self
+    }
+
+    /// Returns a copy with a different counter-table size (ablation).
+    pub fn with_counter_entries(mut self, entries: usize) -> Self {
+        self.counter_entries = entries;
+        self
+    }
+
+    /// Returns a copy with a different `P_base` exponent (ablation).
+    pub fn with_p_base_exponent(mut self, exponent: u32) -> Self {
+        self.p_base_exponent = exponent;
+        self
+    }
+
+    /// Returns a copy with a different CaPRoMi lock threshold (ablation).
+    pub fn with_lock_threshold(mut self, threshold: u32) -> Self {
+        self.lock_threshold = threshold;
+        self
+    }
+
+    /// Returns a copy with a different history replacement policy
+    /// (ablation).
+    pub fn with_history_policy(mut self, policy: HistoryPolicy) -> Self {
+        self.history_policy = policy;
+        self
+    }
+
+    /// The refresh interval `f_r` in which the weight model assumes row
+    /// `r` is refreshed (`r / RowsPI`; a right shift in hardware).
+    #[inline]
+    pub fn home_interval(&self, row: dram_sim::RowAddr) -> u32 {
+        row.0 / self.rows_per_interval
+    }
+
+    /// Bits needed to store a row address.
+    pub fn row_bits(&self) -> u32 {
+        u32::BITS - (self.rows_per_bank - 1).leading_zeros()
+    }
+
+    /// Bits needed to store a refresh-interval index.
+    pub fn interval_bits(&self) -> u32 {
+        u32::BITS - (self.ref_int - 1).leading_zeros()
+    }
+
+    /// Storage of one history-table entry in bits:
+    /// row address + trigger interval + valid bit.
+    pub fn history_entry_bits(&self) -> u32 {
+        self.row_bits() + self.interval_bits() + 1
+    }
+
+    /// History-table storage per bank in bits.
+    ///
+    /// For the paper configuration (65 536 rows, 8192 intervals, 32
+    /// entries) this is 32 × (16 + 13 + 1) = 960 bits = 120 B, matching
+    /// §IV.
+    pub fn history_bits(&self) -> u64 {
+        self.history_entries as u64 * u64::from(self.history_entry_bits())
+    }
+
+    /// Storage of one counter-table entry in bits: row address + 8-bit
+    /// activation counter (bounded by the 165 activations/interval DDR4
+    /// maximum) + lock bit + history-table *index* link (the paper links
+    /// counter entries to "the matching address of the history table")
+    /// + link-valid + valid.
+    pub fn counter_entry_bits(&self) -> u32 {
+        let history_index_bits = usize::BITS - (self.history_entries.max(2) - 1).leading_zeros();
+        self.row_bits() + 8 + 1 + history_index_bits + 1 + 1
+    }
+
+    /// Counter-table storage per bank in bits.
+    pub fn counter_bits(&self) -> u64 {
+        self.counter_entries as u64 * u64::from(self.counter_entry_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::RowAddr;
+
+    #[test]
+    fn paper_history_is_120_bytes() {
+        let c = TivaConfig::paper(&Geometry::paper());
+        assert_eq!(c.row_bits(), 16);
+        assert_eq!(c.interval_bits(), 13);
+        assert_eq!(c.history_entry_bits(), 30);
+        assert_eq!(c.history_bits(), 960);
+        assert_eq!(c.history_bits() / 8, 120); // "a total size of 120 B"
+    }
+
+    #[test]
+    fn paper_capromi_total_is_about_374_bytes() {
+        // "The total storage overhead for CaPRoMi is only 374 B per 1 GB
+        //  memory bank."  Our bit-accounting gives 120 B history + 256 B
+        //  counters = 376 B — within two bytes of the paper.
+        let c = TivaConfig::paper(&Geometry::paper());
+        let total_bytes = (c.history_bits() + c.counter_bits()) as f64 / 8.0;
+        assert!((total_bytes - 374.0).abs() <= 4.0, "got {total_bytes}");
+    }
+
+    #[test]
+    fn home_interval_uses_rows_per_interval() {
+        let c = TivaConfig::paper(&Geometry::paper());
+        assert_eq!(c.home_interval(RowAddr(0)), 0);
+        assert_eq!(c.home_interval(RowAddr(8)), 1);
+        assert_eq!(c.home_interval(RowAddr(17)), 2);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = TivaConfig::paper(&Geometry::paper())
+            .with_history_entries(8)
+            .with_counter_entries(16)
+            .with_p_base_exponent(21)
+            .with_lock_threshold(4);
+        assert_eq!(c.history_entries, 8);
+        assert_eq!(c.counter_entries, 16);
+        assert_eq!(c.p_base_exponent, 21);
+        assert_eq!(c.lock_threshold, 4);
+    }
+
+    #[test]
+    fn bit_widths_scale_with_geometry() {
+        let c = TivaConfig::paper(&Geometry::scaled_down(64));
+        assert_eq!(c.row_bits(), 10); // 1024 rows
+        assert_eq!(c.interval_bits(), 7); // 128 intervals
+    }
+}

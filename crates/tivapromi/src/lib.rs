@@ -1,0 +1,170 @@
+//! # tivapromi — Time-Varying Probabilistic Row-Hammer Mitigation
+//!
+//! Implementation of the DATE 2021 paper *"TiVaPRoMi: Time-Varying
+//! Probabilistic Row-Hammer Mitigation"* (Nassar, Bauer, Henkel).
+//!
+//! Classic probabilistic mitigations (PARA) trigger a neighbor refresh
+//! with a *static* probability on every activation, paying a high rate of
+//! unnecessary extra activations.  TiVaPRoMi instead scales the trigger
+//! probability with a per-row *weight* `w_r` — the number of refresh
+//! intervals since row `r` was last refreshed (Eq. 1) — so recently
+//! restored rows barely ever trigger, while long-unrefreshed rows
+//! approach PARA's protection level:
+//!
+//! ```text
+//! p_r = w_r · P_base,        RefInt · P_base ≈ 0.001
+//! ```
+//!
+//! A small per-bank FIFO **history table** remembers rows for which an
+//! extra activation was already triggered, restarting their weight from
+//! that point instead of from their refresh slot.  Four variants shape
+//! the weight differently:
+//!
+//! * [`TimeVarying::lipromi`] — linear weighting (Eq. 1 verbatim).
+//! * [`TimeVarying::lopromi`] — logarithmic weighting (Eq. 2,
+//!   `2^⌈log2(w+1)⌉`), hardening the slow early ramp against flooding.
+//! * [`TimeVarying::lolipromi`] — linear for rows found in the history
+//!   table, logarithmic otherwise.
+//! * [`CaPromi`] — counter-assisted: a small lockable counter table
+//!   tracks activations within each refresh interval and decisions are
+//!   taken collectively at interval end with `p = cnt · w_log · P_base`.
+//!
+//! The [`Mitigation`] trait defined here is also implemented by the five
+//! state-of-the-art baselines in the `rh-baselines` crate, so the
+//! experiment harness can drive all nine techniques identically.
+//!
+//! ## Example
+//!
+//! ```
+//! use tivapromi::{Mitigation, TimeVarying, TivaConfig};
+//! use dram_sim::{BankId, Geometry, RowAddr};
+//!
+//! let geometry = Geometry::paper();
+//! let mut mitigation = TimeVarying::lipromi(TivaConfig::paper(&geometry), 42);
+//!
+//! // Hammer one aggressor row; the time-varying probability eventually
+//! // triggers a neighbor activation.
+//! let mut actions = Vec::new();
+//! let mut triggered = 0;
+//! for _interval in 0..2000 {
+//!     for _ in 0..100 {
+//!         mitigation.on_activate(BankId(0), RowAddr(4242), &mut actions);
+//!         triggered += actions.len();
+//!         actions.clear();
+//!     }
+//!     mitigation.on_refresh_interval(&mut actions);
+//!     actions.clear();
+//! }
+//! assert!(triggered > 0, "an aggressor must eventually be caught");
+//! ```
+
+pub mod analysis;
+pub mod capromi;
+pub mod config;
+pub mod counter_table;
+pub mod history;
+pub mod mitigation;
+pub mod time_varying;
+pub mod weight;
+
+pub use analysis::{HammerModel, RetriggerTail};
+pub use capromi::CaPromi;
+pub use config::TivaConfig;
+pub use counter_table::{CounterEntry, CounterTable, InsertOutcome};
+pub use history::{HistoryPolicy, HistoryTable};
+pub use mitigation::{Mitigation, MitigationAction, WideNeighborhood};
+pub use time_varying::{TimeVarying, WeightMode};
+pub use weight::{linear_weight, log_weight};
+
+/// The paper's base-probability exponent: `P_base = 2^-23`, chosen so
+/// that `RefInt · P_base = 8192 · 2^-23 ≈ 9.8 · 10^-4`, bounding the
+/// maximum per-activation probability near PARA's `p = 0.001`.
+pub const P_BASE_EXPONENT: u32 = 23;
+
+/// All four TiVaPRoMi variants, for iteration in experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TivaVariant {
+    /// Linear weighting.
+    LiPromi,
+    /// Logarithmic weighting.
+    LoPromi,
+    /// Logarithmic/linear hybrid weighting.
+    LoLiPromi,
+    /// Counter-assisted weighting.
+    CaPromi,
+}
+
+impl TivaVariant {
+    /// All variants in the order used by the paper's tables.
+    pub const ALL: [TivaVariant; 4] = [
+        TivaVariant::CaPromi,
+        TivaVariant::LoLiPromi,
+        TivaVariant::LoPromi,
+        TivaVariant::LiPromi,
+    ];
+
+    /// Instantiates the variant as a boxed [`Mitigation`].
+    ///
+    /// ```
+    /// use tivapromi::{TivaConfig, TivaVariant};
+    /// use dram_sim::Geometry;
+    ///
+    /// let config = TivaConfig::paper(&Geometry::paper());
+    /// let m = TivaVariant::CaPromi.build(config, 1);
+    /// assert_eq!(m.name(), "CaPRoMi");
+    /// ```
+    pub fn build(self, config: TivaConfig, seed: u64) -> Box<dyn Mitigation> {
+        match self {
+            TivaVariant::LiPromi => Box::new(TimeVarying::lipromi(config, seed)),
+            TivaVariant::LoPromi => Box::new(TimeVarying::lopromi(config, seed)),
+            TivaVariant::LoLiPromi => Box::new(TimeVarying::lolipromi(config, seed)),
+            TivaVariant::CaPromi => Box::new(CaPromi::new(config, seed)),
+        }
+    }
+
+    /// The paper's name for the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            TivaVariant::LiPromi => "LiPRoMi",
+            TivaVariant::LoPromi => "LoPRoMi",
+            TivaVariant::LoLiPromi => "LoLiPRoMi",
+            TivaVariant::CaPromi => "CaPRoMi",
+        }
+    }
+}
+
+impl std::fmt::Display for TivaVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_match_paper() {
+        assert_eq!(TivaVariant::LiPromi.to_string(), "LiPRoMi");
+        assert_eq!(TivaVariant::LoPromi.to_string(), "LoPRoMi");
+        assert_eq!(TivaVariant::LoLiPromi.to_string(), "LoLiPRoMi");
+        assert_eq!(TivaVariant::CaPromi.to_string(), "CaPRoMi");
+    }
+
+    #[test]
+    fn all_variants_build() {
+        let g = dram_sim::Geometry::scaled_down(64);
+        for v in TivaVariant::ALL {
+            let m = v.build(TivaConfig::paper(&g), 1);
+            assert_eq!(m.name(), v.name());
+            assert!(m.storage_bits_per_bank() > 0);
+        }
+    }
+
+    #[test]
+    fn p_base_bound_matches_table_i() {
+        // RefInt · P_base = 8192 · 2^-23 ≈ 9.8 · 10^-4
+        let bound = 8192.0 * (2f64).powi(-(P_BASE_EXPONENT as i32));
+        assert!((bound - 9.8e-4).abs() < 1e-5);
+    }
+}

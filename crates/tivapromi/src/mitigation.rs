@@ -1,0 +1,321 @@
+//! The mitigation interface shared by TiVaPRoMi and every baseline.
+//!
+//! A mitigation sits next to the memory controller (Fig. 1) and observes
+//! two command streams: row activations (`act`, per bank) and refresh
+//! commands (`ref`, device-wide).  In response it may ask the controller
+//! to issue extra restorative activations.
+
+use dram_sim::{BankId, RowAddr};
+
+/// An extra command a mitigation asks the memory controller to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MitigationAction {
+    /// Issue `act_n`: activate both physical neighbors of `row`
+    /// (TiVaPRoMi's interrupt path, also used by TWiCe and CRA).  Costs
+    /// two extra activations on interior rows.
+    ActivateNeighbors {
+        /// Bank of the aggressor row.
+        bank: BankId,
+        /// The aggressor whose neighbors are restored.
+        row: RowAddr,
+    },
+    /// Refresh one explicit victim row (PARA, ProHit, MRLoc style).
+    /// Costs one extra activation.
+    RefreshRow {
+        /// Bank of the victim row.
+        bank: BankId,
+        /// The victim row to restore.
+        row: RowAddr,
+    },
+}
+
+impl MitigationAction {
+    /// The bank the action addresses.
+    pub fn bank(&self) -> BankId {
+        match self {
+            MitigationAction::ActivateNeighbors { bank, .. }
+            | MitigationAction::RefreshRow { bank, .. } => *bank,
+        }
+    }
+
+    /// The row the action names (aggressor for `ActivateNeighbors`,
+    /// victim for `RefreshRow`).
+    pub fn row(&self) -> RowAddr {
+        match self {
+            MitigationAction::ActivateNeighbors { row, .. }
+            | MitigationAction::RefreshRow { row, .. } => *row,
+        }
+    }
+
+    /// Converts the action to the DRAM command the controller issues.
+    pub fn to_command(self) -> dram_sim::Command {
+        match self {
+            MitigationAction::ActivateNeighbors { bank, row } => {
+                dram_sim::Command::ActivateNeighbors { bank, row }
+            }
+            MitigationAction::RefreshRow { bank, row } => {
+                dram_sim::Command::RefreshRow { bank, row }
+            }
+        }
+    }
+}
+
+/// A hardware row-hammer mitigation observing the command stream.
+///
+/// Implementations append the commands they want issued to `actions`
+/// (an out-buffer so the per-activation hot path performs no allocation).
+/// The driving harness applies each action to the DRAM device and charges
+/// it to the technique's activation overhead.
+///
+/// Implementors must be deterministic given their construction seed: the
+/// experiment harness relies on reproducible runs.
+///
+/// Implementing a custom technique takes a handful of lines — here is a
+/// toy "refresh every 1000th activated row's neighbors" policy:
+///
+/// ```
+/// use dram_sim::{BankId, RowAddr};
+/// use tivapromi::{Mitigation, MitigationAction};
+///
+/// struct EveryNth {
+///     n: u64,
+///     count: u64,
+/// }
+///
+/// impl Mitigation for EveryNth {
+///     fn name(&self) -> &str {
+///         "every-nth"
+///     }
+///     fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
+///         self.count += 1;
+///         if self.count % self.n == 0 {
+///             actions.push(MitigationAction::ActivateNeighbors { bank, row });
+///         }
+///     }
+///     fn on_refresh_interval(&mut self, _actions: &mut Vec<MitigationAction>) {}
+///     fn storage_bits_per_bank(&self) -> u64 {
+///         64 // the counter
+///     }
+/// }
+///
+/// let mut m = EveryNth { n: 1000, count: 0 };
+/// let mut actions = Vec::new();
+/// for _ in 0..1000 {
+///     m.on_activate(BankId(0), RowAddr(7), &mut actions);
+/// }
+/// assert_eq!(actions.len(), 1);
+/// ```
+pub trait Mitigation: Send {
+    /// Human-readable technique name ("PARA", "LoLiPRoMi", …).
+    fn name(&self) -> &str;
+
+    /// Called for every workload activation of `row` in `bank`.
+    fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>);
+
+    /// Called once per refresh interval, *after* the interval's refresh
+    /// executed.  Implementations advance their interval clock here;
+    /// window wrap-around (table resets) is handled internally.
+    fn on_refresh_interval(&mut self, actions: &mut Vec<MitigationAction>);
+
+    /// Storage the technique requires per memory bank, in bits — the
+    /// x-axis of Fig. 4.  Stateless techniques (PARA) return 0.
+    fn storage_bits_per_bank(&self) -> u64;
+
+    /// Storage per bank in bytes (derived; Fig. 4 is plotted in bytes).
+    fn storage_bytes_per_bank(&self) -> f64 {
+        self.storage_bits_per_bank() as f64 / 8.0
+    }
+}
+
+impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
+        (**self).on_activate(bank, row, actions)
+    }
+
+    fn on_refresh_interval(&mut self, actions: &mut Vec<MitigationAction>) {
+        (**self).on_refresh_interval(actions)
+    }
+
+    fn storage_bits_per_bank(&self) -> u64 {
+        (**self).storage_bits_per_bank()
+    }
+}
+
+/// Adapter widening any mitigation's restorative reach to distance two.
+///
+/// The paper-era `act_n` restores a suspected aggressor's *immediate*
+/// neighbors.  On devices with measurable distance-2 coupling (the
+/// blast-radius extension of `dram-sim`), rows two away from a hammered
+/// row accumulate disturbance that no ±1 refresh ever clears.  This
+/// adapter rewrites every [`MitigationAction::ActivateNeighbors`] into
+/// explicit refreshes of the rows at distance one *and* two — doubling
+/// that action's activation cost, which the harness charges honestly.
+///
+/// ```
+/// use tivapromi::{Mitigation, TimeVarying, TivaConfig, WideNeighborhood};
+/// use dram_sim::Geometry;
+///
+/// let geometry = Geometry::paper();
+/// let inner = TimeVarying::lopromi(TivaConfig::paper(&geometry), 1);
+/// let wide = WideNeighborhood::new(inner, geometry.rows_per_bank());
+/// assert_eq!(wide.name(), "LoPRoMi+d2");
+/// ```
+#[derive(Debug)]
+pub struct WideNeighborhood<M> {
+    inner: M,
+    rows_per_bank: u32,
+    name: String,
+}
+
+impl<M: Mitigation> WideNeighborhood<M> {
+    /// Wraps `inner`, widening its `act_n` actions to ±2.
+    pub fn new(inner: M, rows_per_bank: u32) -> Self {
+        let name = format!("{}+d2", inner.name());
+        WideNeighborhood {
+            inner,
+            rows_per_bank,
+            name,
+        }
+    }
+
+    /// The wrapped mitigation.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped mitigation.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    fn widen(&self, actions: &mut Vec<MitigationAction>, start: usize) {
+        let mut widened = Vec::new();
+        for action in actions.drain(start..) {
+            match action {
+                MitigationAction::ActivateNeighbors { bank, row } => {
+                    for offset in [-2i64, -1, 1, 2] {
+                        let target = i64::from(row.0) + offset;
+                        if target >= 0 && (target as u32) < self.rows_per_bank {
+                            widened.push(MitigationAction::RefreshRow {
+                                bank,
+                                row: RowAddr(target as u32),
+                            });
+                        }
+                    }
+                }
+                other => widened.push(other),
+            }
+        }
+        actions.extend(widened);
+    }
+}
+
+impl<M: Mitigation> Mitigation for WideNeighborhood<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
+        let start = actions.len();
+        self.inner.on_activate(bank, row, actions);
+        self.widen(actions, start);
+    }
+
+    fn on_refresh_interval(&mut self, actions: &mut Vec<MitigationAction>) {
+        let start = actions.len();
+        self.inner.on_refresh_interval(actions);
+        self.widen(actions, start);
+    }
+
+    fn storage_bits_per_bank(&self) -> u64 {
+        self.inner.storage_bits_per_bank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        let a = MitigationAction::ActivateNeighbors {
+            bank: BankId(1),
+            row: RowAddr(2),
+        };
+        assert_eq!(a.bank(), BankId(1));
+        assert_eq!(a.row(), RowAddr(2));
+        assert!(matches!(
+            a.to_command(),
+            dram_sim::Command::ActivateNeighbors { .. }
+        ));
+
+        let r = MitigationAction::RefreshRow {
+            bank: BankId(0),
+            row: RowAddr(7),
+        };
+        assert_eq!(r.row(), RowAddr(7));
+        assert!(matches!(
+            r.to_command(),
+            dram_sim::Command::RefreshRow { .. }
+        ));
+    }
+
+    struct Fixed;
+    impl Mitigation for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
+            actions.push(MitigationAction::ActivateNeighbors { bank, row });
+        }
+        fn on_refresh_interval(&mut self, _: &mut Vec<MitigationAction>) {}
+        fn storage_bits_per_bank(&self) -> u64 {
+            7
+        }
+    }
+
+    #[test]
+    fn wide_neighborhood_expands_act_n() {
+        let mut wide = WideNeighborhood::new(Fixed, 64);
+        assert_eq!(wide.name(), "fixed+d2");
+        assert_eq!(wide.storage_bits_per_bank(), 7);
+        let mut actions = Vec::new();
+        wide.on_activate(BankId(0), RowAddr(10), &mut actions);
+        let rows: Vec<u32> = actions.iter().map(|a| a.row().0).collect();
+        assert_eq!(rows, vec![8, 9, 11, 12]);
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, MitigationAction::RefreshRow { .. })));
+    }
+
+    #[test]
+    fn wide_neighborhood_clips_at_bank_edges() {
+        let mut wide = WideNeighborhood::new(Fixed, 64);
+        let mut actions = Vec::new();
+        wide.on_activate(BankId(0), RowAddr(0), &mut actions);
+        let rows: Vec<u32> = actions.iter().map(|a| a.row().0).collect();
+        assert_eq!(rows, vec![1, 2]);
+        actions.clear();
+        wide.on_activate(BankId(0), RowAddr(63), &mut actions);
+        let rows: Vec<u32> = actions.iter().map(|a| a.row().0).collect();
+        assert_eq!(rows, vec![61, 62]);
+    }
+
+    #[test]
+    fn wide_neighborhood_preserves_earlier_actions() {
+        let mut wide = WideNeighborhood::new(Fixed, 64);
+        let mut actions = vec![MitigationAction::RefreshRow {
+            bank: BankId(1),
+            row: RowAddr(5),
+        }];
+        wide.on_activate(BankId(0), RowAddr(10), &mut actions);
+        assert_eq!(actions.len(), 5);
+        assert_eq!(actions[0].row(), RowAddr(5));
+        assert_eq!(wide.inner().storage_bits_per_bank(), 7);
+        let _ = wide.into_inner();
+    }
+}

@@ -1,0 +1,340 @@
+//! The purely probabilistic variants: LiPRoMi, LoPRoMi, LoLiPRoMi.
+//!
+//! All three share one engine (they use the same FSM in the paper,
+//! Fig. 2) and differ only in how the raw Eq. 1 weight is shaped in the
+//! "calculate weight" state.
+
+use crate::config::TivaConfig;
+use crate::history::HistoryTable;
+use crate::mitigation::{Mitigation, MitigationAction};
+use crate::weight::{linear_weight, log_weight};
+use dram_sim::{BankId, RowAddr};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How the Eq. 1 weight is shaped before computing the probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightMode {
+    /// LiPRoMi: use `w_r` directly.
+    Linear,
+    /// LoPRoMi: use `w_log = 2^⌈log2(w_r + 1)⌉` (Eq. 2).
+    Logarithmic,
+    /// LoLiPRoMi: linear when the row is in the history table (a trigger
+    /// already happened recently, so the probability of needing another
+    /// is low), logarithmic otherwise.
+    Hybrid,
+}
+
+/// The shared engine of the three purely probabilistic TiVaPRoMi
+/// variants.
+///
+/// On every activation of row `r` the engine computes the weight from
+/// the current refresh interval and either the row's refresh slot
+/// (`f_r = r / RowsPI`) or — if the row is in the per-bank history table
+/// — the interval of the row's last triggered extra activation.  The
+/// probability `p_r = weight · P_base` is realised in hardware style:
+/// a uniform `p_base_exponent`-bit draw is compared against the weight.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct TimeVarying {
+    config: TivaConfig,
+    mode: WeightMode,
+    histories: Vec<HistoryTable>,
+    /// Current refresh interval within the window (`i` in Eq. 1).
+    interval: u32,
+    rng: StdRng,
+    name: &'static str,
+    /// Total triggers issued (diagnostic).
+    triggers: u64,
+}
+
+impl TimeVarying {
+    /// Creates an engine with an explicit weight mode.
+    pub fn new(config: TivaConfig, mode: WeightMode, seed: u64) -> Self {
+        let name = match mode {
+            WeightMode::Linear => "LiPRoMi",
+            WeightMode::Logarithmic => "LoPRoMi",
+            WeightMode::Hybrid => "LoLiPRoMi",
+        };
+        TimeVarying {
+            histories: (0..config.banks)
+                .map(|_| HistoryTable::with_policy(config.history_entries, config.history_policy))
+                .collect(),
+            config,
+            mode,
+            interval: 0,
+            rng: StdRng::seed_from_u64(seed),
+            name,
+            triggers: 0,
+        }
+    }
+
+    /// LiPRoMi: linear weighting (Section III-A).
+    pub fn lipromi(config: TivaConfig, seed: u64) -> Self {
+        TimeVarying::new(config, WeightMode::Linear, seed)
+    }
+
+    /// LoPRoMi: logarithmic weighting (Section III-B).
+    pub fn lopromi(config: TivaConfig, seed: u64) -> Self {
+        TimeVarying::new(config, WeightMode::Logarithmic, seed)
+    }
+
+    /// LoLiPRoMi: logarithmic/linear hybrid weighting (Section III-C).
+    pub fn lolipromi(config: TivaConfig, seed: u64) -> Self {
+        TimeVarying::new(config, WeightMode::Hybrid, seed)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TivaConfig {
+        &self.config
+    }
+
+    /// The weight mode in effect.
+    pub fn mode(&self) -> WeightMode {
+        self.mode
+    }
+
+    /// Current refresh interval within the window.
+    pub fn current_interval(&self) -> u32 {
+        self.interval
+    }
+
+    /// Total extra activations triggered so far.
+    pub fn trigger_count(&self) -> u64 {
+        self.triggers
+    }
+
+    /// The effective (shaped) weight the engine would use for `row` in
+    /// `bank` right now — exposed for analysis and the hardware model.
+    pub fn effective_weight(&self, bank: BankId, row: RowAddr) -> u32 {
+        let found = self.histories[bank.index()].lookup(row);
+        let base = found.unwrap_or_else(|| self.config.home_interval(row));
+        let w = linear_weight(
+            self.interval,
+            base % self.config.ref_int,
+            self.config.ref_int,
+        );
+        match self.mode {
+            WeightMode::Linear => w,
+            WeightMode::Logarithmic => log_weight(w),
+            WeightMode::Hybrid => {
+                if found.is_some() {
+                    w
+                } else {
+                    log_weight(w)
+                }
+            }
+        }
+    }
+}
+
+impl Mitigation for TimeVarying {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
+        // The FSM's table search; under LRU it also refreshes recency.
+        let found = self.histories[bank.index()].search(row);
+        let base = found.unwrap_or_else(|| self.config.home_interval(row));
+        let w = linear_weight(
+            self.interval,
+            base % self.config.ref_int,
+            self.config.ref_int,
+        );
+        let weight = match self.mode {
+            WeightMode::Linear => w,
+            WeightMode::Logarithmic => log_weight(w),
+            WeightMode::Hybrid => {
+                if found.is_some() {
+                    w
+                } else {
+                    log_weight(w)
+                }
+            }
+        };
+        // Hardware-style Bernoulli draw: p = weight · 2^-exponent is
+        // realised by comparing the weight against a uniform
+        // `exponent`-bit pseudo-random number (an LFSR in the VHDL
+        // implementation).
+        let draw: u64 = self
+            .rng
+            .random_range(0..(1u64 << self.config.p_base_exponent));
+        if draw < u64::from(weight) {
+            actions.push(MitigationAction::ActivateNeighbors { bank, row });
+            self.histories[bank.index()].record(row, self.interval);
+            self.triggers += 1;
+        }
+    }
+
+    fn on_refresh_interval(&mut self, _actions: &mut Vec<MitigationAction>) {
+        self.interval += 1;
+        if self.interval == self.config.ref_int {
+            // New refresh window: weights restart and the history tables
+            // are cleared (Fig. 2 "reset table" path).
+            self.interval = 0;
+            for h in &mut self.histories {
+                h.clear();
+            }
+        }
+    }
+
+    fn storage_bits_per_bank(&self) -> u64 {
+        self.config.history_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::Geometry;
+
+    fn config() -> TivaConfig {
+        TivaConfig::paper(&Geometry::paper().with_banks(1))
+    }
+
+    fn drive_intervals(m: &mut TimeVarying, n: u32) {
+        let mut buf = Vec::new();
+        for _ in 0..n {
+            m.on_refresh_interval(&mut buf);
+        }
+    }
+
+    #[test]
+    fn weight_zero_right_after_refresh_slot() {
+        // Row 0 has f_r = 0; at interval 0 its weight is 0, so an
+        // activation can never trigger (draw < 0 is impossible).
+        let mut m = TimeVarying::lipromi(config(), 1);
+        let mut actions = Vec::new();
+        for _ in 0..10_000 {
+            m.on_activate(BankId(0), RowAddr(0), &mut actions);
+        }
+        assert!(actions.is_empty());
+        assert_eq!(m.trigger_count(), 0);
+    }
+
+    #[test]
+    fn stale_rows_trigger_with_growing_probability() {
+        // Advance deep into the window; row 0's weight is now ~8000 and
+        // p ≈ 10^-3, so 40 K activations almost surely trigger.
+        let mut m = TimeVarying::lipromi(config(), 2);
+        drive_intervals(&mut m, 8000);
+        assert_eq!(m.effective_weight(BankId(0), RowAddr(0)), 8000);
+        let mut actions = Vec::new();
+        for _ in 0..40_000 {
+            m.on_activate(BankId(0), RowAddr(0), &mut actions);
+        }
+        assert!(!actions.is_empty());
+    }
+
+    #[test]
+    fn history_hit_shrinks_weight() {
+        let mut m = TimeVarying::lipromi(config(), 3);
+        drive_intervals(&mut m, 4000);
+        let before = m.effective_weight(BankId(0), RowAddr(0));
+        assert_eq!(before, 4000);
+        // Force a trigger by hammering, then check the weight restarted.
+        let mut actions = Vec::new();
+        while actions.is_empty() {
+            m.on_activate(BankId(0), RowAddr(0), &mut actions);
+        }
+        assert_eq!(m.effective_weight(BankId(0), RowAddr(0)), 0);
+    }
+
+    #[test]
+    fn modes_shape_weight_as_specified() {
+        let cfg = config();
+        let li = TimeVarying::lipromi(cfg, 1);
+        let lo = TimeVarying::lopromi(cfg, 1);
+        let loli = TimeVarying::lolipromi(cfg, 1);
+        // Row far from its refresh slot: f_r of row 65535 is 8191, so at
+        // interval 0 the weight wraps to 0+8192-8191 = 1.
+        let r = RowAddr(65_535);
+        assert_eq!(li.effective_weight(BankId(0), r), 1);
+        assert_eq!(lo.effective_weight(BankId(0), r), 2); // 2^ceil(log2(2))
+                                                          // Not in history → hybrid behaves logarithmically.
+        assert_eq!(loli.effective_weight(BankId(0), r), 2);
+    }
+
+    #[test]
+    fn hybrid_switches_to_linear_on_history_hit() {
+        let cfg = config();
+        let mut m = TimeVarying::lolipromi(cfg, 5);
+        drive_intervals(&mut m, 1000);
+        let r = RowAddr(0);
+        // Miss: logarithmic shaping of w=1000 → 1024.
+        assert_eq!(m.effective_weight(BankId(0), r), 1024);
+        // Trigger to insert into history.
+        let mut actions = Vec::new();
+        while actions.is_empty() {
+            m.on_activate(BankId(0), r, &mut actions);
+        }
+        drive_intervals(&mut m, 100);
+        // Hit: linear weight from the trigger interval (100), not 2^k.
+        assert_eq!(m.effective_weight(BankId(0), r), 100);
+    }
+
+    #[test]
+    fn window_wrap_clears_history_and_interval() {
+        let cfg = config();
+        let mut m = TimeVarying::lipromi(cfg, 6);
+        drive_intervals(&mut m, 4000);
+        let mut actions = Vec::new();
+        while actions.is_empty() {
+            m.on_activate(BankId(0), RowAddr(0), &mut actions);
+        }
+        assert_eq!(m.effective_weight(BankId(0), RowAddr(0)), 0);
+        // Complete the window: interval wraps to 0 and history clears, so
+        // the weight falls back to f_r-based (0 for row 0 at interval 0).
+        drive_intervals(&mut m, cfg.ref_int - 4000);
+        assert_eq!(m.current_interval(), 0);
+        assert_eq!(m.effective_weight(BankId(0), RowAddr(0)), 0);
+        // And a row with a late refresh slot is stale again.
+        assert!(m.effective_weight(BankId(0), RowAddr(65_535)) >= 1);
+    }
+
+    #[test]
+    fn trigger_rate_tracks_probability() {
+        // At weight w the trigger probability is w·2^-23.  With w = 8000
+        // and 100 K draws we expect ≈ 95 triggers; accept a wide band.
+        let mut m = TimeVarying::lipromi(config(), 7);
+        drive_intervals(&mut m, 8000);
+        let mut actions = Vec::new();
+        let mut hits = 0u32;
+        for _ in 0..100_000 {
+            m.on_activate(BankId(0), RowAddr(0), &mut actions);
+            hits += actions.len() as u32;
+            actions.clear();
+            // Re-clear history so every draw uses the same weight.
+            m.histories[0].clear();
+        }
+        let expected = 100_000.0 * 8000.0 / (1u64 << 23) as f64;
+        assert!(
+            (f64::from(hits) - expected).abs() < expected * 0.4,
+            "hits {hits}, expected ≈ {expected:.1}"
+        );
+    }
+
+    #[test]
+    fn storage_is_history_only() {
+        let m = TimeVarying::lipromi(config(), 1);
+        assert_eq!(m.storage_bits_per_bank(), 960);
+        assert!((m.storage_bytes_per_bank() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = config();
+        let run = |seed| {
+            let mut m = TimeVarying::lopromi(cfg, seed);
+            drive_intervals(&mut m, 2000);
+            let mut actions = Vec::new();
+            for _ in 0..50_000 {
+                m.on_activate(BankId(0), RowAddr(123), &mut actions);
+            }
+            actions.len()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

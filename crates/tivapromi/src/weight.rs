@@ -1,0 +1,107 @@
+//! The weight equations at the heart of TiVaPRoMi.
+//!
+//! Eq. 1 (linear): the number of refresh intervals since row `r` was
+//! last refreshed, given the current interval `i` and the row's refresh
+//! interval `f_r`:
+//!
+//! ```text
+//! w_r = i − f_r             if i ≥ f_r
+//! w_r = i − f_r + RefInt    if i < f_r
+//! ```
+//!
+//! Eq. 2 (logarithmic): `w_log = 2^⌈log2(w + 1)⌉`, implemented in
+//! hardware by a modified priority encoder.  All weights between two
+//! powers of two share the next power of two ("for all values between 16
+//! and 31, their weight will be constant 32"), so the weight ramps up
+//! faster in the low range, closing LiPRoMi's flooding window.
+
+/// Eq. 1: refresh intervals elapsed since the base interval `f_r`.
+///
+/// `i` and `f_r` must both be `< ref_int`; the result is in
+/// `[0, ref_int − 1]`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `i` or `f_r` is not below `ref_int`.
+///
+/// ```
+/// use tivapromi::linear_weight;
+/// assert_eq!(linear_weight(10, 4, 8192), 6);      // same window
+/// assert_eq!(linear_weight(4, 10, 8192), 8186);   // f_r ahead: wraps
+/// assert_eq!(linear_weight(5, 5, 8192), 0);
+/// ```
+#[inline]
+pub fn linear_weight(i: u32, f_r: u32, ref_int: u32) -> u32 {
+    debug_assert!(i < ref_int, "interval {i} out of range {ref_int}");
+    debug_assert!(f_r < ref_int, "f_r {f_r} out of range {ref_int}");
+    if i >= f_r {
+        i - f_r
+    } else {
+        i + ref_int - f_r
+    }
+}
+
+/// Eq. 2: `2^⌈log2(w + 1)⌉` — the logarithmic weight.
+///
+/// The `+ 1` handles the `w = 0` corner case; the ceiling makes all
+/// values between two powers of two share the same weight.
+///
+/// ```
+/// use tivapromi::log_weight;
+/// assert_eq!(log_weight(0), 1);
+/// assert_eq!(log_weight(1), 2);
+/// assert_eq!(log_weight(3), 4);
+/// // "for all values between 16 and 31, their weight will be constant 32"
+/// for w in 16..=31 {
+///     assert_eq!(log_weight(w), 32);
+/// }
+/// ```
+#[inline]
+pub fn log_weight(w: u32) -> u32 {
+    // next_power_of_two(w + 1) = 2^ceil(log2(w + 1)).
+    (w + 1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_weight_same_window() {
+        assert_eq!(linear_weight(100, 40, 8192), 60);
+        assert_eq!(linear_weight(0, 0, 8192), 0);
+        assert_eq!(linear_weight(8191, 0, 8192), 8191);
+    }
+
+    #[test]
+    fn linear_weight_wraps_across_windows() {
+        // Row refreshed at interval 8000, now at interval 100 of the
+        // next window: 100 − 8000 + 8192 = 292 intervals elapsed.
+        assert_eq!(linear_weight(100, 8000, 8192), 292);
+        // Worst case: refreshed in the very next interval.
+        assert_eq!(linear_weight(0, 1, 8192), 8191);
+    }
+
+    #[test]
+    fn log_weight_powers_of_two_fixed_points() {
+        // 2^k - 1 maps to 2^k; 2^k maps to 2^(k+1).
+        assert_eq!(log_weight(7), 8);
+        assert_eq!(log_weight(8), 16);
+        assert_eq!(log_weight(15), 16);
+        assert_eq!(log_weight(16), 32);
+    }
+
+    #[test]
+    fn log_weight_handles_max_ref_int() {
+        assert_eq!(log_weight(8191), 8192);
+        assert_eq!(log_weight(4096), 8192);
+        assert_eq!(log_weight(4095), 4096);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn linear_weight_rejects_out_of_range_interval() {
+        let _ = linear_weight(8192, 0, 8192);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the TiVaPRoMi core: weight equations,
+//! table invariants, and variant behaviour.
+
+use dram_sim::{BankId, Geometry, RowAddr};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use tivapromi::{
+    linear_weight, log_weight, CaPromi, CounterTable, HistoryPolicy, HistoryTable, Mitigation,
+    TimeVarying, TivaConfig,
+};
+
+proptest! {
+    /// Eq. 1 always lands in [0, RefInt−1], and adding the weight to the
+    /// base interval modulo RefInt recovers the current interval.
+    #[test]
+    fn linear_weight_is_a_modular_distance(
+        i in 0u32..8192,
+        f_r in 0u32..8192,
+    ) {
+        let w = linear_weight(i, f_r, 8192);
+        prop_assert!(w < 8192);
+        prop_assert_eq!((f_r + w) % 8192, i);
+    }
+
+    /// Eq. 2 yields the smallest power of two ≥ w + 1.
+    #[test]
+    fn log_weight_is_tight_power_of_two(w in 0u32..8192) {
+        let wl = log_weight(w);
+        prop_assert!(wl.is_power_of_two());
+        prop_assert!(wl > w);
+        prop_assert!(wl < 2 * (w + 1));
+    }
+
+    /// Eq. 2 is monotone non-decreasing.
+    #[test]
+    fn log_weight_is_monotone(w in 0u32..8191) {
+        prop_assert!(log_weight(w) <= log_weight(w + 1));
+    }
+
+    /// The history table never exceeds capacity, and a just-recorded row
+    /// is always found with its interval — under both policies.
+    #[test]
+    fn history_table_capacity_and_membership(
+        capacity in 1usize..16,
+        lru in any::<bool>(),
+        ops in proptest::collection::vec((0u32..64, 0u32..8192), 1..200),
+    ) {
+        let policy = if lru { HistoryPolicy::Lru } else { HistoryPolicy::Fifo };
+        let mut table = HistoryTable::with_policy(capacity, policy);
+        for (row, interval) in ops {
+            table.record(RowAddr(row), interval);
+            prop_assert!(table.len() <= capacity);
+            prop_assert_eq!(table.lookup(RowAddr(row)), Some(interval));
+            // No duplicates: position is unique.
+            let matches = table.iter().filter(|(r, _)| *r == RowAddr(row)).count();
+            prop_assert_eq!(matches, 1);
+        }
+    }
+
+    /// FIFO semantics: with distinct rows, the surviving membership is
+    /// exactly the last `capacity` recorded rows.
+    #[test]
+    fn history_fifo_keeps_newest(capacity in 1usize..8, n in 1u32..40) {
+        let mut table = HistoryTable::new(capacity);
+        for row in 0..n {
+            table.record(RowAddr(row), row);
+        }
+        for row in 0..n {
+            let expect_present = row + (capacity as u32) >= n;
+            prop_assert_eq!(
+                table.lookup(RowAddr(row)).is_some(),
+                expect_present,
+                "row {} of {} cap {}", row, n, capacity
+            );
+        }
+    }
+
+    /// Locked counter-table entries survive arbitrary insertion pressure.
+    #[test]
+    fn locked_counter_entries_are_immortal(
+        pressure in proptest::collection::vec(100u32..1000, 0..300),
+        lock_threshold in 1u32..8,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut table = CounterTable::new(4, lock_threshold);
+        // Lock row 7.
+        for _ in 0..lock_threshold {
+            table.observe(RowAddr(7), None, &mut rng);
+        }
+        prop_assert!(table.entry(RowAddr(7)).unwrap().locked);
+        for row in pressure {
+            table.observe(RowAddr(row), None, &mut rng);
+            prop_assert!(table.entry(RowAddr(7)).is_some());
+            prop_assert!(table.len() <= 4);
+        }
+    }
+
+    /// Counter-table counts equal the number of observations of that row
+    /// while it stayed resident.
+    #[test]
+    fn counter_counts_match_observations(rows in proptest::collection::vec(0u32..3, 0..100)) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut table = CounterTable::new(8, 1000);
+        let mut expected = [0u32; 3];
+        for row in rows {
+            table.observe(RowAddr(row), None, &mut rng);
+            expected[row as usize] += 1;
+        }
+        // Capacity 8 > 3 distinct rows: nothing was ever evicted.
+        for row in 0..3u32 {
+            let got = table.entry(RowAddr(row)).map_or(0, |e| e.count);
+            prop_assert_eq!(got, expected[row as usize]);
+        }
+    }
+
+    /// A TimeVarying trigger is only possible with a positive weight:
+    /// activating the row currently at weight zero never fires.
+    #[test]
+    fn zero_weight_never_triggers(seed in any::<u64>()) {
+        let geometry = Geometry::paper().with_banks(1);
+        let mut m = TimeVarying::lipromi(TivaConfig::paper(&geometry), seed);
+        let mut actions = Vec::new();
+        // Row 0 has f_r = 0 = current interval → weight 0.
+        for _ in 0..5000 {
+            m.on_activate(BankId(0), RowAddr(0), &mut actions);
+        }
+        prop_assert!(actions.is_empty());
+    }
+
+    /// CaPRoMi never acts on the activation path, for arbitrary traffic.
+    #[test]
+    fn capromi_act_path_is_silent(
+        rows in proptest::collection::vec(0u32..65_536, 1..500),
+        seed in any::<u64>(),
+    ) {
+        let geometry = Geometry::paper().with_banks(1);
+        let mut m = CaPromi::new(TivaConfig::paper(&geometry), seed);
+        let mut actions = Vec::new();
+        for row in rows {
+            m.on_activate(BankId(0), RowAddr(row), &mut actions);
+            prop_assert!(actions.is_empty());
+        }
+    }
+
+    /// The trigger count statistic equals the number of emitted actions,
+    /// for any mix of activations and interval boundaries.
+    #[test]
+    fn trigger_count_matches_actions(
+        script in proptest::collection::vec((0u32..65_536, any::<bool>()), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let geometry = Geometry::paper().with_banks(1);
+        let mut m = TimeVarying::lopromi(TivaConfig::paper(&geometry), seed);
+        let mut actions = Vec::new();
+        let mut emitted = 0u64;
+        for (row, refresh) in script {
+            if refresh {
+                m.on_refresh_interval(&mut actions);
+            } else {
+                m.on_activate(BankId(0), RowAddr(row), &mut actions);
+            }
+            emitted += actions.len() as u64;
+            actions.clear();
+        }
+        prop_assert_eq!(m.trigger_count(), emitted);
+    }
+}

@@ -1,0 +1,419 @@
+//! Row-hammer attacker generators.
+//!
+//! The paper's attacker "has aggressors increasing gradually from 1 to 20
+//! aggressors per targeted bank" and hammers with cache flushing, i.e. at
+//! the maximum rate the bank will accept.  The generators here produce
+//! exactly the activation patterns such code emits; every event is
+//! labelled `aggressor = true` so the metrics layer has ground truth.
+
+use crate::event::{TraceEvent, TraceSource};
+use dram_sim::{BankId, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// The attack pattern to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Hammer a single aggressor row (victims: both its neighbors).
+    SingleSided {
+        /// The hammered row.
+        aggressor: RowAddr,
+    },
+    /// Hammer both neighbors of one victim row.
+    DoubleSided {
+        /// The victim row between the two aggressors.
+        victim: RowAddr,
+    },
+    /// The paper's evaluation attack: the number of simultaneously
+    /// hammered aggressors ramps linearly from 1 to `max_aggressors`
+    /// over the attack duration.  Aggressors sit at
+    /// `base_row, base_row+2, base_row+4, …`, so consecutive aggressors
+    /// flank shared victims (a many-sided attack).
+    MultiAggressorRamp {
+        /// First aggressor row.
+        base_row: RowAddr,
+        /// Final number of aggressors per targeted bank (paper: 20).
+        max_aggressors: u32,
+    },
+    /// Flooding: one row hammered at the attacker's full budget —
+    /// the §IV stress test against LiPRoMi's slow weight ramp.
+    Flooding {
+        /// The flooded row.
+        row: RowAddr,
+    },
+    /// Decoy-assisted double-sided hammering (TRRespass-style): both
+    /// neighbors of `victim` are hammered while `decoys` far-away rows
+    /// are interleaved to churn recency/insertion-based tracker state
+    /// (MRLoc's queue, ProHit's cold table, CaPRoMi's counter table).
+    /// The budget is shared round-robin, so more decoys mean a slower
+    /// hammer — the attacker's fundamental trade-off.
+    DecoyAssisted {
+        /// The victim row between the two aggressors.
+        victim: RowAddr,
+        /// Number of decoy rows (placed 10 000 rows above the victim).
+        decoys: u32,
+    },
+}
+
+/// A parameterised attacker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// The pattern.
+    pub kind: AttackKind,
+    /// Banks under attack (the paper attacks each targeted bank
+    /// independently with the same pattern).
+    pub target_banks: Vec<BankId>,
+    /// Attacker activation budget per targeted bank per refresh interval
+    /// (bounded by the DDR4 165 minus whatever the benign mix uses).
+    pub acts_per_interval: u32,
+    /// Interval at which the attack starts.
+    pub start_interval: u64,
+    /// Total trace length in intervals.
+    pub intervals: u64,
+    /// For [`AttackKind::MultiAggressorRamp`]: how many intervals each
+    /// aggressor-count step lasts.  `0` spreads the ramp linearly over
+    /// the whole attack duration.  The paper ramps 1→20 aggressors over
+    /// ≈190 refresh windows, i.e. each step holds for ≈9.5 windows, so
+    /// short runs should hold each step for at least one window —
+    /// otherwise the low-aggressor phases are too brief for their
+    /// (strongest) attacks to develop.
+    pub ramp_hold_intervals: u64,
+}
+
+impl AttackConfig {
+    /// The paper's ramping attack on `banks`, lasting `intervals`, with
+    /// each aggressor-count step held for at least one refresh window of
+    /// `intervals_per_window` intervals.
+    ///
+    /// The budget of 24 activations per bank-interval keeps the mixed
+    /// trace near the paper's ≈40 activations per bank-interval average
+    /// while still flipping bits unprotected in the 1–2-aggressor
+    /// phases (a victim needs ≥ 17 disturbances per interval sustained
+    /// over its refresh window to reach 139 K).
+    pub fn paper_ramp(banks: u32, intervals: u64, intervals_per_window: u64) -> Self {
+        AttackConfig {
+            kind: AttackKind::MultiAggressorRamp {
+                base_row: RowAddr(30_000),
+                max_aggressors: 20,
+            },
+            target_banks: (0..banks).map(BankId).collect(),
+            acts_per_interval: 24,
+            start_interval: 0,
+            intervals,
+            ramp_hold_intervals: (intervals / 20).max(intervals_per_window),
+        }
+    }
+
+    /// A flooding attack against one bank.
+    pub fn flooding(row: RowAddr, intervals: u64) -> Self {
+        AttackConfig {
+            kind: AttackKind::Flooding { row },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 137,
+            start_interval: 0,
+            intervals,
+            ramp_hold_intervals: 0,
+        }
+    }
+}
+
+/// The attacker trace source.
+///
+/// ```
+/// use mem_trace::{AttackConfig, AttackKind, Attacker, TraceSource};
+/// use dram_sim::{BankId, RowAddr};
+///
+/// let config = AttackConfig {
+///     kind: AttackKind::DoubleSided { victim: RowAddr(100) },
+///     target_banks: vec![BankId(0)],
+///     acts_per_interval: 10,
+///     start_interval: 0,
+///     intervals: 1,
+///     ramp_hold_intervals: 0,
+/// };
+/// let mut attacker = Attacker::new(config);
+/// let mut out = Vec::new();
+/// attacker.next_interval(&mut out);
+/// assert_eq!(out.len(), 10);
+/// assert!(out.iter().all(|e| e.aggressor));
+/// assert!(out.iter().all(|e| e.row == RowAddr(99) || e.row == RowAddr(101)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Attacker {
+    config: AttackConfig,
+    interval: u64,
+    /// Round-robin offset so the budget rotates fairly across aggressors
+    /// when it does not divide evenly.
+    rotation: u32,
+}
+
+impl Attacker {
+    /// Creates the attacker for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_banks` is empty or the budget is zero.
+    pub fn new(config: AttackConfig) -> Self {
+        assert!(
+            !config.target_banks.is_empty(),
+            "attack needs a target bank"
+        );
+        assert!(
+            config.acts_per_interval > 0,
+            "attack budget must be nonzero"
+        );
+        Attacker {
+            config,
+            interval: 0,
+            rotation: 0,
+        }
+    }
+
+    /// The aggressor rows active at `interval`.
+    pub fn aggressors_at(&self, interval: u64) -> Vec<RowAddr> {
+        match self.config.kind {
+            AttackKind::SingleSided { aggressor } => vec![aggressor],
+            AttackKind::DoubleSided { victim } => {
+                vec![RowAddr(victim.0.saturating_sub(1)), RowAddr(victim.0 + 1)]
+            }
+            AttackKind::Flooding { row } => vec![row],
+            AttackKind::DecoyAssisted { victim, decoys } => {
+                let mut rows = vec![RowAddr(victim.0.saturating_sub(1)), RowAddr(victim.0 + 1)];
+                rows.extend((0..decoys).map(|d| RowAddr(victim.0 + 10_000 + 2 * d)));
+                rows
+            }
+            AttackKind::MultiAggressorRamp {
+                base_row,
+                max_aggressors,
+            } => {
+                let elapsed = interval.saturating_sub(self.config.start_interval);
+                let k = if let Some(step) = elapsed.checked_div(self.config.ramp_hold_intervals) {
+                    // Stepped ramp: hold each aggressor count for a
+                    // fixed number of intervals.
+                    1 + step.min(u64::from(max_aggressors.saturating_sub(1))) as u32
+                } else {
+                    // Legacy linear ramp over the whole duration.
+                    let duration = self
+                        .config
+                        .intervals
+                        .saturating_sub(self.config.start_interval);
+                    if duration <= 1 {
+                        max_aggressors
+                    } else {
+                        1 + (elapsed * u64::from(max_aggressors.saturating_sub(1)) / (duration - 1))
+                            as u32
+                    }
+                };
+                (0..k.max(1)).map(|j| RowAddr(base_row.0 + 2 * j)).collect()
+            }
+        }
+    }
+
+    /// All rows that are potential victims of this attack (the physical
+    /// neighbors of every aggressor that can ever be active) — used by
+    /// the reliability analysis.
+    pub fn victim_rows(&self) -> Vec<RowAddr> {
+        let mut aggressors = self.aggressors_at(self.config.intervals.saturating_sub(1));
+        aggressors.extend(self.aggressors_at(self.config.start_interval));
+        let mut victims: Vec<RowAddr> = aggressors
+            .iter()
+            .flat_map(|a| [RowAddr(a.0.saturating_sub(1)), RowAddr(a.0 + 1)])
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        // A row that is itself an aggressor is being refreshed by the
+        // attack and is not a meaningful victim.
+        let aggr: std::collections::HashSet<RowAddr> = aggressors.into_iter().collect();
+        victims.retain(|v| !aggr.contains(v));
+        victims
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+}
+
+impl TraceSource for Attacker {
+    fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool {
+        if self.interval >= self.config.intervals {
+            return false;
+        }
+        if self.interval >= self.config.start_interval {
+            let aggressors = self.aggressors_at(self.interval);
+            let n = aggressors.len() as u32;
+            for &bank in &self.config.target_banks {
+                for shot in 0..self.config.acts_per_interval {
+                    let idx = (shot + self.rotation) % n;
+                    out.push(TraceEvent::attack(bank, aggressors[idx as usize]));
+                }
+            }
+            self.rotation = (self.rotation + self.config.acts_per_interval) % n;
+        }
+        self.interval += 1;
+        true
+    }
+
+    fn intervals_hint(&self) -> Option<u64> {
+        Some(self.config.intervals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sided_hammers_one_row() {
+        let mut a = Attacker::new(AttackConfig {
+            kind: AttackKind::SingleSided {
+                aggressor: RowAddr(5),
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 4,
+            start_interval: 0,
+            intervals: 3,
+            ramp_hold_intervals: 0,
+        });
+        let mut out = Vec::new();
+        while a.next_interval(&mut out) {}
+        assert_eq!(out.len(), 12);
+        assert!(out.iter().all(|e| e.row == RowAddr(5) && e.aggressor));
+    }
+
+    #[test]
+    fn double_sided_splits_budget_evenly() {
+        let mut a = Attacker::new(AttackConfig {
+            kind: AttackKind::DoubleSided {
+                victim: RowAddr(100),
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 10,
+            start_interval: 0,
+            intervals: 10,
+            ramp_hold_intervals: 0,
+        });
+        let mut out = Vec::new();
+        while a.next_interval(&mut out) {}
+        let left = out.iter().filter(|e| e.row == RowAddr(99)).count();
+        let right = out.iter().filter(|e| e.row == RowAddr(101)).count();
+        assert_eq!(left, 50);
+        assert_eq!(right, 50);
+    }
+
+    #[test]
+    fn ramp_grows_from_one_to_max() {
+        let a = Attacker::new(AttackConfig::paper_ramp(1, 1000, 0));
+        assert_eq!(a.aggressors_at(0).len(), 1);
+        assert_eq!(a.aggressors_at(999).len(), 20);
+        let mid = a.aggressors_at(500).len();
+        assert!((9..=12).contains(&mid), "midpoint count {mid}");
+        // Aggressors are spaced two apart (shared victims between them).
+        let rows = a.aggressors_at(999);
+        for w in rows.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, 2);
+        }
+    }
+
+    #[test]
+    fn victims_flank_aggressors() {
+        let a = Attacker::new(AttackConfig {
+            kind: AttackKind::SingleSided {
+                aggressor: RowAddr(5),
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 1,
+            start_interval: 0,
+            intervals: 1,
+            ramp_hold_intervals: 0,
+        });
+        assert_eq!(a.victim_rows(), vec![RowAddr(4), RowAddr(6)]);
+    }
+
+    #[test]
+    fn ramp_victims_exclude_aggressors() {
+        let a = Attacker::new(AttackConfig::paper_ramp(1, 100, 0));
+        let victims = a.victim_rows();
+        let aggressors = a.aggressors_at(99);
+        for v in &victims {
+            assert!(!aggressors.contains(v));
+        }
+        // The interleaved victims 30001, 30003, … are all present.
+        assert!(victims.contains(&RowAddr(30_001)));
+        assert!(victims.contains(&RowAddr(30_039)));
+    }
+
+    #[test]
+    fn start_interval_delays_attack() {
+        let mut a = Attacker::new(AttackConfig {
+            kind: AttackKind::Flooding { row: RowAddr(7) },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 5,
+            start_interval: 2,
+            intervals: 4,
+            ramp_hold_intervals: 0,
+        });
+        let mut out = Vec::new();
+        a.next_interval(&mut out);
+        a.next_interval(&mut out);
+        assert!(out.is_empty());
+        a.next_interval(&mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn multiple_banks_each_get_full_budget() {
+        let mut a = Attacker::new(AttackConfig {
+            kind: AttackKind::Flooding { row: RowAddr(7) },
+            target_banks: vec![BankId(0), BankId(2)],
+            acts_per_interval: 3,
+            start_interval: 0,
+            intervals: 1,
+            ramp_hold_intervals: 0,
+        });
+        let mut out = Vec::new();
+        a.next_interval(&mut out);
+        assert_eq!(out.iter().filter(|e| e.bank == BankId(0)).count(), 3);
+        assert_eq!(out.iter().filter(|e| e.bank == BankId(2)).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "target bank")]
+    fn empty_targets_rejected() {
+        let _ = Attacker::new(AttackConfig {
+            kind: AttackKind::Flooding { row: RowAddr(7) },
+            target_banks: vec![],
+            acts_per_interval: 3,
+            start_interval: 0,
+            intervals: 1,
+            ramp_hold_intervals: 0,
+        });
+    }
+
+    #[test]
+    fn decoy_assisted_shares_budget_with_decoys() {
+        let mut a = Attacker::new(AttackConfig {
+            kind: AttackKind::DecoyAssisted {
+                victim: RowAddr(100),
+                decoys: 2,
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 8,
+            start_interval: 0,
+            intervals: 10,
+            ramp_hold_intervals: 0,
+        });
+        let mut out = Vec::new();
+        while a.next_interval(&mut out) {}
+        // 4 rows round-robin over 80 shots: 20 each.
+        for row in [99u32, 101, 10_100, 10_102] {
+            let n = out.iter().filter(|e| e.row == RowAddr(row)).count();
+            assert_eq!(n, 20, "row {row}");
+        }
+        // The hammer pair gets only half the budget — the decoy cost.
+        let pair: usize = out
+            .iter()
+            .filter(|e| e.row == RowAddr(99) || e.row == RowAddr(101))
+            .count();
+        assert_eq!(pair, 40);
+    }
+}

@@ -1,0 +1,291 @@
+//! Set-associative cache hierarchy — the filter between CPU accesses
+//! and DRAM activations.
+//!
+//! Table I simulates 4 cores with 64 KB L1 and 256 KB L2 caches; the
+//! attacker defeats them with cache flushing (`CLFLUSH`), which is what
+//! makes row hammering possible from software.  This module provides
+//! LRU set-associative caches and a two-level hierarchy so the
+//! access-level workload model in [`crate::cpu`] produces its DRAM
+//! activation stream the same way the paper's gem5 setup did: only
+//! cache *misses* (and flushed lines) reach the memory controller.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Table I's L1: 64 KB, 64 B lines, 8-way.
+    pub fn paper_l1() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// Table I's L2: 256 KB, 64 B lines, 8-way.
+    pub fn paper_l2() -> Self {
+        CacheConfig {
+            capacity_bytes: 256 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.capacity_bytes / self.line_bytes / self.ways
+    }
+}
+
+/// An LRU set-associative cache over line addresses.
+///
+/// ```
+/// use mem_trace::cache::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig::paper_l1());
+/// assert!(!cache.access(0x100)); // cold miss
+/// assert!(cache.access(0x100)); // hit
+/// cache.flush(0x100);           // CLFLUSH
+/// assert!(!cache.access(0x100)); // miss again
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per-set tag stacks, most recently used first.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero ways or a
+    /// capacity that is not a multiple of `line_bytes × ways`).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways > 0 && config.line_bytes > 0, "degenerate cache");
+        assert!(config.sets() > 0, "cache smaller than one set");
+        Cache {
+            sets: vec![Vec::with_capacity(config.ways as usize); config.sets() as usize],
+            config,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % u64::from(self.config.sets())) as usize
+    }
+
+    /// Accesses `line`; returns `true` on a hit.  Misses insert the line
+    /// (LRU eviction).
+    pub fn access(&mut self, line: u64) -> bool {
+        let set = self.set_index(line);
+        let stack = &mut self.sets[set];
+        if let Some(pos) = stack.iter().position(|&t| t == line) {
+            stack.remove(pos);
+            stack.insert(0, line);
+            self.hits += 1;
+            true
+        } else {
+            stack.insert(0, line);
+            stack.truncate(self.config.ways as usize);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probes without updating recency or statistics.
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_index(line)].contains(&line)
+    }
+
+    /// Removes `line` (the attacker's `CLFLUSH`).
+    pub fn flush(&mut self, line: u64) {
+        let set = self.set_index(line);
+        self.sets[set].retain(|&t| t != line);
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+}
+
+/// A two-level inclusive hierarchy (per core, as in Table I).
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl CacheHierarchy {
+    /// Table I's per-core hierarchy.
+    pub fn paper() -> Self {
+        CacheHierarchy {
+            l1: Cache::new(CacheConfig::paper_l1()),
+            l2: Cache::new(CacheConfig::paper_l2()),
+        }
+    }
+
+    /// Accesses a line; returns `true` if the access missed *both*
+    /// levels and therefore reaches DRAM.
+    pub fn access_misses_to_dram(&mut self, line: u64) -> bool {
+        if self.l1.access(line) {
+            return false;
+        }
+        if self.l2.access(line) {
+            return false; // L2 hit fills L1 (already inserted above)
+        }
+        true
+    }
+
+    /// Flushes a line from both levels (`CLFLUSH` semantics).
+    pub fn flush(&mut self, line: u64) {
+        self.l1.flush(line);
+        self.l2.flush(line);
+    }
+
+    /// The L1 level.
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 level.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::paper_l1().sets(), 128);
+        assert_eq!(CacheConfig::paper_l2().sets(), 512);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let config = CacheConfig {
+            capacity_bytes: 2 * 64,
+            line_bytes: 64,
+            ways: 2,
+        };
+        let mut c = Cache::new(config); // 1 set, 2 ways
+        c.access(1);
+        c.access(2);
+        c.access(1); // 1 is now MRU
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn hit_rate_tracks_reuse() {
+        let mut c = Cache::new(CacheConfig::paper_l1());
+        for _ in 0..10 {
+            c.access(42);
+        }
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 9);
+        assert!((c.hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_forces_next_access_to_miss() {
+        let mut c = Cache::new(CacheConfig::paper_l1());
+        c.access(7);
+        c.flush(7);
+        assert!(!c.contains(7));
+        assert!(!c.access(7));
+    }
+
+    #[test]
+    fn hierarchy_filters_two_levels() {
+        let mut h = CacheHierarchy::paper();
+        assert!(h.access_misses_to_dram(100)); // cold
+        assert!(!h.access_misses_to_dram(100)); // L1 hit
+                                                // Evict from tiny L1 by conflict, keep in L2: lines mapping to
+                                                // the same L1 set are 128 apart.
+        for k in 1..=8 {
+            h.access_misses_to_dram(100 + k * 128);
+        }
+        assert!(!h.l1().contains(100));
+        // L2 still has it: no DRAM access.
+        assert!(!h.access_misses_to_dram(100));
+    }
+
+    #[test]
+    fn hierarchy_flush_reaches_both_levels() {
+        let mut h = CacheHierarchy::paper();
+        h.access_misses_to_dram(5);
+        h.flush(5);
+        assert!(h.access_misses_to_dram(5));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let config = CacheConfig {
+            capacity_bytes: 4 * 64,
+            line_bytes: 64,
+            ways: 1,
+        };
+        let mut c = Cache::new(config); // 4 sets, direct mapped
+        c.access(0);
+        c.access(1);
+        c.access(2);
+        c.access(3);
+        for line in 0..4 {
+            assert!(c.contains(line));
+        }
+        c.access(4); // conflicts with 0 only
+        assert!(!c.contains(0));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_ways_rejected() {
+        let _ = Cache::new(CacheConfig {
+            capacity_bytes: 64,
+            line_bytes: 64,
+            ways: 0,
+        });
+    }
+}

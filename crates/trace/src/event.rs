@@ -1,0 +1,141 @@
+//! Trace events and the interval-batched trace source abstraction.
+
+use dram_sim::{BankId, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// One row activation in the trace.
+///
+/// `aggressor` is ground-truth labelling from the generator: the access
+/// belongs to attacker code.  Mitigations never see this flag — it is
+/// used only by the metrics layer to separate true from false positives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Bank being activated.
+    pub bank: BankId,
+    /// Row being activated.
+    pub row: RowAddr,
+    /// Whether this access was issued by attacker code.
+    pub aggressor: bool,
+}
+
+impl TraceEvent {
+    /// A benign workload access.
+    pub fn benign(bank: BankId, row: RowAddr) -> Self {
+        TraceEvent {
+            bank,
+            row,
+            aggressor: false,
+        }
+    }
+
+    /// An attacker access.
+    pub fn attack(bank: BankId, row: RowAddr) -> Self {
+        TraceEvent {
+            bank,
+            row,
+            aggressor: true,
+        }
+    }
+}
+
+/// A source of activations, delivered one refresh interval at a time.
+///
+/// The driving harness alternates `next_interval` (activations) with the
+/// device's refresh command, mirroring how the memory controller
+/// interleaves traffic with auto-refresh.
+pub trait TraceSource {
+    /// Appends this interval's activations to `out`, in issue order.
+    ///
+    /// Returns `false` when the trace is exhausted (nothing appended).
+    fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool;
+
+    /// A hint of the number of intervals this source will produce, if
+    /// bounded.
+    fn intervals_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool {
+        (**self).next_interval(out)
+    }
+
+    fn intervals_hint(&self) -> Option<u64> {
+        (**self).intervals_hint()
+    }
+}
+
+/// A pre-recorded trace replayed interval by interval.
+///
+/// ```
+/// use mem_trace::{ReplayTrace, TraceEvent, TraceSource};
+/// use dram_sim::{BankId, RowAddr};
+///
+/// let intervals = vec![
+///     vec![TraceEvent::benign(BankId(0), RowAddr(1))],
+///     vec![],
+/// ];
+/// let mut replay = ReplayTrace::new(intervals);
+/// let mut out = Vec::new();
+/// assert!(replay.next_interval(&mut out));
+/// assert_eq!(out.len(), 1);
+/// out.clear();
+/// assert!(replay.next_interval(&mut out)); // empty interval still ticks
+/// assert!(!replay.next_interval(&mut out)); // exhausted
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReplayTrace {
+    intervals: std::collections::VecDeque<Vec<TraceEvent>>,
+    total: u64,
+}
+
+impl ReplayTrace {
+    /// Wraps a list of per-interval event batches.
+    pub fn new<I>(intervals: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<TraceEvent>>,
+    {
+        let intervals: std::collections::VecDeque<_> = intervals.into_iter().collect();
+        let total = intervals.len() as u64;
+        ReplayTrace { intervals, total }
+    }
+}
+
+impl TraceSource for ReplayTrace {
+    fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool {
+        match self.intervals.pop_front() {
+            Some(batch) => {
+                out.extend(batch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn intervals_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_label() {
+        assert!(!TraceEvent::benign(BankId(0), RowAddr(1)).aggressor);
+        assert!(TraceEvent::attack(BankId(0), RowAddr(1)).aggressor);
+    }
+
+    #[test]
+    fn replay_reports_hint_and_exhausts() {
+        let mut t = ReplayTrace::new(vec![vec![], vec![]]);
+        assert_eq!(t.intervals_hint(), Some(2));
+        let mut out = Vec::new();
+        assert!(t.next_interval(&mut out));
+        assert!(t.next_interval(&mut out));
+        assert!(!t.next_interval(&mut out));
+        assert!(out.is_empty());
+    }
+}

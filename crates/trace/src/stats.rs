@@ -1,0 +1,165 @@
+//! Trace statistics — used to validate the synthetic generators against
+//! the paper's reported trace characteristics (Table I and the CaPRoMi
+//! sizing argument: average ≈ 40 activations per bank-interval including
+//! aggressors, maximum ≤ 165).
+
+use crate::event::{TraceEvent, TraceSource};
+use dram_sim::{BankId, RowAddr};
+use std::collections::HashMap;
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total activations.
+    pub total_activations: u64,
+    /// Activations labelled as attacker accesses.
+    pub aggressor_activations: u64,
+    /// Number of refresh intervals covered.
+    pub intervals: u64,
+    /// Number of banks that saw traffic.
+    pub banks: u32,
+    /// Maximum activations observed in any single bank-interval.
+    pub max_per_bank_interval: u32,
+    /// Per-(bank,row) activation counts.
+    pub row_counts: HashMap<(BankId, RowAddr), u64>,
+}
+
+impl TraceStats {
+    /// Consumes a trace source and accumulates its statistics.
+    ///
+    /// ```
+    /// use mem_trace::{ReplayTrace, TraceEvent, TraceStats};
+    /// use dram_sim::{BankId, RowAddr};
+    ///
+    /// let trace = ReplayTrace::new(vec![vec![
+    ///     TraceEvent::benign(BankId(0), RowAddr(1)),
+    ///     TraceEvent::attack(BankId(0), RowAddr(2)),
+    /// ]]);
+    /// let stats = TraceStats::collect(trace);
+    /// assert_eq!(stats.total_activations, 2);
+    /// assert!((stats.aggressor_share() - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn collect<S: TraceSource>(mut source: S) -> Self {
+        let mut stats = TraceStats::default();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut per_bank: HashMap<BankId, u32> = HashMap::new();
+        let mut seen_banks: std::collections::HashSet<BankId> = std::collections::HashSet::new();
+        loop {
+            events.clear();
+            if !source.next_interval(&mut events) {
+                break;
+            }
+            stats.intervals += 1;
+            per_bank.clear();
+            for e in &events {
+                stats.total_activations += 1;
+                if e.aggressor {
+                    stats.aggressor_activations += 1;
+                }
+                *per_bank.entry(e.bank).or_insert(0) += 1;
+                *stats.row_counts.entry((e.bank, e.row)).or_insert(0) += 1;
+                seen_banks.insert(e.bank);
+            }
+            for &count in per_bank.values() {
+                stats.max_per_bank_interval = stats.max_per_bank_interval.max(count);
+            }
+        }
+        stats.banks = seen_banks.len() as u32;
+        stats
+    }
+
+    /// Mean activations per bank per interval.
+    pub fn mean_per_bank_interval(&self) -> f64 {
+        if self.intervals == 0 || self.banks == 0 {
+            0.0
+        } else {
+            self.total_activations as f64 / (self.intervals as f64 * f64::from(self.banks))
+        }
+    }
+
+    /// Fraction of activations issued by the attacker.
+    pub fn aggressor_share(&self) -> f64 {
+        if self.total_activations == 0 {
+            0.0
+        } else {
+            self.aggressor_activations as f64 / self.total_activations as f64
+        }
+    }
+
+    /// Fraction of all activations landing on the `k` most-activated
+    /// rows of each bank (averaged over banks, weighted by traffic) —
+    /// the locality figure the history-table sizing exploits.
+    pub fn top_k_coverage(&self, k: usize) -> f64 {
+        if self.total_activations == 0 {
+            return 0.0;
+        }
+        let mut per_bank: HashMap<BankId, Vec<u64>> = HashMap::new();
+        for (&(bank, _), &count) in &self.row_counts {
+            per_bank.entry(bank).or_default().push(count);
+        }
+        let mut covered = 0u64;
+        for counts in per_bank.values_mut() {
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            covered += counts.iter().take(k).sum::<u64>();
+        }
+        covered as f64 / self.total_activations as f64
+    }
+
+    /// Number of distinct rows touched across all banks.
+    pub fn distinct_rows(&self) -> usize {
+        self.row_counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReplayTrace;
+
+    fn event(bank: u32, row: u32, aggressor: bool) -> TraceEvent {
+        TraceEvent {
+            bank: BankId(bank),
+            row: RowAddr(row),
+            aggressor,
+        }
+    }
+
+    #[test]
+    fn counts_and_means() {
+        let trace = ReplayTrace::new(vec![
+            vec![event(0, 1, false), event(0, 1, false), event(1, 2, true)],
+            vec![event(0, 3, false)],
+        ]);
+        let s = TraceStats::collect(trace);
+        assert_eq!(s.total_activations, 4);
+        assert_eq!(s.aggressor_activations, 1);
+        assert_eq!(s.intervals, 2);
+        assert_eq!(s.banks, 2);
+        assert_eq!(s.max_per_bank_interval, 2);
+        assert_eq!(s.distinct_rows(), 3);
+        assert!((s.mean_per_bank_interval() - 1.0).abs() < 1e-12);
+        assert!((s.aggressor_share() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_coverage_orders_rows() {
+        let trace = ReplayTrace::new(vec![vec![
+            event(0, 1, false),
+            event(0, 1, false),
+            event(0, 1, false),
+            event(0, 2, false),
+        ]]);
+        let s = TraceStats::collect(trace);
+        assert!((s.top_k_coverage(1) - 0.75).abs() < 1e-12);
+        assert!((s.top_k_coverage(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_yields_zeros() {
+        let s = TraceStats::collect(ReplayTrace::new(Vec::<Vec<TraceEvent>>::new()));
+        assert_eq!(s.total_activations, 0);
+        assert_eq!(s.mean_per_bank_interval(), 0.0);
+        assert_eq!(s.aggressor_share(), 0.0);
+        assert_eq!(s.top_k_coverage(5), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! A small deterministic Zipf sampler.
+//!
+//! Row popularity in real memory traces is heavily skewed: a few hot
+//! rows (stack, hot heap pages, code) absorb most activations.  The
+//! workload generator models this with a Zipf distribution over the hot
+//! set; the skew is what makes TiVaPRoMi's 32-entry history table
+//! effective, so it is a first-class calibration knob.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ (k + 1)^-s`.
+///
+/// ```
+/// use mem_trace::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(100, 1.4);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut counts = vec![0u32; 100];
+/// for _ in 0..10_000 {
+///     counts[zipf.sample(&mut rng)] += 1;
+/// }
+/// assert!(counts[0] > counts[50]); // rank 0 is the hottest
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[k] = P(rank ≤ k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first rank whose cdf ≥ u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (single rank).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability mass of the `k` hottest ranks — used to calibrate the
+    /// workload's top-k coverage against the paper's trace statistics.
+    pub fn top_k_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[k.min(self.cdf.len()) - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let z = Zipf::new(64, 1.2);
+        for w in z.cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(z.len(), 64);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        assert!((z.top_k_mass(1) - 0.25).abs() < 1e-12);
+        assert!((z.top_k_mass(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_follow_skew() {
+        let z = Zipf::new(50, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 50];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        // Empirical top-8 share should be near the analytic mass.
+        let top8: u32 = counts[..8].iter().sum();
+        let empirical = f64::from(top8) / 50_000.0;
+        assert!((empirical - z.top_k_mass(8)).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_never_exceeds_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

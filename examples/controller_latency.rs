@@ -1,0 +1,46 @@
+//! Shows what mitigation traffic costs in *time*: the mixed trace
+//! replayed through the cycle-level memory controller, with and without
+//! LoLiPRoMi attached to the Fig. 1 mitigation buffer.
+//!
+//! Run with `cargo run --release --example controller_latency`.
+
+use tivapromi_suite::dram::controller::MitigationPriority;
+use tivapromi_suite::harness::experiments::latency;
+use tivapromi_suite::harness::{techniques, ExperimentScale, RunConfig};
+use tivapromi_suite::hwmodel::Technique;
+
+fn main() {
+    let scale = ExperimentScale::quick();
+    let config = RunConfig::paper(&scale);
+    let intervals = 2048; // a quarter refresh window, cycle-accurate
+
+    let baseline = latency::simulate(&config, None, MitigationPriority::Background, intervals, 1);
+    println!(
+        "unprotected : mean demand latency {:.2} cycles over {} requests",
+        baseline.mean_latency(),
+        baseline.completed
+    );
+
+    for (technique, priority) in [
+        (Technique::LoLiPromi, MitigationPriority::Background),
+        (Technique::LoLiPromi, MitigationPriority::Urgent),
+        (Technique::ProHit, MitigationPriority::Background),
+    ] {
+        let mut mitigation = techniques::build(technique, &config, 1);
+        let stats = latency::simulate(&config, Some(mitigation.as_mut()), priority, intervals, 1);
+        let slowdown = 100.0 * (stats.mean_latency() / baseline.mean_latency() - 1.0);
+        println!(
+            "{:10} ({:?}): mean {:.2} cycles ({:+.3}%), {} mitigation acts, {} stall cycles",
+            technique.name(),
+            priority,
+            stats.mean_latency(),
+            slowdown,
+            stats.mitigation_activations,
+            stats.mitigation_stall_cycles
+        );
+    }
+    println!();
+    println!("Each extra activation occupies a bank for tRC (54 cycles at 1.2 GHz);");
+    println!("at TiVaPRoMi's sub-0.05% activation overhead the demand-latency cost");
+    println!("is negligible — the paper's overhead metric is the right currency.");
+}

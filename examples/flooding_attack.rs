@@ -1,0 +1,27 @@
+//! The §IV flooding stress test: one row hammered at the DDR4 maximum
+//! rate, starting right after its victims were refreshed (the worst
+//! phase for a time-varying probability).  Prints how long each
+//! TiVaPRoMi variant lets the flood run before the first extra
+//! activation.
+//!
+//! Run with `cargo run --release --example flooding_attack`.
+
+use tivapromi_suite::harness::experiments::flooding;
+use tivapromi_suite::harness::ExperimentScale;
+use tivapromi_suite::hwmodel::reference::FLOODING_SAFETY_BOUND;
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    scale.seeds = 8;
+    let results = flooding::run(&scale);
+    println!("{}", flooding::render(&results));
+    println!(
+        "safety bound: {} activations (half the 139 K flip threshold, for\n\
+         the case where both neighbors of a victim are aggressors)",
+        FLOODING_SAFETY_BOUND
+    );
+    println!();
+    println!("Expected ordering (paper §IV): LoPRoMi ≈ LoLiPRoMi ≤ CaPRoMi ≪ LiPRoMi,");
+    println!("all below the bound — the logarithmic weight shape closes the window");
+    println!("that LiPRoMi's slow linear ramp leaves open.");
+}

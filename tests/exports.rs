@@ -1,0 +1,62 @@
+//! Integration tests for the machine-readable exports (CSV + SVG) and
+//! the facade crate.
+
+use tivapromi_suite::harness::experiments::fig4;
+use tivapromi_suite::harness::{plot, report, ExperimentScale};
+
+fn tiny_points() -> Vec<fig4::Fig4Point> {
+    let mut scale = ExperimentScale::quick();
+    scale.seeds = 1;
+    scale.windows = 1;
+    fig4::run(&scale)
+}
+
+#[test]
+fn fig4_csv_and_svg_agree_on_techniques() {
+    let points = tiny_points();
+    let mut csv = Vec::new();
+    report::fig4_csv(&points, &mut csv).expect("csv write");
+    let csv = String::from_utf8(csv).expect("utf8");
+    let svg = plot::fig4_svg(&points);
+    for p in &points {
+        let name = p.technique.to_string();
+        assert!(csv.contains(&name), "csv missing {name}");
+        assert!(svg.contains(&name), "svg missing {name}");
+    }
+    // CSV values round-trip as numbers.
+    for line in csv.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 6);
+        cols[1].parse::<f64>().expect("storage parses");
+        cols[2].parse::<f64>().expect("overhead parses");
+        cols[5].parse::<u64>().expect("flips parse");
+    }
+}
+
+#[test]
+fn facade_reexports_every_crate() {
+    // One symbol per re-exported crate, proving the facade wires up.
+    let _ = tivapromi_suite::dram::Geometry::paper();
+    let _ = tivapromi_suite::trace::TraceEvent::benign(
+        tivapromi_suite::dram::BankId(0),
+        tivapromi_suite::dram::RowAddr(0),
+    );
+    let _ =
+        tivapromi_suite::tivapromi::TivaConfig::paper(&tivapromi_suite::dram::Geometry::paper());
+    let _ = tivapromi_suite::baselines::Para::paper(&tivapromi_suite::dram::Geometry::paper(), 1);
+    let _ = tivapromi_suite::hwmodel::HwParams::paper();
+    let _ = tivapromi_suite::harness::ExperimentScale::quick();
+}
+
+#[test]
+fn config_serde_roundtrips() {
+    // The configuration types serialize (experiment provenance files).
+    let scale = ExperimentScale::paper_shape();
+    let config = tivapromi_suite::harness::RunConfig::paper(&scale);
+    let json = serde_json::to_string(&config).expect("serialize");
+    let back: tivapromi_suite::harness::RunConfig =
+        serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.flip_threshold, config.flip_threshold);
+    assert_eq!(back.windows, config.windows);
+    assert_eq!(back.geometry, config.geometry);
+}
