@@ -13,11 +13,10 @@
 //! adaptive patterns.
 
 use dram_sim::{BankId, Geometry, RowAddr};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use tivapromi::{Mitigation, MitigationAction};
+use tivapromi::{BankRngs, Mitigation, MitigationAction};
 
 /// Configuration of an [`MrLoc`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,7 +70,7 @@ pub struct MrLoc {
     config: MrLocConfig,
     /// Per-bank victim queue; front = newest.
     queues: Vec<VecDeque<RowAddr>>,
-    rng: StdRng,
+    rngs: BankRngs,
 }
 
 impl MrLoc {
@@ -92,7 +91,7 @@ impl MrLoc {
         MrLoc {
             queues: (0..config.banks).map(|_| VecDeque::new()).collect(),
             config,
-            rng: StdRng::seed_from_u64(seed),
+            rngs: BankRngs::new(seed),
         }
     }
 
@@ -130,7 +129,7 @@ impl MrLoc {
         queue.push_front(victim);
         queue.truncate(self.config.queue_entries);
 
-        if self.rng.random_bool(probability) {
+        if self.rngs.get(bank).random_bool(probability) {
             actions.push(MitigationAction::RefreshRow { bank, row: victim });
         }
     }

@@ -9,9 +9,8 @@
 //! activation overhead and false positives among the compared schemes.
 
 use dram_sim::{BankId, Geometry, RowAddr};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use tivapromi::{Mitigation, MitigationAction};
+use rand::RngExt;
+use tivapromi::{BankRngs, Mitigation, MitigationAction};
 
 /// The PARA mitigation.
 ///
@@ -20,7 +19,7 @@ use tivapromi::{Mitigation, MitigationAction};
 pub struct Para {
     probability: f64,
     rows_per_bank: u32,
-    rng: StdRng,
+    rngs: BankRngs,
 }
 
 impl Para {
@@ -37,7 +36,7 @@ impl Para {
         Para {
             probability,
             rows_per_bank,
-            rng: StdRng::seed_from_u64(seed),
+            rngs: BankRngs::new(seed),
         }
     }
 
@@ -59,10 +58,11 @@ impl Mitigation for Para {
     }
 
     fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
-        if self.rng.random_bool(self.probability) {
+        let rng = self.rngs.get(bank);
+        if rng.random_bool(self.probability) {
             // Pick one of the two neighbors at random (edge rows have
             // only one choice).
-            let up = self.rng.random_bool(0.5);
+            let up = rng.random_bool(0.5);
             let victim = if up && row.0 + 1 < self.rows_per_bank {
                 RowAddr(row.0 + 1)
             } else if row.0 > 0 {

@@ -12,10 +12,9 @@
 //! whether or not it was a real aggressor's victim.
 
 use dram_sim::{BankId, Geometry, RowAddr};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use tivapromi::{Mitigation, MitigationAction};
+use tivapromi::{BankRngs, Mitigation, MitigationAction};
 
 /// Configuration of a [`ProHit`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,7 +81,7 @@ struct Tables {
 pub struct ProHit {
     config: ProHitConfig,
     banks: Vec<Tables>,
-    rng: StdRng,
+    rngs: BankRngs,
 }
 
 impl ProHit {
@@ -104,7 +103,7 @@ impl ProHit {
         ProHit {
             banks: (0..config.banks).map(|_| Tables::default()).collect(),
             config,
-            rng: StdRng::seed_from_u64(seed),
+            rngs: BankRngs::new(seed),
         }
     }
 
@@ -151,7 +150,7 @@ impl Mitigation for ProHit {
     }
 
     fn on_activate(&mut self, bank: BankId, row: RowAddr, _actions: &mut Vec<MitigationAction>) {
-        if !self.rng.random_bool(self.config.select_probability) {
+        if !self.rngs.get(bank).random_bool(self.config.select_probability) {
             return;
         }
         if row.0 > 0 {

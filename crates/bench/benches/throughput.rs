@@ -1,14 +1,60 @@
-//! Per-activation mitigation cost: the simulator-side analogue of the
-//! paper's cycle budget — how expensive is `on_activate` for each of
-//! the nine techniques?
+//! Per-activation mitigation cost — the simulator-side analogue of the
+//! paper's cycle budget — plus the bank-sharded engine's multi-core
+//! scaling: a full 8-bank run, sequential vs. sharded at 1/2/4 workers.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dram_sim::{BankId, RowAddr};
 use rand::{RngExt, SeedableRng};
 use rh_bench::bench_scale;
-use rh_harness::{techniques, RunConfig};
+use rh_harness::{engine, scenario, techniques, ExperimentScale, Parallelism, RunConfig};
 use rh_hwmodel::Technique;
 use std::hint::black_box;
+
+/// Full-run scaling of the sharded engine on an 8-bank mixed trace.
+///
+/// Speedup over the `sequential` baseline tracks physical core count:
+/// on a single-core host all variants are within noise of each other
+/// (the dispatcher adds no measurable overhead), while with 4+ cores the
+/// 4-worker variant approaches 4×.  Sharding is bit-identical at every
+/// worker count (see `tests/determinism.rs`), so this is a pure
+/// wall-clock knob.
+fn sharded_run_scaling(c: &mut Criterion) {
+    let scale = ExperimentScale {
+        windows: 2,
+        banks: 8,
+        seeds: 1,
+    };
+    let technique = Technique::LoLiPromi;
+    let mut group = c.benchmark_group("sharded_run_8_banks");
+    group.sample_size(10);
+
+    let variants: [(&str, Parallelism); 4] = [
+        ("sequential", Parallelism::sequential()),
+        ("workers/1", Parallelism::with_workers(1)),
+        ("workers/2", Parallelism::with_workers(2)),
+        ("workers/4", Parallelism::with_workers(4)),
+    ];
+    for (name, parallelism) in variants {
+        let config = RunConfig::paper(&scale).with_parallelism(parallelism);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let trace = scenario::paper_mix(&config, 1);
+                let metrics = if parallelism.shard_by_bank {
+                    engine::run_with(
+                        trace,
+                        &|| techniques::build(technique, &config, 1),
+                        &config,
+                    )
+                } else {
+                    let mut mitigation = techniques::build(technique, &config, 1);
+                    engine::run(trace, mitigation.as_mut(), &config)
+                };
+                black_box(metrics)
+            })
+        });
+    }
+    group.finish();
+}
 
 fn per_activation_cost(c: &mut Criterion) {
     let config = RunConfig::paper(&bench_scale());
@@ -61,5 +107,5 @@ fn per_activation_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, per_activation_cost);
+criterion_group!(benches, per_activation_cost, sharded_run_scaling);
 criterion_main!(benches);

@@ -56,6 +56,7 @@ pub mod error;
 pub mod geometry;
 pub mod mapping;
 pub mod refresh;
+pub mod seeding;
 pub mod timing;
 
 pub use addr::{BankId, RowAddr};
@@ -66,6 +67,7 @@ pub use error::ConfigError;
 pub use geometry::Geometry;
 pub use mapping::{IdentityMapping, RemappedMapping, RowMapping};
 pub use refresh::{RefreshOrder, RefreshSchedule};
+pub use seeding::bank_seed;
 pub use timing::{CycleBudget, DramGeneration, DramTiming};
 
 /// Bit-flip activation threshold reported by Kim et al. and used

@@ -69,6 +69,59 @@ impl Default for ExperimentScale {
     }
 }
 
+/// How a run is parallelised.
+///
+/// Banks are independent in the disturbance model and every mitigation
+/// keeps per-bank state, so the engine can split a run into per-bank
+/// shards (see [`crate::engine::run_with`]) and merge the metrics with
+/// bit-identical results.  Worker count and scheduling never change the
+/// outcome — only the wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker threads; `0` means auto (the `RH_WORKERS` environment
+    /// variable if set, else `std::thread::available_parallelism`).
+    pub workers: usize,
+    /// Whether to shard runs by bank (on by default; sharding a
+    /// single-bank run falls back to the sequential path).
+    pub shard_by_bank: bool,
+}
+
+impl Parallelism {
+    /// Sequential execution: one worker, no sharding.
+    pub fn sequential() -> Self {
+        Parallelism {
+            workers: 1,
+            shard_by_bank: false,
+        }
+    }
+
+    /// A fixed worker count with bank sharding.
+    pub fn with_workers(workers: usize) -> Self {
+        Parallelism {
+            workers,
+            shard_by_bank: true,
+        }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            crate::parallel::available_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            workers: 0,
+            shard_by_bank: true,
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunConfig {
@@ -87,6 +140,8 @@ pub struct RunConfig {
     pub distance2_sixteenths: u32,
     /// Refresh windows to simulate.
     pub windows: u64,
+    /// How [`crate::engine::run_with`] parallelises this run.
+    pub parallelism: Parallelism,
 }
 
 impl RunConfig {
@@ -100,7 +155,14 @@ impl RunConfig {
             flip_threshold: dram_sim::FLIP_THRESHOLD,
             distance2_sixteenths: 0,
             windows: scale.windows,
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Returns a copy with a different parallelism policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Total refresh intervals of the run.

@@ -19,7 +19,7 @@
 use crate::config::RunConfig;
 use crate::metrics::RunMetrics;
 use dram_sim::{BankId, Command, DramDevice, RowAddr};
-use mem_trace::{TraceEvent, TraceSource};
+use mem_trace::{TraceEvent, TraceSource, TraceSplit};
 use std::collections::HashSet;
 use tivapromi::{Mitigation, MitigationAction};
 
@@ -85,24 +85,33 @@ pub fn run_on_device<S: TraceSource>(
 
     let mut trigger_events = 0u64;
     let mut false_positive_events = 0u64;
-    let mut first_trigger_act = None;
-    let mut workload_acts = 0u64;
+    // First-trigger bookkeeping is *bank-local*: each trigger is
+    // attributed to the bank it targets and recorded against that bank's
+    // own activation count.  The run-level `first_trigger_act` is the
+    // minimum over banks, which makes it invariant under bank sharding
+    // (each shard sees exactly its bank's activations).
+    let mut bank_acts: Vec<u64> = Vec::new();
+    let mut bank_first: Vec<Option<u64>> = Vec::new();
     let max_intervals = config.intervals();
 
     let apply_actions = |actions: &mut Vec<MitigationAction>,
                          device: &mut DramDevice,
                          ledger: &AggressorLedger,
-                         workload_acts: u64,
+                         bank_acts: &[u64],
+                         bank_first: &mut Vec<Option<u64>>,
                          trigger_events: &mut u64,
-                         false_positive_events: &mut u64,
-                         first_trigger_act: &mut Option<u64>| {
+                         false_positive_events: &mut u64| {
         for action in actions.drain(..) {
             *trigger_events += 1;
             if !ledger.is_true_positive(&action) {
                 *false_positive_events += 1;
             }
-            if first_trigger_act.is_none() {
-                *first_trigger_act = Some(workload_acts);
+            let bank = action.bank().index();
+            if bank >= bank_first.len() {
+                bank_first.resize(bank + 1, None);
+            }
+            if bank_first[bank].is_none() {
+                bank_first[bank] = Some(bank_acts.get(bank).copied().unwrap_or(0));
             }
             device.apply(action.to_command());
         }
@@ -115,7 +124,11 @@ pub fn run_on_device<S: TraceSource>(
         }
         for event in &events {
             ledger.record(event);
-            workload_acts += 1;
+            let bank = event.bank.index();
+            if bank >= bank_acts.len() {
+                bank_acts.resize(bank + 1, 0);
+            }
+            bank_acts[bank] += 1;
             device.apply(Command::Activate {
                 bank: event.bank,
                 row: event.row,
@@ -126,10 +139,10 @@ pub fn run_on_device<S: TraceSource>(
                     &mut actions,
                     device,
                     &ledger,
-                    workload_acts,
+                    &bank_acts,
+                    &mut bank_first,
                     &mut trigger_events,
                     &mut false_positive_events,
-                    &mut first_trigger_act,
                 );
             }
         }
@@ -140,10 +153,10 @@ pub fn run_on_device<S: TraceSource>(
                 &mut actions,
                 device,
                 &ledger,
-                workload_acts,
+                &bank_acts,
+                &mut bank_first,
                 &mut trigger_events,
                 &mut false_positive_events,
-                &mut first_trigger_act,
             );
         }
     }
@@ -158,10 +171,48 @@ pub fn run_on_device<S: TraceSource>(
         flips: device.flips().len(),
         max_disturbance: device.max_disturbance_seen(),
         flip_threshold: config.flip_threshold,
-        first_trigger_act,
+        first_trigger_act: bank_first.iter().flatten().copied().min(),
         storage_bytes_per_bank: mitigation.storage_bytes_per_bank(),
         intervals: stats.refresh_intervals,
     }
+}
+
+/// Runs `trace` through the mitigation that `build` constructs, sharded
+/// by bank when `config.parallelism` allows it.
+///
+/// With `shard_by_bank` (and more than one bank) each bank's sub-stream
+/// ([`TraceSplit::bank_shard`]) is driven through its *own* mitigation
+/// instance and device on a worker pool, and the per-shard
+/// [`RunMetrics`] are combined with [`RunMetrics::merge`].  Because
+/// banks are independent — disturbance never couples them and every
+/// mitigation derives per-bank decision streams via
+/// [`dram_sim::bank_seed`] — the merged result is bit-identical to the
+/// sequential run, for every worker count and schedule.
+///
+/// `build` must construct the mitigation identically on every call
+/// (same technique, same seed); it is called once per bank shard, plus
+/// once for the sequential fallback.
+pub fn run_with<S: TraceSplit>(
+    trace: S,
+    build: &(dyn Fn() -> Box<dyn Mitigation> + Sync),
+    config: &RunConfig,
+) -> RunMetrics {
+    let banks = config.geometry.banks();
+    if !config.parallelism.shard_by_bank || banks <= 1 {
+        let mut mitigation = build();
+        return run(trace, mitigation.as_mut(), config);
+    }
+    let shards: Vec<Box<dyn TraceSplit>> =
+        (0..banks).map(|b| trace.bank_shard(BankId(b))).collect();
+    let workers = config.parallelism.effective_workers();
+    let results = crate::parallel::map_workers(shards, workers, |shard| {
+        let mut mitigation = build();
+        run(shard, mitigation.as_mut(), config)
+    });
+    results
+        .into_iter()
+        .reduce(RunMetrics::merge)
+        .expect("geometry has at least one bank")
 }
 
 #[cfg(test)]

@@ -39,8 +39,7 @@ fn sweep_one(
 ) -> AblationResult {
     let runs = parallel::map((1..=u64::from(seeds)).collect(), |seed| {
         let trace = scenario::paper_mix(config, seed);
-        let mut mitigation = techniques::build_tiva(variant, tiva, seed);
-        engine::run(trace, mitigation.as_mut(), config)
+        engine::run_with(trace, &|| techniques::build_tiva(variant, tiva, seed), config)
     });
     let overheads: Vec<f64> = runs.iter().map(|m| m.overhead_percent()).collect();
     AblationResult {

@@ -76,6 +76,9 @@ pub fn cache_validation(scale: &ExperimentScale) -> Vec<CacheValidationResult> {
         .flat_map(|&t| (1..=u64::from(scale.seeds.max(2))).map(move |s| (t, s)))
         .collect();
     let runs = parallel::map(jobs, |(t, seed)| {
+        // CpuWorkload couples banks through shared caches and a global
+        // RNG, so it cannot implement TraceSplit; these runs stay on the
+        // sequential engine (the per-seed jobs above still parallelise).
         let trace = CpuWorkload::new(
             CpuWorkloadConfig::paper(&config.geometry, config.intervals()),
             seed,

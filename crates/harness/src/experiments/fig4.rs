@@ -32,8 +32,7 @@ pub struct Fig4Point {
 /// Runs one technique at one seed on the standard mixed trace.
 pub fn run_one(technique: Technique, config: &RunConfig, seed: u64) -> RunMetrics {
     let trace = scenario::paper_mix(config, seed);
-    let mut mitigation = techniques::build(technique, config, seed);
-    engine::run(trace, mitigation.as_mut(), config)
+    engine::run_with(trace, &|| techniques::build(technique, config, seed), config)
 }
 
 /// Regenerates all nine Fig. 4 points at the given scale.

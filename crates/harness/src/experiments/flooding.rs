@@ -76,8 +76,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<FloodingResult> {
         .collect();
     let runs = parallel::map(jobs, |(t, phase, seed)| {
         let trace = scenario::flooding_with_phase(&config, FLOODED_ROW, phase);
-        let mut mitigation = techniques::build(t, &config, seed);
-        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+        let metrics = engine::run_with(trace, &|| techniques::build(t, &config, seed), &config);
         (t, phase, metrics)
     });
 

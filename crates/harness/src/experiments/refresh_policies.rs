@@ -64,8 +64,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<PolicyResult> {
     let runs = parallel::map(jobs, |(t, policy, seed)| {
         let config = base.clone().with_refresh_order(policy.clone());
         let trace = scenario::paper_mix(&config, seed);
-        let mut mitigation = techniques::build(t, &config, seed);
-        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+        let metrics = engine::run_with(trace, &|| techniques::build(t, &config, seed), &config);
         (t, policy.to_string(), metrics)
     });
 

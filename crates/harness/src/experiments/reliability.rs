@@ -50,11 +50,13 @@ pub fn run(scale: &ExperimentScale) -> Vec<ReliabilityResult> {
 
     parallel::map(jobs, |technique| {
         let trace = scenario::paper_mix(&config, 1);
-        let mut mitigation: Box<dyn Mitigation> = match technique {
-            None => Box::new(Unprotected),
-            Some(t) => techniques::build(t, &config, 1),
+        let build = || -> Box<dyn Mitigation> {
+            match technique {
+                None => Box::new(Unprotected),
+                Some(t) => techniques::build(t, &config, 1),
+            }
         };
-        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+        let metrics = engine::run_with(trace, &build, &config);
         ReliabilityResult {
             technique: metrics.technique.clone(),
             flips: metrics.flips,

@@ -62,8 +62,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<WeakDramResult> {
         let mut config = base.clone();
         config.flip_threshold = threshold;
         let trace = scenario::flooding(&config, RowAddr(1));
-        let mut mitigation = techniques::build(t, &config, seed);
-        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+        let metrics = engine::run_with(trace, &|| techniques::build(t, &config, seed), &config);
         (t, threshold, metrics)
     });
 
@@ -117,12 +116,11 @@ pub fn retune(scale: &ExperimentScale) -> Vec<RetuneResult> {
         .collect();
     let runs = parallel::map(jobs, |(exponent, seed)| {
         let tiva = TivaConfig::paper(&base.geometry).with_p_base_exponent(exponent);
+        let build = || TivaVariant::LoPromi.build(tiva, seed);
         // Flooding for safety…
-        let mut m = tivapromi::TivaVariant::LoPromi.build(tiva, seed);
-        let flood = engine::run(scenario::flooding(&base, RowAddr(1)), m.as_mut(), &base);
+        let flood = engine::run_with(scenario::flooding(&base, RowAddr(1)), &build, &base);
         // …and the mixed trace for the overhead price.
-        let mut m = TivaVariant::LoPromi.build(tiva, seed);
-        let mix = engine::run(scenario::paper_mix(&base, seed), m.as_mut(), &base);
+        let mix = engine::run_with(scenario::paper_mix(&base, seed), &build, &base);
         (exponent, flood, mix)
     });
 

@@ -48,7 +48,7 @@ pub mod scenario;
 pub mod table;
 pub mod techniques;
 
-pub use config::{ExperimentScale, RunConfig};
-pub use engine::run;
+pub use config::{ExperimentScale, Parallelism, RunConfig};
+pub use engine::{run, run_with};
 pub use metrics::{MeanStd, RunMetrics};
 pub use table::TextTable;

@@ -57,6 +57,38 @@ impl RunMetrics {
     pub fn attack_margin(&self) -> f64 {
         f64::from(self.max_disturbance) / f64::from(self.flip_threshold)
     }
+
+    /// Combines the metrics of two disjoint shards of one run (the
+    /// per-bank shards of [`crate::engine::run_with`]).
+    ///
+    /// Counters sum; `max_disturbance` and `intervals` take the maximum;
+    /// `first_trigger_act` takes the earliest trigger present.  The
+    /// run-level fields (`technique`, `flip_threshold`,
+    /// `storage_bytes_per_bank`) are identical across shards and are
+    /// kept from `self`.
+    ///
+    /// The operation is associative, and commutative whenever the kept
+    /// fields agree — so a parallel reduction merges shards in any
+    /// grouping with identical results.
+    #[must_use]
+    pub fn merge(self, other: RunMetrics) -> RunMetrics {
+        RunMetrics {
+            technique: self.technique,
+            workload_activations: self.workload_activations + other.workload_activations,
+            mitigation_activations: self.mitigation_activations + other.mitigation_activations,
+            trigger_events: self.trigger_events + other.trigger_events,
+            false_positive_events: self.false_positive_events + other.false_positive_events,
+            flips: self.flips + other.flips,
+            max_disturbance: self.max_disturbance.max(other.max_disturbance),
+            flip_threshold: self.flip_threshold,
+            first_trigger_act: match (self.first_trigger_act, other.first_trigger_act) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            storage_bytes_per_bank: self.storage_bytes_per_bank,
+            intervals: self.intervals.max(other.intervals),
+        }
+    }
 }
 
 /// Mean and (sample) standard deviation over seeds.
@@ -153,5 +185,40 @@ mod tests {
     #[test]
     fn mean_std_display_is_nonempty() {
         assert!(MeanStd::of(&[1.0, 2.0]).to_string().contains('±'));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_takes_extrema() {
+        let a = metrics();
+        let mut b = metrics();
+        b.workload_activations = 500;
+        b.trigger_events = 3;
+        b.false_positive_events = 1;
+        b.flips = 2;
+        b.max_disturbance = 80;
+        b.first_trigger_act = Some(7);
+        b.intervals = 20;
+        let m = a.merge(b);
+        assert_eq!(m.workload_activations, 1500);
+        assert_eq!(m.trigger_events, 13);
+        assert_eq!(m.false_positive_events, 5);
+        assert_eq!(m.flips, 2);
+        assert_eq!(m.max_disturbance, 80);
+        assert_eq!(m.first_trigger_act, Some(7));
+        assert_eq!(m.intervals, 20);
+        assert_eq!(m.technique, "X");
+        assert_eq!(m.flip_threshold, 100);
+    }
+
+    #[test]
+    fn merge_first_trigger_handles_missing_sides() {
+        let mut a = metrics();
+        a.first_trigger_act = None;
+        let b = metrics();
+        assert_eq!(a.clone().merge(b.clone()).first_trigger_act, Some(42));
+        assert_eq!(b.merge(a.clone()).first_trigger_act, Some(42));
+        let mut c = metrics();
+        c.first_trigger_act = None;
+        assert_eq!(a.merge(c).first_trigger_act, None);
     }
 }

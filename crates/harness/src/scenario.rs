@@ -1,9 +1,10 @@
 //! Standard trace scenarios used by the experiments.
 
 use crate::config::RunConfig;
-use dram_sim::RowAddr;
+use dram_sim::{BankId, RowAddr};
 use mem_trace::{
-    AttackConfig, AttackKind, Attacker, MixedTrace, SpecLikeWorkload, TraceSource, WorkloadConfig,
+    AttackConfig, AttackKind, Attacker, IdleTrace, MixedTrace, SpecLikeWorkload, TraceSource,
+    TraceSplit, WorkloadConfig,
 };
 
 /// The paper's evaluation trace: SPEC-like mixed load plus the 1→20
@@ -132,6 +133,24 @@ impl TraceSource for QueueFlushAttack {
 
     fn intervals_hint(&self) -> Option<u64> {
         Some(self.intervals)
+    }
+}
+
+impl TraceSplit for QueueFlushAttack {
+    fn bank_shard(&self, bank: BankId) -> Box<dyn TraceSplit> {
+        if bank == BankId(0) {
+            // Deterministic, bank-0-only: the shard is a fresh instance.
+            Box::new(QueueFlushAttack {
+                aggressor: self.aggressor,
+                junk_rows: self.junk_rows,
+                acts_per_interval: self.acts_per_interval,
+                intervals: self.intervals,
+                produced: 0,
+                cursor: 0,
+            })
+        } else {
+            Box::new(IdleTrace::new(self.intervals))
+        }
     }
 }
 

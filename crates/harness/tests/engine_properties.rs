@@ -18,6 +18,7 @@ fn small_config() -> RunConfig {
         flip_threshold: dram_sim::FLIP_THRESHOLD,
         distance2_sixteenths: 0,
         windows: 2,
+        parallelism: rh_harness::Parallelism::default(),
     }
 }
 

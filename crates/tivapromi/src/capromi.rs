@@ -12,14 +12,14 @@
 //! The extra activations decided at interval end are issued during the
 //! following refresh interval.
 
+use crate::bank_rng::BankRngs;
 use crate::config::TivaConfig;
 use crate::counter_table::CounterTable;
 use crate::history::HistoryTable;
 use crate::mitigation::{Mitigation, MitigationAction};
 use crate::weight::{linear_weight, log_weight};
 use dram_sim::{BankId, RowAddr};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 
 /// The counter-assisted TiVaPRoMi variant.
 ///
@@ -55,7 +55,8 @@ pub struct CaPromi {
     pending: Vec<MitigationAction>,
     /// Current refresh interval within the window.
     interval: u32,
-    rng: StdRng,
+    /// Per-bank draw streams (bank-shardable determinism).
+    rngs: BankRngs,
     triggers: u64,
 }
 
@@ -72,7 +73,7 @@ impl CaPromi {
             pending: Vec::new(),
             config,
             interval: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rngs: BankRngs::new(seed),
             triggers: 0,
         }
     }
@@ -109,7 +110,7 @@ impl Mitigation for CaPromi {
         // counter entry to the history slot so the ref-side weight
         // calculation can start from the stored trigger interval.
         let slot = self.histories[bank.index()].position(row);
-        let _ = self.counters[bank.index()].observe(row, slot, &mut self.rng);
+        let _ = self.counters[bank.index()].observe(row, slot, self.rngs.get(bank));
     }
 
     fn on_refresh_interval(&mut self, actions: &mut Vec<MitigationAction>) {
@@ -134,7 +135,10 @@ impl Mitigation for CaPromi {
                 // against a uniform `exponent`-bit draw; a product that
                 // exceeds the draw range triggers deterministically.
                 let scaled = u64::from(entry.count) * u64::from(w_log);
-                let draw: u64 = self.rng.random_range(0..(1u64 << exponent));
+                let draw: u64 = self
+                    .rngs
+                    .get(BankId(bank_idx as u32))
+                    .random_range(0..(1u64 << exponent));
                 if draw < scaled {
                     self.pending.push(MitigationAction::ActivateNeighbors {
                         bank: BankId(bank_idx as u32),

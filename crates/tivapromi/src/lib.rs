@@ -59,6 +59,7 @@
 //! ```
 
 pub mod analysis;
+pub mod bank_rng;
 pub mod capromi;
 pub mod config;
 pub mod counter_table;
@@ -68,6 +69,7 @@ pub mod time_varying;
 pub mod weight;
 
 pub use analysis::{HammerModel, RetriggerTail};
+pub use bank_rng::BankRngs;
 pub use capromi::CaPromi;
 pub use config::TivaConfig;
 pub use counter_table::{CounterEntry, CounterTable, InsertOutcome};

@@ -4,13 +4,13 @@
 //! Fig. 2) and differ only in how the raw Eq. 1 weight is shaped in the
 //! "calculate weight" state.
 
+use crate::bank_rng::BankRngs;
 use crate::config::TivaConfig;
 use crate::history::HistoryTable;
 use crate::mitigation::{Mitigation, MitigationAction};
 use crate::weight::{linear_weight, log_weight};
 use dram_sim::{BankId, RowAddr};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 
 /// How the Eq. 1 weight is shaped before computing the probability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +43,9 @@ pub struct TimeVarying {
     histories: Vec<HistoryTable>,
     /// Current refresh interval within the window (`i` in Eq. 1).
     interval: u32,
-    rng: StdRng,
+    /// Per-bank LFSR streams — keyed by bank so each bank's draws depend
+    /// only on that bank's traffic (bank-shardable determinism).
+    rngs: BankRngs,
     name: &'static str,
     /// Total triggers issued (diagnostic).
     triggers: u64,
@@ -64,7 +66,7 @@ impl TimeVarying {
             config,
             mode,
             interval: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rngs: BankRngs::new(seed),
             name,
             triggers: 0,
         }
@@ -159,7 +161,8 @@ impl Mitigation for TimeVarying {
         // `exponent`-bit pseudo-random number (an LFSR in the VHDL
         // implementation).
         let draw: u64 = self
-            .rng
+            .rngs
+            .get(bank)
             .random_range(0..(1u64 << self.config.p_base_exponent));
         if draw < u64::from(weight) {
             actions.push(MitigationAction::ActivateNeighbors { bank, row });

@@ -6,7 +6,7 @@
 //! exactly the activation patterns such code emits; every event is
 //! labelled `aggressor = true` so the metrics layer has ground truth.
 
-use crate::event::{TraceEvent, TraceSource};
+use crate::event::{IdleTrace, TraceEvent, TraceSource, TraceSplit};
 use dram_sim::{BankId, RowAddr};
 use serde::{Deserialize, Serialize};
 
@@ -255,6 +255,23 @@ impl TraceSource for Attacker {
 
     fn intervals_hint(&self) -> Option<u64> {
         Some(self.config.intervals)
+    }
+}
+
+impl TraceSplit for Attacker {
+    fn bank_shard(&self, bank: BankId) -> Box<dyn TraceSplit> {
+        if self.config.target_banks.contains(&bank) {
+            // The attacker is deterministic and emits the identical
+            // aggressor block to every targeted bank (the rotation
+            // advances once per interval, after all banks), so the
+            // bank-`bank` sub-stream is the same attack with a single
+            // target.
+            let mut config = self.config.clone();
+            config.target_banks = vec![bank];
+            Box::new(Attacker::new(config))
+        } else {
+            Box::new(IdleTrace::new(self.config.intervals))
+        }
     }
 }
 

@@ -66,6 +66,88 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     }
 }
 
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool {
+        (**self).next_interval(out)
+    }
+
+    fn intervals_hint(&self) -> Option<u64> {
+        (**self).intervals_hint()
+    }
+}
+
+/// A trace source that can be split into deterministic per-bank
+/// sub-streams.
+///
+/// DRAM banks are independent: no disturbance couples them, and every
+/// mitigation keeps per-bank state, so a run can be *sharded by bank* —
+/// each bank's sub-stream driven through its own mitigation instance and
+/// device view — and merged afterwards with bit-identical results.  The
+/// contract that makes this sound:
+///
+/// * `bank_shard(b)` must be called on a **fresh** (not yet consumed)
+///   source, and returns a fresh source producing exactly the events the
+///   parent would emit for bank `b`, in the parent's per-bank order;
+/// * the shard ticks the **same number of intervals** as the parent
+///   (banks with no traffic still tick — see [`IdleTrace`]);
+/// * the shard is a pure function of the parent's configuration and
+///   `b` — independent of worker count or scheduling.  Generators with
+///   randomness derive per-bank sub-streams via
+///   [`dram_sim::bank_seed`].
+///
+/// Shards implement `TraceSplit` themselves so composite sources (for
+/// example [`crate::MixedTrace`]) can shard their parts recursively.
+pub trait TraceSplit: TraceSource + Send {
+    /// This source's bank-`bank` sub-stream, from the beginning.
+    fn bank_shard(&self, bank: BankId) -> Box<dyn TraceSplit>;
+}
+
+impl<S: TraceSplit + ?Sized> TraceSplit for Box<S> {
+    fn bank_shard(&self, bank: BankId) -> Box<dyn TraceSplit> {
+        (**self).bank_shard(bank)
+    }
+}
+
+/// A source that produces no events but ticks a fixed number of
+/// intervals — the bank shard of a source that never touches that bank.
+/// Keeping idle banks ticking preserves interval alignment, so every
+/// shard of a run simulates the same number of refresh intervals.
+#[derive(Debug, Clone)]
+pub struct IdleTrace {
+    remaining: u64,
+    total: u64,
+}
+
+impl IdleTrace {
+    /// An idle source ticking `intervals` times.
+    pub fn new(intervals: u64) -> Self {
+        IdleTrace {
+            remaining: intervals,
+            total: intervals,
+        }
+    }
+}
+
+impl TraceSource for IdleTrace {
+    fn next_interval(&mut self, _out: &mut Vec<TraceEvent>) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+
+    fn intervals_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+impl TraceSplit for IdleTrace {
+    fn bank_shard(&self, _bank: BankId) -> Box<dyn TraceSplit> {
+        Box::new(IdleTrace::new(self.total))
+    }
+}
+
 /// A pre-recorded trace replayed interval by interval.
 ///
 /// ```
@@ -118,6 +200,18 @@ impl TraceSource for ReplayTrace {
     }
 }
 
+impl TraceSplit for ReplayTrace {
+    fn bank_shard(&self, bank: BankId) -> Box<dyn TraceSplit> {
+        Box::new(ReplayTrace::new(self.intervals.iter().map(|batch| {
+            batch
+                .iter()
+                .filter(|e| e.bank == bank)
+                .copied()
+                .collect::<Vec<_>>()
+        })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +220,39 @@ mod tests {
     fn constructors_set_label() {
         assert!(!TraceEvent::benign(BankId(0), RowAddr(1)).aggressor);
         assert!(TraceEvent::attack(BankId(0), RowAddr(1)).aggressor);
+    }
+
+    #[test]
+    fn idle_trace_ticks_without_events() {
+        let mut idle = IdleTrace::new(3);
+        assert_eq!(idle.intervals_hint(), Some(3));
+        let mut out = Vec::new();
+        let mut n = 0;
+        while idle.next_interval(&mut out) {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn replay_shard_filters_by_bank_and_keeps_interval_count() {
+        let trace = ReplayTrace::new(vec![
+            vec![
+                TraceEvent::benign(BankId(0), RowAddr(1)),
+                TraceEvent::attack(BankId(1), RowAddr(2)),
+            ],
+            vec![TraceEvent::benign(BankId(1), RowAddr(3))],
+        ]);
+        let mut shard = trace.bank_shard(BankId(1));
+        assert_eq!(shard.intervals_hint(), Some(2));
+        let mut out = Vec::new();
+        assert!(shard.next_interval(&mut out));
+        assert_eq!(out, vec![TraceEvent::attack(BankId(1), RowAddr(2))]);
+        out.clear();
+        assert!(shard.next_interval(&mut out));
+        assert_eq!(out, vec![TraceEvent::benign(BankId(1), RowAddr(3))]);
+        assert!(!shard.next_interval(&mut out));
     }
 
     #[test]

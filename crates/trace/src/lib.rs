@@ -46,7 +46,7 @@ pub mod zipf;
 pub use attack::{AttackConfig, AttackKind, Attacker};
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use cpu::{CoreBehavior, CpuWorkload, CpuWorkloadConfig};
-pub use event::{ReplayTrace, TraceEvent, TraceSource};
+pub use event::{IdleTrace, ReplayTrace, TraceEvent, TraceSource, TraceSplit};
 pub use mix::MixedTrace;
 pub use serial::{read_jsonl, write_jsonl};
 pub use stats::TraceStats;

@@ -1,16 +1,21 @@
 //! Merging benign and attacker streams under the bank bandwidth budget.
 
-use crate::event::{TraceEvent, TraceSource};
+use crate::event::{TraceEvent, TraceSource, TraceSplit};
 use dram_sim::BankId;
+use std::collections::BTreeMap;
 
 /// Interleaves any number of trace sources, enforcing the per-bank
 /// per-interval activation cap of the DRAM timing.
 ///
-/// Events from the sources are interleaved round-robin (modelling the
-/// memory controller arbitrating between cores), and any events beyond a
-/// bank's cap are dropped — on real hardware that traffic would simply
-/// slip into later intervals; dropping keeps interval alignment while
-/// preserving rates, which is what the mitigations observe.
+/// Within each bank, events from the sources are interleaved round-robin
+/// (modelling the memory controller arbitrating between cores), and any
+/// events beyond the bank's cap are dropped — on real hardware that
+/// traffic would simply slip into later intervals; dropping keeps
+/// interval alignment while preserving rates, which is what the
+/// mitigations observe.  Arbitration and the cap are applied *per bank*
+/// (banks emitted in ascending id order), so a bank's merged sub-stream —
+/// including which of its events the cap drops — depends only on that
+/// bank's traffic.  That keeps the mix shardable: see [`TraceSplit`].
 ///
 /// The mix ends when *all* sources are exhausted.
 ///
@@ -27,7 +32,7 @@ use dram_sim::BankId;
 /// assert!(!mix.next_interval(&mut out));
 /// ```
 pub struct MixedTrace {
-    sources: Vec<Box<dyn TraceSource + Send>>,
+    sources: Vec<Box<dyn TraceSplit>>,
     max_acts_per_bank_interval: u32,
     buffers: Vec<Vec<TraceEvent>>,
     /// Events dropped so far by the bandwidth cap (diagnostic).
@@ -53,7 +58,7 @@ impl MixedTrace {
     /// # Panics
     ///
     /// Panics if `sources` is empty or the cap is zero.
-    pub fn new(sources: Vec<Box<dyn TraceSource + Send>>, max_acts_per_bank_interval: u32) -> Self {
+    pub fn new(sources: Vec<Box<dyn TraceSplit>>, max_acts_per_bank_interval: u32) -> Self {
         assert!(!sources.is_empty(), "mix needs at least one source");
         assert!(max_acts_per_bank_interval > 0, "cap must be nonzero");
         let buffers = sources.iter().map(|_| Vec::new()).collect();
@@ -84,27 +89,40 @@ impl TraceSource for MixedTrace {
             return false;
         }
 
-        // Round-robin interleave, respecting each bank's cap.
-        let mut per_bank: std::collections::HashMap<BankId, u32> = std::collections::HashMap::new();
-        let mut cursors = vec![0usize; self.buffers.len()];
-        loop {
-            let mut progressed = false;
-            for (buffer, cursor) in self.buffers.iter().zip(&mut cursors) {
-                if *cursor < buffer.len() {
-                    let event = buffer[*cursor];
-                    *cursor += 1;
-                    progressed = true;
-                    let used = per_bank.entry(event.bank).or_insert(0);
-                    if *used < self.max_acts_per_bank_interval {
-                        *used += 1;
-                        out.push(event);
-                    } else {
-                        self.dropped += 1;
+        // Split each source's batch by bank, preserving per-source order.
+        let mut lanes: BTreeMap<BankId, Vec<Vec<TraceEvent>>> = BTreeMap::new();
+        for (index, buffer) in self.buffers.iter().enumerate() {
+            for &event in buffer {
+                lanes
+                    .entry(event.bank)
+                    .or_insert_with(|| vec![Vec::new(); self.buffers.len()])[index]
+                    .push(event);
+            }
+        }
+        // Bank-major emission: per bank, round-robin across the sources
+        // under the cap.  Nothing outside a bank's own lanes influences
+        // what is kept or dropped for it.
+        for lanes in lanes.into_values() {
+            let mut used = 0u32;
+            let mut cursors = vec![0usize; lanes.len()];
+            loop {
+                let mut progressed = false;
+                for (lane, cursor) in lanes.iter().zip(&mut cursors) {
+                    if *cursor < lane.len() {
+                        let event = lane[*cursor];
+                        *cursor += 1;
+                        progressed = true;
+                        if used < self.max_acts_per_bank_interval {
+                            used += 1;
+                            out.push(event);
+                        } else {
+                            self.dropped += 1;
+                        }
                     }
                 }
-            }
-            if !progressed {
-                break;
+                if !progressed {
+                    break;
+                }
             }
         }
         true
@@ -116,6 +134,15 @@ impl TraceSource for MixedTrace {
             .map(|s| s.intervals_hint())
             .collect::<Option<Vec<_>>>()
             .map(|hints| hints.into_iter().max().unwrap_or(0))
+    }
+}
+
+impl TraceSplit for MixedTrace {
+    fn bank_shard(&self, bank: BankId) -> Box<dyn TraceSplit> {
+        Box::new(MixedTrace::new(
+            self.sources.iter().map(|s| s.bank_shard(bank)).collect(),
+            self.max_acts_per_bank_interval,
+        ))
     }
 }
 
@@ -177,6 +204,67 @@ mod tests {
         }
         assert_eq!(n, 3);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn banks_emitted_in_ascending_order() {
+        let a = ReplayTrace::new(vec![[burst(1, 5, 2, false), burst(0, 1, 2, false)].concat()]);
+        let b = ReplayTrace::new(vec![burst(0, 2, 2, true)]);
+        let mut mix = MixedTrace::new(vec![Box::new(a), Box::new(b)], 165);
+        let mut out = Vec::new();
+        mix.next_interval(&mut out);
+        let banks: Vec<u32> = out.iter().map(|e| e.bank.0).collect();
+        assert_eq!(banks, vec![0, 0, 0, 0, 1, 1]);
+        // Within bank 0 the two sources alternate.
+        assert_eq!(
+            out[..4].iter().map(|e| e.aggressor).collect::<Vec<_>>(),
+            vec![false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn shard_matches_bank_filter_of_parent() {
+        let a = ReplayTrace::new(vec![
+            [burst(0, 1, 80, false), burst(1, 3, 80, false)].concat(),
+            burst(1, 4, 5, false),
+        ]);
+        let b = ReplayTrace::new(vec![burst(0, 2, 80, true), burst(0, 2, 3, true)]);
+        let mix = MixedTrace::new(vec![Box::new(a.clone()), Box::new(b.clone())], 100);
+        let mut shard = MixedTrace::new(vec![Box::new(a), Box::new(b)], 100).bank_shard(BankId(0));
+
+        let mut full = MixedTrace::new(
+            vec![
+                mix.sources[0].bank_shard(BankId(0)),
+                mix.sources[1].bank_shard(BankId(0)),
+            ],
+            100,
+        );
+        // The shard (recursive per-source shards) equals the bank-0
+        // subsequence of the parent, interval by interval, drops included.
+        let mut parent = mix;
+        let mut parent_out = Vec::new();
+        let mut shard_out = Vec::new();
+        let mut full_out = Vec::new();
+        loop {
+            parent_out.clear();
+            shard_out.clear();
+            full_out.clear();
+            let p = parent.next_interval(&mut parent_out);
+            let s = shard.next_interval(&mut shard_out);
+            let f = full.next_interval(&mut full_out);
+            assert_eq!(p, s);
+            assert_eq!(p, f);
+            if !p {
+                break;
+            }
+            let filtered: Vec<TraceEvent> = parent_out
+                .iter()
+                .filter(|e| e.bank == BankId(0))
+                .copied()
+                .collect();
+            assert_eq!(filtered, shard_out);
+            assert_eq!(filtered, full_out);
+        }
     }
 
     #[test]

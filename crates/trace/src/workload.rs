@@ -12,9 +12,9 @@
 //!   the bulk of activations — the generator uses phased working sets
 //!   with Zipf-distributed popularity.
 
-use crate::event::{TraceEvent, TraceSource};
+use crate::event::{TraceEvent, TraceSource, TraceSplit};
 use crate::zipf::Zipf;
-use dram_sim::{BankId, Geometry, RowAddr};
+use dram_sim::{bank_seed, BankId, Geometry, RowAddr};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -87,10 +87,24 @@ impl WorkloadConfig {
     }
 }
 
-/// Per-bank generator state.
+/// Per-bank generator state: each bank owns its working set *and* its
+/// pseudo-random stream (derived from the run seed and the bank id via
+/// [`bank_seed`]), so a bank's event stream is a pure function of
+/// `(seed, bank, interval)` — independent of which other banks exist.
+/// That is what makes the workload bank-shardable.
 #[derive(Debug)]
 struct BankState {
+    id: BankId,
     hot_set: Vec<RowAddr>,
+    rng: StdRng,
+}
+
+impl BankState {
+    fn new(config: &WorkloadConfig, seed: u64, id: BankId) -> Self {
+        let mut rng = StdRng::seed_from_u64(bank_seed(seed, id));
+        let hot_set = SpecLikeWorkload::draw_hot_set(config, &mut rng);
+        BankState { id, hot_set, rng }
+    }
 }
 
 /// The phased, Zipf-skewed benign workload.
@@ -101,7 +115,7 @@ pub struct SpecLikeWorkload {
     config: WorkloadConfig,
     zipf: Zipf,
     banks: Vec<BankState>,
-    rng: StdRng,
+    seed: u64,
     interval: u64,
 }
 
@@ -113,6 +127,20 @@ impl SpecLikeWorkload {
     /// Panics if the configuration is degenerate (zero banks or rows,
     /// `hot_rows` of zero, or a locality outside `[0, 1]`).
     pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        Self::validate(&config);
+        let banks = (0..config.banks)
+            .map(|b| BankState::new(&config, seed, BankId(b)))
+            .collect();
+        SpecLikeWorkload {
+            zipf: Zipf::new(config.hot_rows, config.zipf_exponent),
+            config,
+            banks,
+            seed,
+            interval: 0,
+        }
+    }
+
+    fn validate(config: &WorkloadConfig) {
         assert!(
             config.banks > 0 && config.rows_per_bank > 0,
             "empty geometry"
@@ -122,20 +150,6 @@ impl SpecLikeWorkload {
             (0.0..=1.0).contains(&config.locality),
             "locality must be a probability"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
-        let zipf = Zipf::new(config.hot_rows, config.zipf_exponent);
-        let banks = (0..config.banks)
-            .map(|_| BankState {
-                hot_set: Self::draw_hot_set(&config, &mut rng),
-            })
-            .collect();
-        SpecLikeWorkload {
-            config,
-            zipf,
-            banks,
-            rng,
-            interval: 0,
-        }
     }
 
     fn draw_hot_set(config: &WorkloadConfig, rng: &mut StdRng) -> Vec<RowAddr> {
@@ -155,18 +169,18 @@ impl SpecLikeWorkload {
 
     /// Draws a Poisson count with the configured mean (Knuth's method —
     /// the mean is small, so this is fast and allocation-free).
-    fn poisson(&mut self) -> u32 {
-        let l = (-self.config.mean_acts_per_interval).exp();
+    fn poisson(config: &WorkloadConfig, rng: &mut StdRng) -> u32 {
+        let l = (-config.mean_acts_per_interval).exp();
         let mut k = 0u32;
         let mut p = 1.0;
         loop {
-            p *= self.rng.random::<f64>();
+            p *= rng.random::<f64>();
             if p <= l {
                 return k;
             }
             k += 1;
-            if k >= self.config.max_acts_per_interval {
-                return self.config.max_acts_per_interval;
+            if k >= config.max_acts_per_interval {
+                return config.max_acts_per_interval;
             }
         }
     }
@@ -177,8 +191,18 @@ impl SpecLikeWorkload {
     }
 
     /// The current hot set of a bank (diagnostic/calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this instance does not generate traffic for `bank`
+    /// (out of range, or restricted away by [`TraceSplit::bank_shard`]).
     pub fn hot_set(&self, bank: BankId) -> &[RowAddr] {
-        &self.banks[bank.index()].hot_set
+        &self
+            .banks
+            .iter()
+            .find(|b| b.id == bank)
+            .expect("bank not generated by this instance")
+            .hot_set
     }
 }
 
@@ -187,23 +211,26 @@ impl TraceSource for SpecLikeWorkload {
         if self.interval >= self.config.intervals {
             return false;
         }
-        // Phase boundary: re-draw every bank's working set.
-        if self.interval > 0 && self.interval.is_multiple_of(self.config.phase_intervals) {
-            for b in 0..self.banks.len() {
-                self.banks[b].hot_set = Self::draw_hot_set(&self.config, &mut self.rng);
+        let redraw =
+            self.interval > 0 && self.interval.is_multiple_of(self.config.phase_intervals);
+        // Bank-major emission: each bank's events come from its own
+        // stream, in bank order, so the per-bank sub-sequence never
+        // depends on the other banks' draws.
+        for bank in &mut self.banks {
+            // Phase boundary: re-draw this bank's working set.
+            if redraw {
+                bank.hot_set = Self::draw_hot_set(&self.config, &mut bank.rng);
             }
-        }
-        for bank_idx in 0..self.banks.len() {
-            let n = self.poisson();
+            let n = Self::poisson(&self.config, &mut bank.rng);
             for _ in 0..n {
-                let hot: bool = self.rng.random_bool(self.config.locality);
+                let hot: bool = bank.rng.random_bool(self.config.locality);
                 let row = if hot {
-                    let rank = self.zipf.sample(&mut self.rng);
-                    self.banks[bank_idx].hot_set[rank]
+                    let rank = self.zipf.sample(&mut bank.rng);
+                    bank.hot_set[rank]
                 } else {
-                    RowAddr(self.rng.random_range(0..self.config.rows_per_bank))
+                    RowAddr(bank.rng.random_range(0..self.config.rows_per_bank))
                 };
-                out.push(TraceEvent::benign(BankId(bank_idx as u32), row));
+                out.push(TraceEvent::benign(bank.id, row));
             }
         }
         self.interval += 1;
@@ -212,6 +239,22 @@ impl TraceSource for SpecLikeWorkload {
 
     fn intervals_hint(&self) -> Option<u64> {
         Some(self.config.intervals)
+    }
+}
+
+impl TraceSplit for SpecLikeWorkload {
+    fn bank_shard(&self, bank: BankId) -> Box<dyn TraceSplit> {
+        if self.banks.iter().any(|b| b.id == bank) {
+            Box::new(SpecLikeWorkload {
+                zipf: Zipf::new(self.config.hot_rows, self.config.zipf_exponent),
+                config: self.config,
+                banks: vec![BankState::new(&self.config, self.seed, bank)],
+                seed: self.seed,
+                interval: 0,
+            })
+        } else {
+            Box::new(crate::event::IdleTrace::new(self.config.intervals))
+        }
     }
 }
 

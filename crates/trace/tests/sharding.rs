@@ -1,0 +1,212 @@
+//! Property tests for the `TraceSplit` contract: per-bank sub-streams
+//! partition the interleaved stream.
+//!
+//! For every shardable source, `bank_shard(b)` must reproduce exactly
+//! the parent's bank-`b` events, in the parent's per-bank order, over
+//! exactly the parent's interval count — so the union of the shards is
+//! a partition of the full trace (no event lost, duplicated, or moved
+//! across intervals), independent of which other banks exist.
+
+use dram_sim::{BankId, Geometry, RowAddr};
+use mem_trace::{
+    AttackConfig, AttackKind, Attacker, MixedTrace, ReplayTrace, SpecLikeWorkload, TraceEvent,
+    TraceSource, TraceSplit, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// Drains a source into per-interval batches.
+fn drain<S: TraceSource>(mut source: S) -> Vec<Vec<TraceEvent>> {
+    let mut intervals = Vec::new();
+    let mut out = Vec::new();
+    while source.next_interval(&mut out) {
+        intervals.push(out.clone());
+        out.clear();
+    }
+    intervals
+}
+
+/// Asserts the partition property for a source builder: each bank's
+/// shard equals the parent's bank filter, interval by interval, and the
+/// shards jointly cover every parent event.
+fn assert_partition(make: &dyn Fn() -> Box<dyn TraceSplit>, banks: u32) {
+    let parent = drain(make());
+    let mut covered = 0usize;
+    for bank in (0..banks).map(BankId) {
+        let shard = drain(make().bank_shard(bank));
+        assert_eq!(
+            shard.len(),
+            parent.len(),
+            "bank {bank:?} shard ticked {} intervals, parent {}",
+            shard.len(),
+            parent.len()
+        );
+        for (interval, (shard_batch, parent_batch)) in shard.iter().zip(&parent).enumerate() {
+            let filtered: Vec<TraceEvent> = parent_batch
+                .iter()
+                .filter(|e| e.bank == bank)
+                .copied()
+                .collect();
+            assert_eq!(
+                shard_batch, &filtered,
+                "bank {bank:?} shard diverges at interval {interval}"
+            );
+            covered += shard_batch.len();
+        }
+    }
+    let total: usize = parent.iter().map(Vec::len).sum();
+    assert_eq!(covered, total, "shards must cover every parent event");
+    assert!(
+        parent
+            .iter()
+            .flatten()
+            .all(|e| e.bank.index() < banks as usize),
+        "parent emitted an out-of-range bank"
+    );
+}
+
+fn workload(banks: u32, intervals: u64, seed: u64) -> SpecLikeWorkload {
+    let geometry = Geometry::scaled_down(64).with_banks(banks);
+    SpecLikeWorkload::new(
+        WorkloadConfig::paper(&geometry).with_intervals(intervals),
+        seed,
+    )
+}
+
+fn attacker(kind_index: usize, banks: u32, intervals: u64) -> Attacker {
+    let kind = match kind_index {
+        0 => AttackKind::SingleSided {
+            aggressor: RowAddr(100),
+        },
+        1 => AttackKind::DoubleSided {
+            victim: RowAddr(200),
+        },
+        2 => AttackKind::Flooding { row: RowAddr(7) },
+        3 => AttackKind::DecoyAssisted {
+            victim: RowAddr(300),
+            decoys: 12,
+        },
+        _ => AttackKind::MultiAggressorRamp {
+            base_row: RowAddr(500),
+            max_aggressors: 6,
+        },
+    };
+    Attacker::new(AttackConfig {
+        kind,
+        target_banks: (0..banks).map(BankId).collect(),
+        acts_per_interval: 24,
+        start_interval: 2,
+        intervals,
+        ramp_hold_intervals: 8,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The benign workload's per-bank sub-streams partition its
+    /// interleaved stream for any seed and bank count.
+    #[test]
+    fn workload_shards_partition_the_stream(
+        seed in any::<u64>(),
+        banks in 1u32..=8,
+    ) {
+        assert_partition(&|| Box::new(workload(banks, 24, seed)), banks);
+    }
+
+    /// Every attack pattern's shards partition its stream.
+    #[test]
+    fn attacker_shards_partition_the_stream(
+        kind_index in 0usize..5,
+        banks in 1u32..=6,
+    ) {
+        assert_partition(&|| Box::new(attacker(kind_index, banks, 32)), banks);
+    }
+
+    /// The mixed trace — workload plus attacker under a shared per-bank
+    /// activation cap — shards exactly, including the dropped-event
+    /// accounting's effect on what each bank keeps.
+    #[test]
+    fn mixed_trace_shards_partition_the_stream(
+        seed in any::<u64>(),
+        banks in 1u32..=6,
+        kind_index in 0usize..5,
+        cap in 8u32..48,
+    ) {
+        assert_partition(
+            &|| {
+                Box::new(MixedTrace::new(
+                    vec![
+                        Box::new(workload(banks, 24, seed)),
+                        Box::new(attacker(kind_index, banks, 24)),
+                    ],
+                    cap,
+                ))
+            },
+            banks,
+        );
+    }
+
+    /// Replayed traces shard by plain per-interval bank filtering.
+    #[test]
+    fn replay_shards_partition_the_stream(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0u32..4, 0u32..1024, any::<bool>()), 0..20),
+            1..20,
+        ),
+    ) {
+        let intervals: Vec<Vec<TraceEvent>> = raw
+            .into_iter()
+            .map(|batch| {
+                batch
+                    .into_iter()
+                    .map(|(bank, row, aggressor)| TraceEvent {
+                        bank: BankId(bank),
+                        row: RowAddr(row),
+                        aggressor,
+                    })
+                    .collect()
+            })
+            .collect();
+        assert_partition(&|| Box::new(ReplayTrace::new(intervals.clone())), 4);
+    }
+}
+
+#[test]
+fn shard_of_untouched_bank_is_idle_but_ticks_every_interval() {
+    // Attacker on bank 0 only; bank 3's shard must stay aligned.
+    let source = attacker(2, 1, 40);
+    let idle = drain(source.bank_shard(BankId(3)));
+    assert_eq!(idle.len(), 40);
+    assert!(idle.iter().all(Vec::is_empty));
+}
+
+#[test]
+fn attacker_shards_keep_aggressor_labels() {
+    let source = attacker(4, 4, 32);
+    for bank in (0..4).map(BankId) {
+        let shard = drain(source.bank_shard(bank));
+        let events: Vec<&TraceEvent> = shard.iter().flatten().collect();
+        assert!(!events.is_empty(), "targeted bank {bank:?} must see attack");
+        assert!(events.iter().all(|e| e.aggressor && e.bank == bank));
+    }
+}
+
+#[test]
+fn shards_are_reproducible() {
+    // Sharding is a pure function of configuration and bank: two shards
+    // of the same fresh source are identical streams.
+    let make = || {
+        MixedTrace::new(
+            vec![
+                Box::new(workload(4, 24, 11)) as Box<dyn TraceSplit>,
+                Box::new(attacker(4, 4, 24)),
+            ],
+            32,
+        )
+    };
+    for bank in (0..4).map(BankId) {
+        let a = drain(make().bank_shard(bank));
+        let b = drain(make().bank_shard(bank));
+        assert_eq!(a, b);
+    }
+}

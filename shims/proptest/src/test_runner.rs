@@ -1,0 +1,77 @@
+//! Case runner for the proptest shim: deterministic seeds, bounded
+//! rejection retries, reproducible failure reports.
+
+use crate::{TestCaseError, TestRng};
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Max `prop_assume!` rejections tolerated across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// FNV-1a, used to give every property its own deterministic stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `property` for `config.cases` successful cases. Panics with the
+/// offending seed on the first failure (no shrinking).
+pub fn run_cases<F>(config: &Config, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // PROPTEST_CASES mirrors upstream's env override.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = hash_name(name) ^ 0x5bf0_3635_ec8c_1f58;
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    let mut sequence = 0u64;
+    while case < cases {
+        let seed = base
+            .wrapping_add(sequence.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .rotate_left(17);
+        sequence += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match property(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejects}) before reaching {cases} cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{name}` failed at case {case} (seed {seed:#018x}): {message}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace uses — named structs, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants — by parsing
+//! the item's token stream directly (the real implementation uses
+//! `syn`, which is unavailable offline). Generics and `#[serde(...)]`
+//! attributes are not supported; attributes on items, fields, and
+//! variants are skipped.
+//!
+//! The generated impls target the JSON-value model of the sibling
+//! `serde` shim: `Serialize::to_json_value` / `Deserialize::from_json_value`.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --- item model -----------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// --- token parsing --------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde_derive: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1; // pub(crate) / pub(super) / ...
+        }
+    }
+}
+
+/// Advance past one type (or expression) up to a top-level `,`,
+/// tracking `<`/`>` nesting so `Vec<(A, B)>`-style types survive.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1; // consume ',' (or run off the end)
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                i += 1;
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_until_top_level_comma(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- code generation ------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            body.push_str("let mut _fields: Vec<(String, ::serde::json::Value)> = Vec::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "_fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f})));"
+                );
+            }
+            body.push_str("::serde::json::Value::Object(_fields)\n");
+        }
+        Kind::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::to_json_value(&self.0)\n");
+        }
+        Kind::TupleStruct(n) => {
+            body.push_str("::serde::json::Value::Array(vec![");
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_json_value(&self.{idx}),");
+            }
+            body.push_str("])\n");
+        }
+        Kind::UnitStruct => {
+            body.push_str("::serde::json::Value::Null\n");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} => ::serde::json::Value::Str(\"{vn}\".to_string()),"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}(_f0) => ::serde::json::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json_value(_f0))]),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("_f{k}")).collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}({}) => ::serde::json::Value::Object(vec![(\"{vn}\".to_string(), ::serde::json::Value::Array(vec![{}]))]),",
+                            binders.join(", "),
+                            binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let _ = writeln!(body, "{name}::{vn} {{ {} }} => {{", fields.join(", "));
+                        body.push_str(
+                            "let mut _fields: Vec<(String, ::serde::json::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                body,
+                                "_fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json_value({f})));"
+                            );
+                        }
+                        let _ = writeln!(
+                            body,
+                            "::serde::json::Value::Object(vec![(\"{vn}\".to_string(), ::serde::json::Value::Object(_fields))])"
+                        );
+                        body.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let _ = writeln!(body, "let _obj = _v.as_object(\"{name}\")?;");
+            let _ = writeln!(body, "Ok({name} {{");
+            for f in fields {
+                let _ = writeln!(body, "{f}: ::serde::json::field(_obj, \"{f}\")?,");
+            }
+            body.push_str("})\n");
+        }
+        Kind::TupleStruct(1) => {
+            let _ = writeln!(body, "Ok({name}(::serde::Deserialize::from_json_value(_v)?))");
+        }
+        Kind::TupleStruct(n) => {
+            let _ = writeln!(body, "let _arr = _v.as_array(\"{name}\")?;");
+            let _ = writeln!(
+                body,
+                "if _arr.len() != {n} {{ return Err(::serde::json::Error::new(format!(\"{name}: expected {n} elements, got {{}}\", _arr.len()))); }}"
+            );
+            let _ = writeln!(body, "Ok({name}(");
+            for idx in 0..*n {
+                let _ = writeln!(body, "::serde::Deserialize::from_json_value(&_arr[{idx}])?,");
+            }
+            body.push_str("))\n");
+        }
+        Kind::UnitStruct => {
+            let _ = writeln!(body, "let _ = _v; Ok({name})");
+        }
+        Kind::Enum(variants) => {
+            let has_payload = variants.iter().any(|v| !matches!(v.shape, Shape::Unit));
+            body.push_str("match _v {\n");
+            // Unit variants arrive as bare strings.
+            body.push_str("::serde::json::Value::Str(_s) => match _s.as_str() {\n");
+            for v in variants.iter().filter(|v| matches!(v.shape, Shape::Unit)) {
+                let _ = writeln!(body, "\"{vn}\" => Ok({name}::{vn}),", vn = v.name);
+            }
+            let _ = writeln!(
+                body,
+                "_other => Err(::serde::json::Error::new(format!(\"unknown variant {{_other:?}} for enum {name}\"))),"
+            );
+            body.push_str("},\n");
+            if has_payload {
+                body.push_str(
+                    "::serde::json::Value::Object(_pairs) if _pairs.len() == 1 => {\n\
+                     let (_tag, _inner) = &_pairs[0];\n\
+                     match _tag.as_str() {\n",
+                );
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {}
+                        Shape::Tuple(1) => {
+                            let _ = writeln!(
+                                body,
+                                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_json_value(_inner)?)),"
+                            );
+                        }
+                        Shape::Tuple(n) => {
+                            let _ = writeln!(body, "\"{vn}\" => {{");
+                            let _ = writeln!(body, "let _arr = _inner.as_array(\"{name}::{vn}\")?;");
+                            let _ = writeln!(
+                                body,
+                                "if _arr.len() != {n} {{ return Err(::serde::json::Error::new(format!(\"{name}::{vn}: expected {n} elements, got {{}}\", _arr.len()))); }}"
+                            );
+                            let _ = writeln!(body, "Ok({name}::{vn}(");
+                            for idx in 0..*n {
+                                let _ = writeln!(
+                                    body,
+                                    "::serde::Deserialize::from_json_value(&_arr[{idx}])?,"
+                                );
+                            }
+                            body.push_str("))\n}\n");
+                        }
+                        Shape::Named(fields) => {
+                            let _ = writeln!(body, "\"{vn}\" => {{");
+                            let _ =
+                                writeln!(body, "let _obj = _inner.as_object(\"{name}::{vn}\")?;");
+                            let _ = writeln!(body, "Ok({name}::{vn} {{");
+                            for f in fields {
+                                let _ =
+                                    writeln!(body, "{f}: ::serde::json::field(_obj, \"{f}\")?,");
+                            }
+                            body.push_str("})\n}\n");
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    body,
+                    "_other => Err(::serde::json::Error::new(format!(\"unknown variant {{_other:?}} for enum {name}\"))),"
+                );
+                body.push_str("}\n}\n");
+            }
+            let _ = writeln!(
+                body,
+                "_other => Err(::serde::json::Error::new(format!(\"invalid value for enum {name}: {{}}\", _other.kind()))),"
+            );
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(_v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for `serde_json`, backed by the JSON value model
+//! in the workspace's `serde` shim.
+
+use std::io;
+
+pub use serde::json::{parse, Error, Value};
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Serialize `value` as compact JSON into `writer`.
+pub fn to_writer<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer
+        .write_all(value.to_json_value().to_json_string().as_bytes())
+        .map_err(|e| Error::new(format!("io error: {e}")))
+}
+
+/// Deserialize a value of type `T` from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_json_value(&parse(s)?)
+}
+
+/// Deserialize a value of type `T` from a pre-parsed [`Value`].
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_json_value(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(u32, u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Tagged { value: u64, label: String },
+        Wrapped(Newtype),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        id: Newtype,
+        ratio: f64,
+        kinds: Vec<Kind>,
+        maybe: Option<u64>,
+        pairs: Vec<(Newtype, Newtype)>,
+    }
+
+    #[test]
+    fn derived_roundtrip_covers_all_shapes() {
+        let record = Record {
+            id: Newtype(7),
+            ratio: 0.001,
+            kinds: vec![
+                Kind::Plain,
+                Kind::Tagged { value: u64::MAX, label: "x\"y".into() },
+                Kind::Wrapped(Newtype(3)),
+            ],
+            maybe: None,
+            pairs: vec![(Newtype(1), Newtype(2))],
+        };
+        let json = super::to_string(&record).unwrap();
+        let back: Record = super::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn newtype_serializes_transparently() {
+        assert_eq!(super::to_string(&Newtype(9)).unwrap(), "9");
+        assert_eq!(super::to_string(&Pair(1, 2)).unwrap(), "[1,2]");
+        assert_eq!(super::to_string(&Kind::Plain).unwrap(), "\"Plain\"");
+    }
+
+    #[test]
+    fn missing_option_field_defaults_to_none() {
+        let json = r#"{"id":1,"ratio":0.5,"kinds":[],"pairs":[]}"#;
+        let back: Record = super::from_str(json).unwrap();
+        assert_eq!(back.maybe, None);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let json = r#"{"id":1,"kinds":[],"pairs":[]}"#;
+        assert!(super::from_str::<Record>(json).is_err());
+    }
+}

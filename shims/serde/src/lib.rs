@@ -1,0 +1,210 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! points `serde` at this path crate. The model is deliberately
+//! simple: values serialize to an in-memory JSON [`json::Value`] tree
+//! and deserialize from one. The derive macros (re-exported from the
+//! sibling `serde_derive` shim) generate impls of these traits with
+//! serde-compatible JSON shapes:
+//!
+//! - named struct        → `{"field": ...}`
+//! - newtype struct      → the inner value
+//! - tuple struct        → `[...]`
+//! - unit enum variant   → `"Variant"`
+//! - struct enum variant → `{"Variant": {"field": ...}}`
+//! - newtype variant     → `{"Variant": ...}`
+//!
+//! Integers are kept exact (u64/i64 payloads); floats round-trip via
+//! Rust's shortest-representation formatting.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Serialization into a JSON value tree.
+pub trait Serialize {
+    /// Convert `self` to a JSON value.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Deserialization from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Build `Self` from a JSON value.
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error>;
+
+    /// Value to use when a struct field is absent from the input
+    /// (`Some` only for `Option`, mirroring serde's behavior).
+    fn if_absent() -> Option<Self> {
+        None
+    }
+}
+
+// --- primitive impls ------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_u64()?;
+                <$t>::try_from(n).map_err(|_| json::Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+                let n = v.as_i64()?;
+                <$t>::try_from(n).map_err(|_| json::Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::Error::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            other => Err(json::Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(json::Error::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+    fn if_absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(json::Error::new(format!(
+                        "expected array of length {}, got {}", $len, other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}

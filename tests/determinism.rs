@@ -1,0 +1,172 @@
+//! Determinism of the bank-sharded parallel run engine.
+//!
+//! The engine's contract: a sharded run — every bank's sub-stream driven
+//! through its own mitigation instance and device on a worker pool — is
+//! *bit-identical* to the sequential run, for every technique and every
+//! worker count.  These tests pin that contract for all nine Table III
+//! techniques at 1, 2, and `available_parallelism` workers, and check
+//! the algebra ([`RunMetrics::merge`] associativity/commutativity) that
+//! makes merge order irrelevant.
+
+use dram_sim::{Geometry, RowAddr};
+use proptest::prelude::*;
+use tivapromi_suite::harness::{
+    engine, techniques, ExperimentScale, Parallelism, RunConfig, RunMetrics,
+};
+use tivapromi_suite::hwmodel::Technique;
+use tivapromi_suite::trace::{
+    AttackConfig, AttackKind, Attacker, MixedTrace, SpecLikeWorkload, WorkloadConfig,
+};
+
+const BANKS: u32 = 8;
+
+/// A small multi-bank configuration: 8 banks, scaled-down geometry
+/// (1024 rows, 128 intervals per window), two windows.
+fn config() -> RunConfig {
+    let mut config = RunConfig::paper(&ExperimentScale {
+        windows: 2,
+        banks: BANKS,
+        seeds: 1,
+    });
+    config.geometry = Geometry::scaled_down(64).with_banks(BANKS);
+    config
+}
+
+/// The paper-shaped mixed trace scaled to the small geometry: benign
+/// Zipf workload on every bank plus a ramping multi-aggressor attack,
+/// with aggressors placed inside the 1024-row bank.
+fn mix(config: &RunConfig, seed: u64) -> MixedTrace {
+    let intervals = config.intervals();
+    let workload = SpecLikeWorkload::new(
+        WorkloadConfig::paper(&config.geometry).with_intervals(intervals),
+        seed,
+    );
+    let mut attack = AttackConfig::paper_ramp(
+        config.geometry.banks(),
+        intervals,
+        u64::from(config.geometry.intervals_per_window()),
+    );
+    attack.kind = AttackKind::MultiAggressorRamp {
+        base_row: RowAddr(500),
+        max_aggressors: 20,
+    };
+    let attacker = Attacker::new(attack);
+    MixedTrace::new(
+        vec![Box::new(workload), Box::new(attacker)],
+        config.timing.max_activations_per_interval(),
+    )
+}
+
+#[test]
+fn sharded_runs_match_sequential_for_every_technique() {
+    let seed = 7;
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for technique in Technique::TABLE3 {
+        let base = config().with_parallelism(Parallelism::sequential());
+        let sequential = {
+            let mut mitigation = techniques::build(technique, &base, seed);
+            engine::run(mix(&base, seed), mitigation.as_mut(), &base)
+        };
+        for workers in [1, 2, available] {
+            let parallel = base
+                .clone()
+                .with_parallelism(Parallelism::with_workers(workers));
+            let sharded = engine::run_with(
+                mix(&parallel, seed),
+                &|| techniques::build(technique, &parallel, seed),
+                &parallel,
+            );
+            assert_eq!(
+                sequential, sharded,
+                "{technique} diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_are_schedule_independent() {
+    // Repeated sharded runs at a thread count above the core count give
+    // the scheduler room to vary; the result must not.
+    let parallel = config().with_parallelism(Parallelism::with_workers(4));
+    let technique = Technique::LoLiPromi;
+    let build = || techniques::build(technique, &parallel, 3);
+    let first = engine::run_with(mix(&parallel, 3), &build, &parallel);
+    for _ in 0..3 {
+        let again = engine::run_with(mix(&parallel, 3), &build, &parallel);
+        assert_eq!(first, again);
+    }
+}
+
+#[test]
+fn worker_count_zero_resolves_to_auto() {
+    let parallel = config().with_parallelism(Parallelism::default());
+    assert!(parallel.parallelism.effective_workers() >= 1);
+    let sequential = config().with_parallelism(Parallelism::sequential());
+    let technique = Technique::TwiCe;
+    let seq = {
+        let mut mitigation = techniques::build(technique, &sequential, 1);
+        engine::run(mix(&sequential, 1), mitigation.as_mut(), &sequential)
+    };
+    let auto = engine::run_with(
+        mix(&parallel, 1),
+        &|| techniques::build(technique, &parallel, 1),
+        &parallel,
+    );
+    assert_eq!(seq, auto);
+}
+
+// --- RunMetrics::merge algebra --------------------------------------
+
+/// Shard-like metrics: the kept fields (technique, flip threshold,
+/// storage) are fixed — as they are across the shards of one run — and
+/// everything else varies freely.
+fn metrics_strategy() -> impl Strategy<Value = RunMetrics> {
+    (
+        (0u64..10_000, 0u64..1000, 0u64..500, 0u64..500),
+        (0usize..5, 0u32..200_000, (any::<bool>(), 0u64..50_000)),
+        0u64..64,
+    )
+        .prop_map(
+            |(
+                (workload, mitigation, triggers, fps),
+                (flips, max_disturbance, (has_trigger, trigger_act)),
+                intervals,
+            )| {
+                let first_trigger = has_trigger.then_some(trigger_act);
+                RunMetrics {
+                    technique: "shard".into(),
+                    workload_activations: workload,
+                    mitigation_activations: mitigation,
+                    trigger_events: triggers,
+                    false_positive_events: fps.min(triggers),
+                    flips,
+                    max_disturbance,
+                    flip_threshold: 139_000,
+                    first_trigger_act: first_trigger,
+                    storage_bytes_per_bank: 64.0,
+                    intervals,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in metrics_strategy(),
+        b in metrics_strategy(),
+        c in metrics_strategy(),
+    ) {
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.merge(b.merge(c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in metrics_strategy(), b in metrics_strategy()) {
+        prop_assert_eq!(a.clone().merge(b.clone()), b.merge(a));
+    }
+}
