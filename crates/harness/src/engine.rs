@@ -15,12 +15,23 @@
 //! labels: a trigger is a false positive when the row it names (the
 //! suspected aggressor for `act_n`, the victim for `RefreshRow`) is not,
 //! respectively adjacent to, an attacker-hammered row.
+//!
+//! Every entrypoint has an *observed* variant threading an
+//! [`Observer`]/[`Observe`] through the loop (see [`crate::observe`]);
+//! the unobserved functions are monomorphised over
+//! [`crate::observe::NullObserver`], whose empty inline callbacks
+//! compile away, so the no-observer path costs nothing.  Prefer the
+//! [`crate::Runner`] builder over calling these functions directly.
 
 use crate::config::RunConfig;
 use crate::metrics::RunMetrics;
+use crate::observe::{
+    IntervalSnapshot, NullObserve, NullObserver, Observe, Observer, RunSummary, ShardInfo,
+};
 use dram_sim::{BankId, Command, DramDevice, RowAddr};
 use mem_trace::{TraceEvent, TraceSource, TraceSplit};
 use std::collections::HashSet;
+use std::time::Instant;
 use tivapromi::{Mitigation, MitigationAction};
 
 /// Tracks which rows the attacker has hammered, for ground-truth
@@ -56,19 +67,73 @@ impl AggressorLedger {
     }
 }
 
+/// Trigger/first-trigger bookkeeping shared by the per-activation and
+/// per-interval action drains.
+struct TriggerLedger {
+    trigger_events: u64,
+    false_positive_events: u64,
+    // First-trigger bookkeeping is *bank-local*: each trigger is
+    // attributed to the bank it targets and recorded against that bank's
+    // own activation count.  The run-level `first_trigger_act` is the
+    // minimum over banks, which makes it invariant under bank sharding
+    // (each shard sees exactly its bank's activations).
+    bank_acts: Vec<u64>,
+    bank_first: Vec<Option<u64>>,
+}
+
+fn apply_actions<O: Observer + ?Sized>(
+    actions: &mut Vec<MitigationAction>,
+    device: &mut DramDevice,
+    ledger: &AggressorLedger,
+    triggers: &mut TriggerLedger,
+    observer: &mut O,
+) {
+    for action in actions.drain(..) {
+        triggers.trigger_events += 1;
+        let true_positive = ledger.is_true_positive(&action);
+        if !true_positive {
+            triggers.false_positive_events += 1;
+        }
+        observer.on_action(&action, true_positive);
+        let bank = action.bank().index();
+        if bank >= triggers.bank_first.len() {
+            triggers.bank_first.resize(bank + 1, None);
+        }
+        if triggers.bank_first[bank].is_none() {
+            triggers.bank_first[bank] = Some(triggers.bank_acts.get(bank).copied().unwrap_or(0));
+        }
+        device.apply(action.to_command());
+    }
+}
+
 /// Runs `trace` through `mitigation` on a device built from `config`.
+///
+/// A thin unobserved shim over [`run_observed`]; prefer the
+/// [`crate::Runner`] builder as the documented entrypoint.
 ///
 /// The trace is consumed until it is exhausted or `config.intervals()`
 /// refresh intervals have elapsed, whichever comes first.
-///
-/// See the [crate example](crate) for usage.
 pub fn run<S: TraceSource>(
-    mut trace: S,
+    trace: S,
     mitigation: &mut dyn Mitigation,
     config: &RunConfig,
 ) -> RunMetrics {
+    run_observed(trace, mitigation, config, &mut NullObserver)
+}
+
+/// Like [`run`], with an [`Observer`] receiving callbacks from inside
+/// the loop.
+///
+/// The observer type is a generic parameter, so passing
+/// [`NullObserver`] monomorphises to exactly the unobserved loop.
+pub fn run_observed<S: TraceSource, O: Observer + ?Sized>(
+    mut trace: S,
+    mitigation: &mut dyn Mitigation,
+    config: &RunConfig,
+    observer: &mut O,
+) -> RunMetrics {
     let mut device = config.build_device();
-    run_on_device(&mut trace, mitigation, config, &mut device)
+    run_on_device_observed(&mut trace, mitigation, config, &mut device, observer)
 }
 
 /// Like [`run`], but on a caller-provided device (lets callers inspect
@@ -79,45 +144,30 @@ pub fn run_on_device<S: TraceSource>(
     config: &RunConfig,
     device: &mut DramDevice,
 ) -> RunMetrics {
+    run_on_device_observed(trace, mitigation, config, device, &mut NullObserver)
+}
+
+/// The full engine loop: caller-provided device and observer.
+pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
+    trace: &mut S,
+    mitigation: &mut dyn Mitigation,
+    config: &RunConfig,
+    device: &mut DramDevice,
+    observer: &mut O,
+) -> RunMetrics {
     let mut events: Vec<TraceEvent> = Vec::new();
     let mut actions: Vec<MitigationAction> = Vec::new();
     let mut ledger = AggressorLedger::default();
-
-    let mut trigger_events = 0u64;
-    let mut false_positive_events = 0u64;
-    // First-trigger bookkeeping is *bank-local*: each trigger is
-    // attributed to the bank it targets and recorded against that bank's
-    // own activation count.  The run-level `first_trigger_act` is the
-    // minimum over banks, which makes it invariant under bank sharding
-    // (each shard sees exactly its bank's activations).
-    let mut bank_acts: Vec<u64> = Vec::new();
-    let mut bank_first: Vec<Option<u64>> = Vec::new();
+    let mut triggers = TriggerLedger {
+        trigger_events: 0,
+        false_positive_events: 0,
+        bank_acts: Vec::new(),
+        bank_first: Vec::new(),
+    };
+    let mut total_acts = 0u64;
     let max_intervals = config.intervals();
 
-    let apply_actions = |actions: &mut Vec<MitigationAction>,
-                         device: &mut DramDevice,
-                         ledger: &AggressorLedger,
-                         bank_acts: &[u64],
-                         bank_first: &mut Vec<Option<u64>>,
-                         trigger_events: &mut u64,
-                         false_positive_events: &mut u64| {
-        for action in actions.drain(..) {
-            *trigger_events += 1;
-            if !ledger.is_true_positive(&action) {
-                *false_positive_events += 1;
-            }
-            let bank = action.bank().index();
-            if bank >= bank_first.len() {
-                bank_first.resize(bank + 1, None);
-            }
-            if bank_first[bank].is_none() {
-                bank_first[bank] = Some(bank_acts.get(bank).copied().unwrap_or(0));
-            }
-            device.apply(action.to_command());
-        }
-    };
-
-    for _ in 0..max_intervals {
+    for interval in 0..max_intervals {
         events.clear();
         if !trace.next_interval(&mut events) {
             break;
@@ -125,60 +175,61 @@ pub fn run_on_device<S: TraceSource>(
         for event in &events {
             ledger.record(event);
             let bank = event.bank.index();
-            if bank >= bank_acts.len() {
-                bank_acts.resize(bank + 1, 0);
+            if bank >= triggers.bank_acts.len() {
+                triggers.bank_acts.resize(bank + 1, 0);
             }
-            bank_acts[bank] += 1;
+            triggers.bank_acts[bank] += 1;
+            total_acts += 1;
             device.apply(Command::Activate {
                 bank: event.bank,
                 row: event.row,
             });
+            observer.on_activation(event.bank, event.row, event.aggressor);
             mitigation.on_activate(event.bank, event.row, &mut actions);
             if !actions.is_empty() {
-                apply_actions(
-                    &mut actions,
-                    device,
-                    &ledger,
-                    &bank_acts,
-                    &mut bank_first,
-                    &mut trigger_events,
-                    &mut false_positive_events,
-                );
+                apply_actions(&mut actions, device, &ledger, &mut triggers, observer);
             }
         }
         device.apply(Command::Refresh);
         mitigation.on_refresh_interval(&mut actions);
         if !actions.is_empty() {
-            apply_actions(
-                &mut actions,
-                device,
-                &ledger,
-                &bank_acts,
-                &mut bank_first,
-                &mut trigger_events,
-                &mut false_positive_events,
-            );
+            apply_actions(&mut actions, device, &ledger, &mut triggers, observer);
         }
+        observer.on_interval_end(&IntervalSnapshot {
+            interval,
+            activations: total_acts,
+            triggers: triggers.trigger_events,
+            false_positives: triggers.false_positive_events,
+            device,
+        });
     }
 
     let stats = device.stats();
-    RunMetrics {
+    let mut metrics = RunMetrics {
         technique: mitigation.name().to_string(),
         workload_activations: stats.workload_activations,
         mitigation_activations: stats.mitigation_activations,
-        trigger_events,
-        false_positive_events,
+        trigger_events: triggers.trigger_events,
+        false_positive_events: triggers.false_positive_events,
         flips: device.flips().len(),
         max_disturbance: device.max_disturbance_seen(),
         flip_threshold: config.flip_threshold,
-        first_trigger_act: bank_first.iter().flatten().copied().min(),
+        first_trigger_act: triggers.bank_first.iter().flatten().copied().min(),
         storage_bytes_per_bank: mitigation.storage_bytes_per_bank(),
         intervals: stats.refresh_intervals,
-    }
+        timeseries: None,
+    };
+    observer.on_run_end(&mut metrics);
+    metrics
 }
 
 /// Runs `trace` through the mitigation that `build` constructs, sharded
 /// by bank when `config.parallelism` allows it.
+///
+/// A thin unobserved shim over [`run_with_observed`]; prefer the
+/// [`crate::Runner`] builder as the documented entrypoint.  This path
+/// keeps the engine loop monomorphised over [`NullObserver`], so it is
+/// exactly as fast as an engine without observability hooks.
 ///
 /// With `shard_by_bank` (and more than one bank) each bank's sub-stream
 /// ([`TraceSplit::bank_shard`]) is driven through its *own* mitigation
@@ -215,10 +266,85 @@ pub fn run_with<S: TraceSplit>(
         .expect("geometry has at least one bank")
 }
 
+/// Like [`run_with`], with an [`Observe`] strategy attached: one
+/// [`Observer`] is forked per bank shard (or one for the whole run on
+/// the sequential path), and shard/run completions are reported with
+/// wall-clock timings.
+///
+/// Deterministic observers ([`crate::TimeSeriesRecorder`]) leave the
+/// merged [`RunMetrics`] bit-identical to the sequential run at every
+/// worker count; timing-based ones ([`crate::PerfCounters`]) keep their
+/// non-deterministic readings outside the metrics.
+pub fn run_with_observed<S: TraceSplit>(
+    trace: S,
+    build: &(dyn Fn() -> Box<dyn Mitigation> + Sync),
+    config: &RunConfig,
+    observe: &dyn Observe,
+) -> RunMetrics {
+    let start = Instant::now();
+    let banks = config.geometry.banks();
+    let (metrics, workers, shard_count) = if !config.parallelism.shard_by_bank || banks <= 1 {
+        let shard = ShardInfo::whole_run();
+        observe.on_shard_start(&shard);
+        let shard_start = Instant::now();
+        let mut observer = observe.observer(&shard);
+        let mut mitigation = build();
+        let metrics = run_observed(trace, mitigation.as_mut(), config, observer.as_mut());
+        observe.on_shard_finish(&shard, &metrics, shard_start.elapsed());
+        (metrics, 1, 1)
+    } else {
+        let shards: Vec<(ShardInfo, Box<dyn TraceSplit>)> = (0..banks)
+            .map(|b| {
+                let info = ShardInfo {
+                    index: b as usize,
+                    count: banks as usize,
+                    bank: Some(BankId(b)),
+                };
+                (info, trace.bank_shard(BankId(b)))
+            })
+            .collect();
+        let workers = config.parallelism.effective_workers();
+        let results = crate::parallel::map_workers(shards, workers, |(info, shard)| {
+            observe.on_shard_start(&info);
+            let shard_start = Instant::now();
+            let mut observer = observe.observer(&info);
+            let mut mitigation = build();
+            let metrics = run_observed(shard, mitigation.as_mut(), config, observer.as_mut());
+            observe.on_shard_finish(&info, &metrics, shard_start.elapsed());
+            metrics
+        });
+        let merged = results
+            .into_iter()
+            .reduce(RunMetrics::merge)
+            .expect("geometry has at least one bank");
+        (merged, workers, banks as usize)
+    };
+    observe.on_run_end(
+        &metrics,
+        &RunSummary {
+            workers,
+            shards: shard_count,
+            elapsed: start.elapsed(),
+        },
+    );
+    metrics
+}
+
+/// Shim kept so existing observers of the unobserved API see no change:
+/// [`run_with`] with a [`NullObserve`] would pay a per-activation
+/// virtual call; this assertion documents why it instead short-circuits
+/// to the monomorphised path.
+#[allow(dead_code)]
+fn _null_observe_is_zero_sized() {
+    const _: () = assert!(std::mem::size_of::<NullObserve>() == 0);
+    const _: () = assert!(std::mem::size_of::<NullObserver>() == 0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ExperimentScale;
+    use crate::observe::TimeSeriesRecorder;
     use crate::{scenario, techniques};
     use mem_trace::{AttackConfig, Attacker, ReplayTrace};
     use rh_hwmodel::Technique;
@@ -227,21 +353,22 @@ mod tests {
         RunConfig::paper(&ExperimentScale::quick())
     }
 
+    #[derive(Debug)]
+    struct Null;
+    impl Mitigation for Null {
+        fn name(&self) -> &str {
+            "none"
+        }
+        fn on_activate(&mut self, _: BankId, _: RowAddr, _: &mut Vec<MitigationAction>) {}
+        fn on_refresh_interval(&mut self, _: &mut Vec<MitigationAction>) {}
+        fn storage_bits_per_bank(&self) -> u64 {
+            0
+        }
+    }
+
     #[test]
     fn unprotected_attack_flips_bits() {
         // A null mitigation: the attack must succeed.
-        #[derive(Debug)]
-        struct Null;
-        impl Mitigation for Null {
-            fn name(&self) -> &str {
-                "none"
-            }
-            fn on_activate(&mut self, _: BankId, _: RowAddr, _: &mut Vec<MitigationAction>) {}
-            fn on_refresh_interval(&mut self, _: &mut Vec<MitigationAction>) {}
-            fn storage_bits_per_bank(&self) -> u64 {
-                0
-            }
-        }
         let config = quick_config();
         let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
         let metrics = run(attack, &mut Null, &config);
@@ -288,19 +415,112 @@ mod tests {
         let config = quick_config();
         // An endless trace is clipped at config.intervals().
         let long = ReplayTrace::new(vec![vec![]; 10 * config.intervals() as usize]);
-        #[derive(Debug)]
-        struct Null;
-        impl Mitigation for Null {
-            fn name(&self) -> &str {
-                "none"
-            }
-            fn on_activate(&mut self, _: BankId, _: RowAddr, _: &mut Vec<MitigationAction>) {}
-            fn on_refresh_interval(&mut self, _: &mut Vec<MitigationAction>) {}
-            fn storage_bits_per_bank(&self) -> u64 {
-                0
-            }
-        }
         let metrics = run(long, &mut Null, &config);
         assert_eq!(metrics.intervals, config.intervals());
+    }
+
+    /// A counting observer: every hook increments a counter, so the test
+    /// can check the engine calls each hook the documented number of
+    /// times.
+    #[derive(Default)]
+    struct Counting {
+        activations: u64,
+        aggressors: u64,
+        actions: u64,
+        true_positives: u64,
+        intervals: u64,
+        run_ends: u64,
+    }
+
+    impl Observer for Counting {
+        fn on_activation(&mut self, _: BankId, _: RowAddr, aggressor: bool) {
+            self.activations += 1;
+            if aggressor {
+                self.aggressors += 1;
+            }
+        }
+        fn on_action(&mut self, _: &MitigationAction, true_positive: bool) {
+            self.actions += 1;
+            if true_positive {
+                self.true_positives += 1;
+            }
+        }
+        fn on_interval_end(&mut self, snapshot: &IntervalSnapshot<'_>) {
+            self.intervals += 1;
+            assert_eq!(snapshot.interval + 1, self.intervals);
+            assert_eq!(snapshot.activations, self.activations);
+            assert_eq!(snapshot.triggers, self.actions);
+        }
+        fn on_run_end(&mut self, _: &mut RunMetrics) {
+            self.run_ends += 1;
+        }
+    }
+
+    #[test]
+    fn observer_hooks_fire_once_per_event() {
+        let config = quick_config();
+        let trace = scenario::paper_mix(&config, 5);
+        let mut para = techniques::build(Technique::Para, &config, 5);
+        let mut counting = Counting::default();
+        let metrics = run_observed(trace, para.as_mut(), &config, &mut counting);
+        assert_eq!(counting.activations, metrics.workload_activations);
+        assert!(counting.aggressors > 0);
+        assert!(counting.aggressors < counting.activations);
+        assert_eq!(counting.actions, metrics.trigger_events);
+        assert_eq!(
+            counting.actions - counting.true_positives,
+            metrics.false_positive_events
+        );
+        assert_eq!(counting.intervals, metrics.intervals);
+        assert_eq!(counting.run_ends, 1);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        let config = quick_config();
+        let unobserved = {
+            let mut m = techniques::build(Technique::LoLiPromi, &config, 2);
+            run(scenario::paper_mix(&config, 2), m.as_mut(), &config)
+        };
+        let observed = {
+            let mut m = techniques::build(Technique::LoLiPromi, &config, 2);
+            let mut counting = Counting::default();
+            run_observed(
+                scenario::paper_mix(&config, 2),
+                m.as_mut(),
+                &config,
+                &mut counting,
+            )
+        };
+        assert_eq!(unobserved, observed);
+    }
+
+    #[test]
+    fn timeseries_final_point_matches_run_totals() {
+        let config = quick_config();
+        let trace = scenario::paper_mix(&config, 3);
+        let build =
+            |seed: u64| move || techniques::build(Technique::Para, &quick_config(), seed);
+        let metrics = run_with_observed(trace, &build(3), &config, &TimeSeriesRecorder::new(64));
+        let series = metrics.timeseries.as_ref().expect("recorder attached");
+        assert_eq!(series.stride, 64);
+        let last = series.points.last().expect("nonempty run");
+        assert_eq!(last.interval, metrics.intervals - 1);
+        assert_eq!(last.activations, metrics.workload_activations);
+        assert_eq!(last.mitigation_activations, metrics.mitigation_activations);
+        assert_eq!(last.triggers, metrics.trigger_events);
+        assert_eq!(last.false_positives, metrics.false_positive_events);
+        assert_eq!(last.max_disturbance, metrics.max_disturbance);
+        // Grid points sit at stride boundaries; cumulative counters are
+        // monotone along the series.
+        for pair in series.points.windows(2) {
+            assert!(pair[0].interval < pair[1].interval);
+            assert!(pair[0].activations <= pair[1].activations);
+            assert!(pair[0].triggers <= pair[1].triggers);
+            assert!(pair[0].max_disturbance <= pair[1].max_disturbance);
+        }
+        for p in &series.points[..series.points.len() - 1] {
+            assert_eq!((p.interval + 1) % series.stride, 0);
+        }
     }
 }

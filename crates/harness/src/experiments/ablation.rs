@@ -5,8 +5,9 @@
 
 use crate::config::{ExperimentScale, RunConfig};
 use crate::metrics::MeanStd;
+use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::{engine, parallel, scenario, techniques};
+use crate::{parallel, scenario};
 use tivapromi::{HistoryPolicy, TivaConfig, TivaVariant};
 
 /// One ablation cell.
@@ -39,7 +40,10 @@ fn sweep_one(
 ) -> AblationResult {
     let runs = parallel::map((1..=u64::from(seeds)).collect(), |seed| {
         let trace = scenario::paper_mix(config, seed);
-        engine::run_with(trace, &|| techniques::build_tiva(variant, tiva, seed), config)
+        Runner::new(config.clone())
+            .technique((variant, tiva))
+            .seed(seed)
+            .run(trace)
     });
     let overheads: Vec<f64> = runs.iter().map(|m| m.overhead_percent()).collect();
     AblationResult {

@@ -10,8 +10,9 @@
 
 use crate::config::{ExperimentScale, RunConfig};
 use crate::metrics::MeanStd;
+use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::{engine, parallel, techniques};
+use crate::parallel;
 use dram_sim::{BankId, RowAddr};
 use mem_trace::{AttackConfig, AttackKind, Attacker, MixedTrace, SpecLikeWorkload, WorkloadConfig};
 use rh_hwmodel::Technique;
@@ -85,7 +86,10 @@ pub fn run(scale: &ExperimentScale) -> Vec<SweepResult> {
         .collect();
     let runs = parallel::map(jobs, |(t, k, seed)| {
         let trace = fixed_count_mix(&config, k, seed);
-        let metrics = engine::run_with(trace, &|| techniques::build(t, &config, seed), &config);
+        let metrics = Runner::new(config.clone())
+            .technique(t)
+            .seed(seed)
+            .run(trace);
         (t, k, metrics)
     });
 

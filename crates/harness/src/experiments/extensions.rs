@@ -17,8 +17,9 @@
 use crate::config::{ExperimentScale, RunConfig};
 use crate::experiments::fig4::Fig4Point;
 use crate::metrics::MeanStd;
+use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::{engine, parallel, techniques};
+use crate::parallel;
 use mem_trace::cpu::{CpuWorkload, CpuWorkloadConfig};
 use rh_hwmodel::Technique;
 
@@ -83,8 +84,8 @@ pub fn cache_validation(scale: &ExperimentScale) -> Vec<CacheValidationResult> {
             CpuWorkloadConfig::paper(&config.geometry, config.intervals()),
             seed,
         );
-        let mut mitigation = techniques::build(t, &config, seed);
-        (t, engine::run(trace, mitigation.as_mut(), &config))
+        let runner = Runner::new(config.clone()).technique(t).seed(seed);
+        (t, runner.run_sequential(trace))
     });
     under_test
         .iter()

@@ -10,8 +10,9 @@
 
 use crate::config::{ExperimentScale, RunConfig};
 use crate::metrics::{MeanStd, RunMetrics};
+use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::{engine, parallel, scenario, techniques};
+use crate::{parallel, scenario};
 use rh_hwmodel::Technique;
 
 /// One point of Fig. 4.
@@ -32,7 +33,10 @@ pub struct Fig4Point {
 /// Runs one technique at one seed on the standard mixed trace.
 pub fn run_one(technique: Technique, config: &RunConfig, seed: u64) -> RunMetrics {
     let trace = scenario::paper_mix(config, seed);
-    engine::run_with(trace, &|| techniques::build(technique, config, seed), config)
+    Runner::new(config.clone())
+        .technique(technique)
+        .seed(seed)
+        .run(trace)
 }
 
 /// Regenerates all nine Fig. 4 points at the given scale.

@@ -24,8 +24,9 @@
 
 use crate::config::{ExperimentScale, RunConfig};
 use crate::metrics::MeanStd;
+use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::{engine, parallel, scenario, techniques};
+use crate::{parallel, scenario};
 use dram_sim::RowAddr;
 use rh_hwmodel::{reference, Technique};
 
@@ -76,7 +77,10 @@ pub fn run(scale: &ExperimentScale) -> Vec<FloodingResult> {
         .collect();
     let runs = parallel::map(jobs, |(t, phase, seed)| {
         let trace = scenario::flooding_with_phase(&config, FLOODED_ROW, phase);
-        let metrics = engine::run_with(trace, &|| techniques::build(t, &config, seed), &config);
+        let metrics = Runner::new(config.clone())
+            .technique(t)
+            .seed(seed)
+            .run(trace);
         (t, phase, metrics)
     });
 

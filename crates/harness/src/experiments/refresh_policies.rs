@@ -6,8 +6,9 @@
 
 use crate::config::{ExperimentScale, RunConfig};
 use crate::metrics::MeanStd;
+use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::{engine, parallel, scenario, techniques};
+use crate::{parallel, scenario};
 use dram_sim::{RefreshOrder, RowAddr};
 use rh_hwmodel::Technique;
 
@@ -64,7 +65,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<PolicyResult> {
     let runs = parallel::map(jobs, |(t, policy, seed)| {
         let config = base.clone().with_refresh_order(policy.clone());
         let trace = scenario::paper_mix(&config, seed);
-        let metrics = engine::run_with(trace, &|| techniques::build(t, &config, seed), &config);
+        let metrics = Runner::new(config).technique(t).seed(seed).run(trace);
         (t, policy.to_string(), metrics)
     });
 

@@ -18,8 +18,9 @@
 //!   sweep demonstrates.
 
 use crate::config::{ExperimentScale, RunConfig};
+use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::{engine, parallel, scenario, techniques};
+use crate::{parallel, scenario};
 use dram_sim::RowAddr;
 use rh_hwmodel::Technique;
 use tivapromi::{TivaConfig, TivaVariant};
@@ -62,7 +63,10 @@ pub fn run(scale: &ExperimentScale) -> Vec<WeakDramResult> {
         let mut config = base.clone();
         config.flip_threshold = threshold;
         let trace = scenario::flooding(&config, RowAddr(1));
-        let metrics = engine::run_with(trace, &|| techniques::build(t, &config, seed), &config);
+        let metrics = Runner::new(config.clone())
+            .technique(t)
+            .seed(seed)
+            .run(trace);
         (t, threshold, metrics)
     });
 
@@ -116,11 +120,13 @@ pub fn retune(scale: &ExperimentScale) -> Vec<RetuneResult> {
         .collect();
     let runs = parallel::map(jobs, |(exponent, seed)| {
         let tiva = TivaConfig::paper(&base.geometry).with_p_base_exponent(exponent);
-        let build = || TivaVariant::LoPromi.build(tiva, seed);
+        let runner = Runner::new(base.clone())
+            .technique((TivaVariant::LoPromi, tiva))
+            .seed(seed);
         // Flooding for safety…
-        let flood = engine::run_with(scenario::flooding(&base, RowAddr(1)), &build, &base);
+        let flood = runner.run(scenario::flooding(&base, RowAddr(1)));
         // …and the mixed trace for the overhead price.
-        let mix = engine::run_with(scenario::paper_mix(&base, seed), &build, &base);
+        let mix = runner.run(scenario::paper_mix(&base, seed));
         (exponent, flood, mix)
     });
 

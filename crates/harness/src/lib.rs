@@ -23,32 +23,47 @@
 //!
 //! ## Example
 //!
+//! The [`Runner`] builder is the documented entrypoint: pick a
+//! technique, a seed, optionally some observers, and run a trace.
+//!
 //! ```
-//! use rh_harness::{engine, scenario, techniques, RunConfig};
-//! use rh_harness::ExperimentScale;
+//! use rh_harness::{Runner, RunConfig, ExperimentScale, scenario, TimeSeriesRecorder};
 //! use rh_hwmodel::Technique;
 //!
-//! // A tiny run: PARA against the mixed workload, 2 windows, 1 bank.
+//! // A tiny run: PARA against the mixed workload, 2 windows, 1 bank,
+//! // recording the per-interval trajectory every 64 intervals.
 //! let scale = ExperimentScale::quick();
 //! let config = RunConfig::paper(&scale);
 //! let trace = scenario::paper_mix(&config, 1);
-//! let mut mitigation = techniques::build(Technique::Para, &config, 1);
-//! let metrics = engine::run(trace, mitigation.as_mut(), &config);
+//! let metrics = Runner::new(config)
+//!     .technique(Technique::Para)
+//!     .seed(1)
+//!     .observer(TimeSeriesRecorder::new(64))
+//!     .run(trace);
 //! assert!(metrics.workload_activations > 0);
+//! assert!(metrics.timeseries.is_some());
 //! ```
 
 pub mod config;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod observe;
 pub mod parallel;
 pub mod plot;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod table;
 pub mod techniques;
 
 pub use config::{ExperimentScale, Parallelism, RunConfig};
 pub use engine::{run, run_with};
-pub use metrics::{MeanStd, RunMetrics};
+pub use metrics::{MeanStd, RunMetrics, TimePoint, TimeSeries};
+pub use observe::{
+    DisturbanceHistogram, IntervalSnapshot, NullObserver, Observe, Observer, PerfCounters,
+    RunSummary, ShardInfo, TimeSeriesRecorder,
+};
+pub use runner::Runner;
 pub use table::TextTable;
+pub use techniques::TechniqueSpec;

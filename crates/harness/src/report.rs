@@ -7,6 +7,7 @@
 use crate::experiments::fig4::Fig4Point;
 use crate::experiments::flooding::FloodingResult;
 use crate::experiments::latency::LatencyResult;
+use crate::metrics::TimeSeries;
 use std::io::{self, Write};
 
 /// Writes Fig. 4 points as CSV (`technique,storage_bytes,overhead_mean,
@@ -83,6 +84,33 @@ pub fn latency_csv<W: Write>(results: &[LatencyResult], mut writer: W) -> io::Re
     Ok(())
 }
 
+/// Writes a [`TimeSeries`] (as recorded by
+/// [`crate::TimeSeriesRecorder`]) as CSV, one sample point per row.
+/// All counters are cumulative since the start of the run.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn timeseries_csv<W: Write>(series: &TimeSeries, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "interval,activations,mitigation_activations,triggers,false_positives,max_disturbance"
+    )?;
+    for p in &series.points {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{}",
+            p.interval,
+            p.activations,
+            p.mitigation_activations,
+            p.triggers,
+            p.false_positives,
+            p.max_disturbance
+        )?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +130,24 @@ mod tests {
             assert_eq!(line.split(',').count(), 6, "{line}");
         }
         assert!(text.contains("PARA"));
+    }
+
+    #[test]
+    fn timeseries_csv_round_trips_points() {
+        let mut series = TimeSeries::new(8);
+        series.points.push(crate::metrics::TimePoint {
+            interval: 7,
+            activations: 100,
+            mitigation_activations: 2,
+            triggers: 3,
+            false_positives: 1,
+            max_disturbance: 42,
+        });
+        let mut buffer = Vec::new();
+        timeseries_csv(&series, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.starts_with("interval,"));
+        assert!(text.contains("7,100,2,3,1,42"));
     }
 
     #[test]

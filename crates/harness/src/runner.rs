@@ -1,0 +1,227 @@
+//! The [`Runner`] builder: the one documented way to drive a run.
+//!
+//! The engine module grew two entrypoints in PR 1 (`engine::run` for a
+//! caller-built mitigation, `engine::run_with` for sharded execution)
+//! and the observability layer would have added two more.  `Runner`
+//! collapses them: pick a technique, a seed, a parallelism policy and
+//! any number of observers, then call [`Runner::run`].
+//!
+//! ```
+//! use rh_harness::{Runner, RunConfig, ExperimentScale, scenario, TimeSeriesRecorder};
+//! use rh_hwmodel::Technique;
+//!
+//! let config = RunConfig::paper(&ExperimentScale::quick());
+//! let trace = scenario::paper_mix(&config, 1);
+//! let metrics = Runner::new(config.clone())
+//!     .technique(Technique::Para)
+//!     .seed(1)
+//!     .observer(TimeSeriesRecorder::new(64))
+//!     .run(trace);
+//! assert!(metrics.workload_activations > 0);
+//! assert!(metrics.timeseries.is_some());
+//! ```
+
+use crate::config::{Parallelism, RunConfig};
+use crate::engine;
+use crate::metrics::RunMetrics;
+use crate::observe::{Observe, RunSummary, ShardInfo};
+use crate::techniques::{self, TechniqueSpec};
+use mem_trace::{TraceSource, TraceSplit};
+use rh_hwmodel::Technique;
+use std::time::Instant;
+
+/// Builder over the run engine: technique, seed, parallelism and
+/// observers in one place.
+///
+/// With no observers attached, [`Runner::run`] calls straight into the
+/// monomorphised no-observer engine ([`engine::run_with`]) — the
+/// builder adds nothing to the per-activation path.  Attaching an
+/// observer switches to the dynamically-dispatched observed loop.
+pub struct Runner {
+    config: RunConfig,
+    spec: TechniqueSpec,
+    seed: u64,
+    observers: Vec<Box<dyn Observe>>,
+}
+
+impl Runner {
+    /// A runner for `config`, defaulting to the paper's headline
+    /// technique (LoLiPRoMi), seed 1, the config's parallelism, and no
+    /// observers.
+    pub fn new(config: RunConfig) -> Self {
+        Runner {
+            config,
+            spec: TechniqueSpec::Paper(Technique::LoLiPromi),
+            seed: 1,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Selects the mitigation: a [`Technique`], a
+    /// `(TivaVariant, TivaConfig)` pair, or an explicit
+    /// [`TechniqueSpec`].
+    #[must_use]
+    pub fn technique(mut self, spec: impl Into<TechniqueSpec>) -> Self {
+        self.spec = spec.into();
+        self
+    }
+
+    /// Seeds the mitigation's decision streams (default 1).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the config's [`Parallelism`] policy.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches an [`Observe`] strategy; may be called repeatedly, and
+    /// every attached strategy sees every event.
+    ///
+    /// Strategies with shared state ([`crate::PerfCounters`],
+    /// [`crate::DisturbanceHistogram`]) are `Clone`: keep a clone to
+    /// read results after the run.
+    #[must_use]
+    pub fn observer(mut self, observe: impl Observe + 'static) -> Self {
+        self.observers.push(Box::new(observe));
+        self
+    }
+
+    /// The technique spec this runner will build.
+    pub fn spec(&self) -> TechniqueSpec {
+        self.spec
+    }
+
+    /// The run configuration (with any [`Runner::parallelism`] override
+    /// applied).
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Drives `trace` through the configured technique, sharding by
+    /// bank when the parallelism policy allows it.
+    ///
+    /// Deterministic: the result is bit-identical for every worker
+    /// count, with or without deterministic observers attached.
+    pub fn run<S: TraceSplit>(&self, trace: S) -> RunMetrics {
+        let build = || techniques::build(self.spec, &self.config, self.seed);
+        if self.observers.is_empty() {
+            engine::run_with(trace, &build, &self.config)
+        } else {
+            let observe: &[Box<dyn Observe>] = &self.observers;
+            engine::run_with_observed(trace, &build, &self.config, &observe)
+        }
+    }
+
+    /// Drives an unshardable trace ([`TraceSource`] only, e.g. one that
+    /// is not `Send`) sequentially, still honouring observers: the
+    /// whole run is reported as a single shard.
+    pub fn run_sequential<S: TraceSource>(&self, trace: S) -> RunMetrics {
+        let mut mitigation = techniques::build(self.spec, &self.config, self.seed);
+        if self.observers.is_empty() {
+            return engine::run(trace, mitigation.as_mut(), &self.config);
+        }
+        let observe: &[Box<dyn Observe>] = &self.observers;
+        let start = Instant::now();
+        let shard = ShardInfo::whole_run();
+        observe.on_shard_start(&shard);
+        let mut observer = observe.observer(&shard);
+        let metrics =
+            engine::run_observed(trace, mitigation.as_mut(), &self.config, observer.as_mut());
+        observe.on_shard_finish(&shard, &metrics, start.elapsed());
+        observe.on_run_end(
+            &metrics,
+            &RunSummary {
+                workers: 1,
+                shards: 1,
+                elapsed: start.elapsed(),
+            },
+        );
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+    use crate::observe::{PerfCounters, TimeSeriesRecorder};
+    use crate::scenario;
+
+    fn config() -> RunConfig {
+        RunConfig::paper(&ExperimentScale::quick())
+    }
+
+    #[test]
+    fn runner_matches_direct_engine_call() {
+        let config = config();
+        let direct = engine::run_with(
+            scenario::paper_mix(&config, 4),
+            &|| techniques::build(Technique::Para, &config, 4),
+            &config,
+        );
+        let built = Runner::new(config.clone())
+            .technique(Technique::Para)
+            .seed(4)
+            .run(scenario::paper_mix(&config, 4));
+        assert_eq!(direct, built);
+    }
+
+    #[test]
+    fn runner_defaults_to_lolipromi_seed_1() {
+        let runner = Runner::new(config());
+        assert_eq!(runner.spec(), TechniqueSpec::Paper(Technique::LoLiPromi));
+        let config = config();
+        let metrics = runner.run(scenario::paper_mix(&config, 1));
+        assert_eq!(metrics.technique, "LoLiPRoMi");
+    }
+
+    #[test]
+    fn observers_do_not_perturb_metrics() {
+        let config = config();
+        let plain = Runner::new(config.clone())
+            .technique(Technique::TwiCe)
+            .run(scenario::paper_mix(&config, 9));
+        let perf = PerfCounters::default();
+        let observed = Runner::new(config.clone())
+            .technique(Technique::TwiCe)
+            .observer(TimeSeriesRecorder::new(32))
+            .observer(perf.clone())
+            .run(scenario::paper_mix(&config, 9));
+        assert!(observed.timeseries.is_some());
+        assert_eq!(plain, observed.clone().without_timeseries());
+        assert!(!perf.shards().is_empty());
+    }
+
+    #[test]
+    fn run_sequential_attaches_whole_run_observer() {
+        let config = config();
+        let metrics = Runner::new(config.clone())
+            .observer(TimeSeriesRecorder::new(16))
+            .run_sequential(scenario::paper_mix(&config, 2));
+        let series = metrics.timeseries.expect("recorder attached");
+        assert_eq!(series.stride, 16);
+        assert!(!series.points.is_empty());
+    }
+
+    #[test]
+    fn sequential_and_sharded_observed_runs_agree() {
+        let config = config();
+        let sharded = Runner::new(config.clone())
+            .technique(Technique::Para)
+            .seed(2)
+            .observer(TimeSeriesRecorder::new(16))
+            .run(scenario::paper_mix(&config, 2));
+        let sequential = Runner::new(config.clone())
+            .technique(Technique::Para)
+            .seed(2)
+            .observer(TimeSeriesRecorder::new(16))
+            .run_sequential(scenario::paper_mix(&config, 2));
+        assert_eq!(sharded, sequential);
+    }
+}

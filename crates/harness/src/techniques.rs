@@ -1,42 +1,92 @@
 //! Instantiating any of the ten techniques from a [`RunConfig`].
+//!
+//! The single entrypoint is [`build`], which takes anything convertible
+//! into a [`TechniqueSpec`]: a bare [`Technique`] for the paper's
+//! configurations, or a `(TivaVariant, TivaConfig)` pair for ablations
+//! with custom TiVaPRoMi parameters.
 
 use crate::config::RunConfig;
 use rh_baselines::{CounterTree, Cra, Graphene, MrLoc, Para, ProHit, TwiCe};
 use rh_hwmodel::Technique;
 use tivapromi::{Mitigation, TivaConfig, TivaVariant};
 
-/// Builds a boxed mitigation for `technique` under `config`, seeded
+/// What to build: a paper-configured technique, or a TiVaPRoMi variant
+/// with explicit parameters.
+///
+/// `Paper` derives every parameter from the run's geometry exactly as
+/// the paper does (for TiVaPRoMi variants, [`TivaConfig::paper`]);
+/// `Tiva` bypasses that derivation for ablation sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TechniqueSpec {
+    /// One of the Table III techniques with its paper configuration.
+    Paper(Technique),
+    /// A TiVaPRoMi variant with a custom [`TivaConfig`].
+    Tiva(TivaVariant, TivaConfig),
+}
+
+impl From<Technique> for TechniqueSpec {
+    fn from(technique: Technique) -> Self {
+        TechniqueSpec::Paper(technique)
+    }
+}
+
+impl From<(TivaVariant, TivaConfig)> for TechniqueSpec {
+    fn from((variant, tiva): (TivaVariant, TivaConfig)) -> Self {
+        TechniqueSpec::Tiva(variant, tiva)
+    }
+}
+
+impl TechniqueSpec {
+    /// The display name the built mitigation will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TechniqueSpec::Paper(t) => t.name(),
+            TechniqueSpec::Tiva(v, _) => v.name(),
+        }
+    }
+}
+
+/// Builds a boxed mitigation for `spec` under `config`, seeded
 /// deterministically.
+///
+/// Accepts a bare [`Technique`] (the common case), a
+/// `(TivaVariant, TivaConfig)` pair, or an explicit [`TechniqueSpec`]:
 ///
 /// ```
 /// use rh_harness::{techniques, ExperimentScale, RunConfig};
 /// use rh_hwmodel::Technique;
+/// use tivapromi::{TivaConfig, TivaVariant};
 ///
 /// let config = RunConfig::paper(&ExperimentScale::quick());
 /// let m = techniques::build(Technique::LoLiPromi, &config, 7);
 /// assert_eq!(m.name(), "LoLiPRoMi");
+///
+/// // Ablation: LoPRoMi with a non-paper configuration.
+/// let tiva = TivaConfig::paper(&config.geometry).with_history_entries(4);
+/// let m = techniques::build((TivaVariant::LoPromi, tiva), &config, 7);
+/// assert_eq!(m.name(), "LoPRoMi");
 /// ```
-pub fn build(technique: Technique, config: &RunConfig, seed: u64) -> Box<dyn Mitigation> {
+pub fn build(spec: impl Into<TechniqueSpec>, config: &RunConfig, seed: u64) -> Box<dyn Mitigation> {
     let geometry = &config.geometry;
-    let tiva = TivaConfig::paper(geometry);
-    match technique {
-        Technique::Para => Box::new(Para::paper(geometry, seed)),
-        Technique::ProHit => Box::new(ProHit::paper(geometry, seed)),
-        Technique::MrLoc => Box::new(MrLoc::paper(geometry, seed)),
-        Technique::TwiCe => Box::new(TwiCe::paper(geometry)),
-        Technique::Cra => Box::new(Cra::paper(geometry)),
-        Technique::Cat => Box::new(CounterTree::paper(geometry)),
-        Technique::Graphene => Box::new(Graphene::paper(geometry)),
-        Technique::LiPromi => TivaVariant::LiPromi.build(tiva, seed),
-        Technique::LoPromi => TivaVariant::LoPromi.build(tiva, seed),
-        Technique::LoLiPromi => TivaVariant::LoLiPromi.build(tiva, seed),
-        Technique::CaPromi => TivaVariant::CaPromi.build(tiva, seed),
+    match spec.into() {
+        TechniqueSpec::Paper(technique) => {
+            let tiva = TivaConfig::paper(geometry);
+            match technique {
+                Technique::Para => Box::new(Para::paper(geometry, seed)),
+                Technique::ProHit => Box::new(ProHit::paper(geometry, seed)),
+                Technique::MrLoc => Box::new(MrLoc::paper(geometry, seed)),
+                Technique::TwiCe => Box::new(TwiCe::paper(geometry)),
+                Technique::Cra => Box::new(Cra::paper(geometry)),
+                Technique::Cat => Box::new(CounterTree::paper(geometry)),
+                Technique::Graphene => Box::new(Graphene::paper(geometry)),
+                Technique::LiPromi => TivaVariant::LiPromi.build(tiva, seed),
+                Technique::LoPromi => TivaVariant::LoPromi.build(tiva, seed),
+                Technique::LoLiPromi => TivaVariant::LoLiPromi.build(tiva, seed),
+                Technique::CaPromi => TivaVariant::CaPromi.build(tiva, seed),
+            }
+        }
+        TechniqueSpec::Tiva(variant, tiva) => variant.build(tiva, seed),
     }
-}
-
-/// Builds a TiVaPRoMi variant with a custom [`TivaConfig`] (ablations).
-pub fn build_tiva(variant: TivaVariant, tiva: TivaConfig, seed: u64) -> Box<dyn Mitigation> {
-    variant.build(tiva, seed)
 }
 
 #[cfg(test)]
@@ -51,6 +101,17 @@ mod tests {
             assert_eq!(build(t, &config, 1).name(), t.name());
         }
         assert_eq!(build(Technique::Cat, &config, 1).name(), "CAT");
+    }
+
+    #[test]
+    fn spec_routes_tiva_config_through_unchanged() {
+        let config = RunConfig::paper(&ExperimentScale::quick());
+        let tiva = TivaConfig::paper(&config.geometry);
+        // Paper(LoLiPromi) and Tiva(LoLiPromi, paper config) are the
+        // same mitigation.
+        let spec = TechniqueSpec::from((TivaVariant::LoLiPromi, tiva));
+        assert_eq!(spec.name(), "LoLiPRoMi");
+        assert_eq!(build(spec, &config, 1).name(), "LoLiPRoMi");
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Quickstart: protect a DRAM bank against a row-hammer attack with
-//! TiVaPRoMi.
+//! TiVaPRoMi — first by driving the substrate directly, then through
+//! the [`Runner`] builder with a time-series observer attached.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use tivapromi_suite::dram::{BankId, Command, DramDevice, Geometry, RowAddr};
+use tivapromi_suite::harness::{scenario, ExperimentScale, RunConfig};
 use tivapromi_suite::tivapromi::{Mitigation, TimeVarying, TivaConfig};
+use tivapromi_suite::{Runner, TimeSeriesRecorder};
 
 fn main() {
     // The paper's DDR4 geometry: 65 536 rows per bank, 8192 refresh
@@ -56,4 +59,23 @@ fn main() {
     );
     assert!(dram.flips().is_empty(), "the attack must be mitigated");
     println!("\nLoLiPRoMi stopped the attack.");
+
+    // The same protection through the harness's one documented
+    // entrypoint: the Runner builder, here with a time-series recorder
+    // watching the run from inside the engine.
+    let config = RunConfig::paper(&ExperimentScale::quick());
+    let trace = scenario::paper_mix(&config, 42);
+    let metrics = Runner::new(config)
+        .seed(42) // defaults to LoLiPRoMi
+        .observer(TimeSeriesRecorder::new(1024))
+        .run(trace);
+    let series = metrics.timeseries.as_ref().expect("recorder attached");
+    println!(
+        "\nRunner: {} — {} activations, overhead {:.4}%, {} trajectory points",
+        metrics.technique,
+        metrics.workload_activations,
+        metrics.overhead_percent(),
+        series.points.len()
+    );
+    assert_eq!(metrics.flips, 0, "mixed workload must stay safe");
 }

@@ -281,7 +281,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Admissible length specifications for [`vec`].
+    /// Admissible length specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

@@ -18,3 +18,10 @@ pub use rh_baselines as baselines;
 pub use rh_harness as harness;
 pub use rh_hwmodel as hwmodel;
 pub use tivapromi;
+
+// The user-facing run API, flattened to the facade root so examples
+// need a single import path.
+pub use rh_harness::{
+    DisturbanceHistogram, Observe, Observer, PerfCounters, RunMetrics, Runner, TechniqueSpec,
+    TimeSeries, TimeSeriesRecorder,
+};

@@ -11,7 +11,8 @@
 use dram_sim::{Geometry, RowAddr};
 use proptest::prelude::*;
 use tivapromi_suite::harness::{
-    engine, techniques, ExperimentScale, Parallelism, RunConfig, RunMetrics,
+    engine, techniques, ExperimentScale, Parallelism, RunConfig, RunMetrics, Runner,
+    TimeSeriesRecorder,
 };
 use tivapromi_suite::hwmodel::Technique;
 use tivapromi_suite::trace::{
@@ -118,6 +119,64 @@ fn worker_count_zero_resolves_to_auto() {
     assert_eq!(seq, auto);
 }
 
+// --- Observers must not perturb the engine --------------------------
+
+/// Attaching a [`TimeSeriesRecorder`] must not change any metric: the
+/// observed run equals the unobserved run (modulo the recorded series
+/// itself), for sequential and sharded execution alike.
+#[test]
+fn timeseries_recorder_does_not_perturb_results() {
+    let seed = 11;
+    let technique = Technique::LoLiPromi;
+    let base = config().with_parallelism(Parallelism::sequential());
+    let plain = Runner::new(base.clone())
+        .technique(technique)
+        .seed(seed)
+        .run(mix(&base, seed));
+    let observed = Runner::new(base.clone())
+        .technique(technique)
+        .seed(seed)
+        .observer(TimeSeriesRecorder::new(32))
+        .run(mix(&base, seed));
+    assert!(observed.timeseries.is_some());
+    assert_eq!(plain, observed.without_timeseries());
+}
+
+/// With observers attached, sharded runs stay bit-identical to the
+/// sequential run — including the recorded time series, whose merge is
+/// associative over bank shards — at 1, 2 and `available_parallelism`
+/// workers.
+#[test]
+fn observed_sharded_runs_match_observed_sequential() {
+    let seed = 5;
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for technique in [Technique::Para, Technique::TwiCe, Technique::LoLiPromi] {
+        let base = config().with_parallelism(Parallelism::sequential());
+        let sequential = Runner::new(base.clone())
+            .technique(technique)
+            .seed(seed)
+            .observer(TimeSeriesRecorder::new(32))
+            .run(mix(&base, seed));
+        assert!(sequential.timeseries.is_some());
+        for workers in [1, 2, available] {
+            let parallel = base
+                .clone()
+                .with_parallelism(Parallelism::with_workers(workers));
+            let sharded = Runner::new(parallel.clone())
+                .technique(technique)
+                .seed(seed)
+                .observer(TimeSeriesRecorder::new(32))
+                .run(mix(&parallel, seed));
+            assert_eq!(
+                sequential, sharded,
+                "{technique} observed run diverged at {workers} workers"
+            );
+        }
+    }
+}
+
 // --- RunMetrics::merge algebra --------------------------------------
 
 /// Shard-like metrics: the kept fields (technique, flip threshold,
@@ -148,6 +207,7 @@ fn metrics_strategy() -> impl Strategy<Value = RunMetrics> {
                     first_trigger_act: first_trigger,
                     storage_bytes_per_bank: 64.0,
                     intervals,
+                    timeseries: None,
                 }
             },
         )
