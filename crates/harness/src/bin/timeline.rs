@@ -3,15 +3,19 @@
 //! disturbance sampled on a stride grid, written as JSON + CSV to
 //! `results/`.
 //!
-//! Usage: `timeline [quick|paper|full] [technique] [stride] [output-dir]`
-//! (defaults: paper, LoLiPRoMi, 64, `./results`).
+//! Usage: `timeline [quick|paper|full] [technique] [stride] [output-dir]
+//! [--attack <name>]` (defaults: paper, LoLiPRoMi, 64, `./results`,
+//! and the paper's ramping attack).  `--attack` selects any attack
+//! pattern from the scenario catalog (`ramp`, `flooding`,
+//! `double-sided`, `decoy`, `shifted-ramp`, `burst`), mixed with the
+//! benign workload.
 //!
 //! The JSON is read back and compared against the in-memory metrics
 //! before the process exits; a round-trip mismatch is a hard failure
 //! (CI runs this at quick scale).
 
 use rh_harness::{
-    report, ExperimentScale, RunConfig, RunMetrics, Runner, TimeSeriesRecorder,
+    report, scenario, ExperimentScale, RunConfig, RunMetrics, Runner, TimeSeriesRecorder,
 };
 use rh_hwmodel::Technique;
 use std::fs::File;
@@ -26,7 +30,25 @@ fn parse_technique(name: &str) -> Option<Technique> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Vec::new();
+    let mut attack_name: Option<String> = None;
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--attack" {
+            match iter.next() {
+                Some(name) => attack_name = Some(name),
+                None => {
+                    eprintln!("--attack needs a name: {}", scenario::named_attacks().join(", "));
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(name) = arg.strip_prefix("--attack=") {
+            attack_name = Some(name.to_string());
+        } else {
+            args.push(arg);
+        }
+    }
     let scale = args
         .first()
         .and_then(|s| ExperimentScale::from_name(s))
@@ -46,7 +68,19 @@ fn main() -> ExitCode {
     let dir = PathBuf::from(args.get(3).cloned().unwrap_or_else(|| "results".into()));
 
     let config = RunConfig::paper(&scale);
-    let trace = rh_harness::scenario::paper_mix(&config, 1);
+    let trace = match &attack_name {
+        None => scenario::paper_mix(&config, 1),
+        Some(name) => match scenario::named_attack(&config, name) {
+            Some(attack) => scenario::mix_with(&config, attack, 1),
+            None => {
+                eprintln!(
+                    "unknown attack {name:?}; known: {}",
+                    scenario::named_attacks().join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let metrics = Runner::new(config)
         .technique(technique)
         .seed(1)
@@ -71,7 +105,10 @@ fn main() -> ExitCode {
         eprintln!("cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }
-    let slug = metrics.technique.to_lowercase().replace('/', "-");
+    let mut slug = metrics.technique.to_lowercase().replace('/', "-");
+    if let Some(name) = &attack_name {
+        slug = format!("{slug}_{name}");
+    }
     let json_path = dir.join(format!("timeline_{slug}.json"));
     let csv_path = dir.join(format!("timeline_{slug}.csv"));
     let json = match serde_json::to_string(&metrics) {

@@ -79,6 +79,30 @@ struct TriggerLedger {
     // (each shard sees exactly its bank's activations).
     bank_acts: Vec<u64>,
     bank_first: Vec<Option<u64>>,
+    // First-flip bookkeeping mirrors the first-trigger accounting: a
+    // new device flip is attributed to the bank whose activation (or
+    // mitigation action) caused it — disturbance never couples banks,
+    // so the bank issuing the current command is the flipping bank —
+    // and recorded against that bank's activation count.
+    flips_seen: usize,
+    bank_first_flip: Vec<Option<u64>>,
+}
+
+impl TriggerLedger {
+    /// Records the bank-local activation count of the first flip in
+    /// `bank`, if the device's flip count advanced.
+    fn note_flips(&mut self, device: &DramDevice, bank: usize) {
+        let now = device.flips().len();
+        if now > self.flips_seen {
+            self.flips_seen = now;
+            if bank >= self.bank_first_flip.len() {
+                self.bank_first_flip.resize(bank + 1, None);
+            }
+            if self.bank_first_flip[bank].is_none() {
+                self.bank_first_flip[bank] = Some(self.bank_acts.get(bank).copied().unwrap_or(0));
+            }
+        }
+    }
 }
 
 fn apply_actions<O: Observer + ?Sized>(
@@ -103,6 +127,9 @@ fn apply_actions<O: Observer + ?Sized>(
             triggers.bank_first[bank] = Some(triggers.bank_acts.get(bank).copied().unwrap_or(0));
         }
         device.apply(action.to_command());
+        // ActivateNeighbors disturbs the neighbors' neighbors and can
+        // itself cross the flip threshold.
+        triggers.note_flips(device, bank);
     }
 }
 
@@ -163,8 +190,11 @@ pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
         false_positive_events: 0,
         bank_acts: Vec::new(),
         bank_first: Vec::new(),
+        flips_seen: 0,
+        bank_first_flip: Vec::new(),
     };
     let mut total_acts = 0u64;
+    let mut aggressor_acts = 0u64;
     let max_intervals = config.intervals();
 
     for interval in 0..max_intervals {
@@ -180,10 +210,14 @@ pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
             }
             triggers.bank_acts[bank] += 1;
             total_acts += 1;
+            if event.aggressor {
+                aggressor_acts += 1;
+            }
             device.apply(Command::Activate {
                 bank: event.bank,
                 row: event.row,
             });
+            triggers.note_flips(device, bank);
             observer.on_activation(event.bank, event.row, event.aggressor);
             mitigation.on_activate(event.bank, event.row, &mut actions);
             if !actions.is_empty() {
@@ -208,6 +242,7 @@ pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
     let mut metrics = RunMetrics {
         technique: mitigation.name().to_string(),
         workload_activations: stats.workload_activations,
+        aggressor_activations: aggressor_acts,
         mitigation_activations: stats.mitigation_activations,
         trigger_events: triggers.trigger_events,
         false_positive_events: triggers.false_positive_events,
@@ -215,6 +250,7 @@ pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
         max_disturbance: device.max_disturbance_seen(),
         flip_threshold: config.flip_threshold,
         first_trigger_act: triggers.bank_first.iter().flatten().copied().min(),
+        time_to_first_flip: triggers.bank_first_flip.iter().flatten().copied().min(),
         storage_bytes_per_bank: mitigation.storage_bytes_per_bank(),
         intervals: stats.refresh_intervals,
         timeseries: None,

@@ -10,6 +10,7 @@ pub mod blast_radius;
 pub mod extensions;
 pub mod fig4;
 pub mod flooding;
+pub mod redteam;
 pub mod latency;
 pub mod refresh_policies;
 pub mod reliability;

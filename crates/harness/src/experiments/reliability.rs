@@ -68,12 +68,20 @@ pub fn run(scale: &ExperimentScale) -> Vec<ReliabilityResult> {
 
 /// Renders the reliability table.
 pub fn render(results: &[ReliabilityResult]) -> String {
-    let mut table = TextTable::new(vec!["technique", "bit flips", "attack margin"]);
+    let mut table = TextTable::new(vec![
+        "technique",
+        "bit flips",
+        "attack margin",
+        "first flip @ act",
+    ]);
     for r in results {
         table.row(vec![
             r.technique.clone(),
             r.flips.to_string(),
             format!("{:.1}% of threshold", 100.0 * r.margin),
+            r.metrics
+                .time_to_first_flip
+                .map_or_else(|| "-".into(), |act| act.to_string()),
         ]);
     }
     table.render()

@@ -129,6 +129,9 @@ pub struct RunMetrics {
     pub technique: String,
     /// Workload activations driven through the device.
     pub workload_activations: u64,
+    /// Workload activations carrying the trace's ground-truth
+    /// `aggressor` label — the attacker's spent budget.
+    pub aggressor_activations: u64,
     /// Extra activations issued by the mitigation (`act_n` counts the
     /// neighbors it touches).
     pub mitigation_activations: u64,
@@ -145,6 +148,13 @@ pub struct RunMetrics {
     pub flip_threshold: u32,
     /// Workload activation count at the first trigger event, if any.
     pub first_trigger_act: Option<u64>,
+    /// Bank-local activation count at the first bit flip, if any: the
+    /// number of activations delivered to the flipping bank up to and
+    /// including the one that crossed the threshold.  Uses the same
+    /// bank-local accounting as `first_trigger_act`, so it is invariant
+    /// under bank sharding; for a pure single-bank attack trace this is
+    /// exactly the attacker budget spent to the first flip.
+    pub time_to_first_flip: Option<u64>,
     /// Storage the technique needs per bank, bytes.
     pub storage_bytes_per_bank: f64,
     /// Refresh intervals simulated.
@@ -205,11 +215,39 @@ impl RunMetrics {
         f64::from(self.max_disturbance) / f64::from(self.flip_threshold)
     }
 
+    /// Evasion rate in percent: the share of the attacker's activation
+    /// budget that drew no true-positive response from the mitigation,
+    /// `100 · (1 − true_positive_triggers / aggressor_activations)`,
+    /// clamped at 0 (a mitigation may fire several justified triggers
+    /// per aggressor activation).  0 when the trace had no aggressors.
+    ///
+    /// High evasion with flips is a defeated defense; high evasion
+    /// without flips just means the attack stayed under the radar *and*
+    /// under the threshold.
+    pub fn evasion_percent(&self) -> f64 {
+        if self.aggressor_activations == 0 {
+            return 0.0;
+        }
+        let true_positives = self.trigger_events - self.false_positive_events;
+        (100.0 * (1.0 - true_positives as f64 / self.aggressor_activations as f64)).max(0.0)
+    }
+
+    /// Bit flips per million attacker activations (0 when the trace had
+    /// no aggressors) — the red-team search's efficiency metric.
+    pub fn flips_per_mega_act(&self) -> f64 {
+        if self.aggressor_activations == 0 {
+            0.0
+        } else {
+            1e6 * self.flips as f64 / self.aggressor_activations as f64
+        }
+    }
+
     /// Combines the metrics of two disjoint shards of one run (the
     /// per-bank shards of [`crate::engine::run_with`]).
     ///
     /// Counters sum; `max_disturbance` and `intervals` take the maximum;
-    /// `first_trigger_act` takes the earliest trigger present; the
+    /// `first_trigger_act` and `time_to_first_flip` take the earliest
+    /// (bank-local) occurrence present; the
     /// optional `timeseries` sections combine point-wise with
     /// [`TimeSeries::merge`].  The run-level fields (`technique`,
     /// `flip_threshold`, `storage_bytes_per_bank`) are identical across
@@ -223,6 +261,7 @@ impl RunMetrics {
         RunMetrics {
             technique: self.technique,
             workload_activations: self.workload_activations + other.workload_activations,
+            aggressor_activations: self.aggressor_activations + other.aggressor_activations,
             mitigation_activations: self.mitigation_activations + other.mitigation_activations,
             trigger_events: self.trigger_events + other.trigger_events,
             false_positive_events: self.false_positive_events + other.false_positive_events,
@@ -230,6 +269,10 @@ impl RunMetrics {
             max_disturbance: self.max_disturbance.max(other.max_disturbance),
             flip_threshold: self.flip_threshold,
             first_trigger_act: match (self.first_trigger_act, other.first_trigger_act) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            time_to_first_flip: match (self.time_to_first_flip, other.time_to_first_flip) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             },
@@ -305,6 +348,7 @@ mod tests {
         RunMetrics {
             technique: "X".into(),
             workload_activations: 1000,
+            aggressor_activations: 300,
             mitigation_activations: 20,
             trigger_events: 10,
             false_positive_events: 4,
@@ -312,6 +356,7 @@ mod tests {
             max_disturbance: 50,
             flip_threshold: 100,
             first_trigger_act: Some(42),
+            time_to_first_flip: None,
             storage_bytes_per_bank: 120.0,
             intervals: 16,
             timeseries: None,
@@ -324,6 +369,19 @@ mod tests {
         assert!((m.overhead_percent() - 2.0).abs() < 1e-12);
         assert!((m.fpr_percent() - 0.4).abs() < 1e-12);
         assert!((m.attack_margin() - 0.5).abs() < 1e-12);
+        // 6 true positives over 300 aggressor acts -> 98% evasion.
+        assert!((m.evasion_percent() - 98.0).abs() < 1e-12);
+        assert_eq!(m.flips_per_mega_act(), 0.0);
+        let mut flipped = metrics();
+        flipped.flips = 3;
+        assert!((flipped.flips_per_mega_act() - 1e4).abs() < 1e-9);
+        let mut benign = metrics();
+        benign.aggressor_activations = 0;
+        assert_eq!(benign.evasion_percent(), 0.0);
+        // More true positives than aggressor acts clamps at 0.
+        let mut swamped = metrics();
+        swamped.aggressor_activations = 2;
+        assert_eq!(swamped.evasion_percent(), 0.0);
     }
 
     /// Pins the FPR definition to the paper's Table III: false-positive
@@ -368,25 +426,40 @@ mod tests {
 
     #[test]
     fn merge_sums_counters_and_takes_extrema() {
-        let a = metrics();
+        let mut a = metrics();
+        a.time_to_first_flip = Some(900);
         let mut b = metrics();
         b.workload_activations = 500;
+        b.aggressor_activations = 100;
         b.trigger_events = 3;
         b.false_positive_events = 1;
         b.flips = 2;
         b.max_disturbance = 80;
         b.first_trigger_act = Some(7);
+        b.time_to_first_flip = Some(650);
         b.intervals = 20;
         let m = a.merge(b);
         assert_eq!(m.workload_activations, 1500);
+        assert_eq!(m.aggressor_activations, 400);
         assert_eq!(m.trigger_events, 13);
         assert_eq!(m.false_positive_events, 5);
         assert_eq!(m.flips, 2);
         assert_eq!(m.max_disturbance, 80);
         assert_eq!(m.first_trigger_act, Some(7));
+        assert_eq!(m.time_to_first_flip, Some(650));
         assert_eq!(m.intervals, 20);
         assert_eq!(m.technique, "X");
         assert_eq!(m.flip_threshold, 100);
+    }
+
+    #[test]
+    fn merge_first_flip_handles_missing_sides() {
+        let mut a = metrics();
+        a.time_to_first_flip = Some(11);
+        let b = metrics(); // None
+        assert_eq!(a.clone().merge(b.clone()).time_to_first_flip, Some(11));
+        assert_eq!(b.clone().merge(a).time_to_first_flip, Some(11));
+        assert_eq!(b.clone().merge(b).time_to_first_flip, None);
     }
 
     #[test]

@@ -654,6 +654,7 @@ mod tests {
         RunMetrics {
             technique: "X".into(),
             workload_activations: 1000,
+            aggressor_activations: 300,
             mitigation_activations: 20,
             trigger_events: 10,
             false_positive_events: 4,
@@ -661,6 +662,7 @@ mod tests {
             max_disturbance: 50,
             flip_threshold: 100,
             first_trigger_act: Some(42),
+            time_to_first_flip: None,
             storage_bytes_per_bank: 120.0,
             intervals: 16,
             timeseries: None,

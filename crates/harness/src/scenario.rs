@@ -27,6 +27,83 @@ pub fn paper_mix(config: &RunConfig, seed: u64) -> MixedTrace {
     )
 }
 
+/// The SPEC-like benign mix plus an arbitrary attack configuration,
+/// bounded by the DDR4 per-interval activation budget.
+pub fn mix_with(config: &RunConfig, attack: AttackConfig, seed: u64) -> MixedTrace {
+    let workload = SpecLikeWorkload::new(
+        WorkloadConfig::paper(&config.geometry).with_intervals(config.intervals()),
+        seed,
+    );
+    MixedTrace::new(
+        vec![Box::new(workload), Box::new(Attacker::new(attack))],
+        config.timing.max_activations_per_interval(),
+    )
+}
+
+/// Builds a named attack configuration sized for `config`'s geometry:
+/// `ramp` (the paper's 1→20 ramp), `flooding`, `double-sided`,
+/// `decoy`, `shifted-ramp`, or `burst`.  Returns `None` for unknown
+/// names; see [`named_attacks`] for the full list.
+pub fn named_attack(config: &RunConfig, name: &str) -> Option<AttackConfig> {
+    let intervals = config.intervals();
+    let ipw = u64::from(config.geometry.intervals_per_window());
+    // Aggressor block in the middle of the bank, like the paper's ramp.
+    let base_row = config.geometry.rows_per_bank() / 2;
+    let base = AttackConfig {
+        kind: AttackKind::DoubleSided {
+            victim: RowAddr(base_row + 1),
+        },
+        target_banks: vec![BankId(0)],
+        acts_per_interval: 32,
+        start_interval: 0,
+        intervals,
+        ramp_hold_intervals: 0,
+    };
+    let kind = match name {
+        "ramp" => {
+            return Some(AttackConfig::paper_ramp(
+                config.geometry.banks(),
+                intervals,
+                ipw,
+            ))
+        }
+        "flooding" => return Some(AttackConfig::flooding(RowAddr(base_row), intervals)),
+        "double-sided" => AttackKind::DoubleSided {
+            victim: RowAddr(base_row + 1),
+        },
+        "decoy" => AttackKind::DecoyAssisted {
+            victim: RowAddr(base_row + 1),
+            decoys: 4,
+        },
+        "shifted-ramp" => AttackKind::PhaseShifted {
+            base_row: RowAddr(base_row),
+            max_aggressors: 20,
+            shift_intervals: ipw / 4,
+        },
+        "burst" => AttackKind::RefreshSyncBurst {
+            base_row: RowAddr(base_row),
+            pairs: 1,
+            duty_intervals: ipw / 2,
+            period_intervals: ipw,
+            phase: ipw / 4,
+        },
+        _ => return None,
+    };
+    Some(AttackConfig { kind, ..base })
+}
+
+/// The attack names [`named_attack`] accepts.
+pub fn named_attacks() -> &'static [&'static str] {
+    &[
+        "ramp",
+        "flooding",
+        "double-sided",
+        "decoy",
+        "shifted-ramp",
+        "burst",
+    ]
+}
+
 /// Benign traffic only (false-positive baselines).
 pub fn workload_only(config: &RunConfig, seed: u64) -> SpecLikeWorkload {
     SpecLikeWorkload::new(
@@ -201,6 +278,19 @@ mod tests {
             aggressor_count as f64 > expected as f64 * 0.8,
             "aggressor {aggressor_count} vs expected {expected}"
         );
+    }
+
+    #[test]
+    fn named_attacks_all_build_and_mix() {
+        let config = RunConfig::paper(&ExperimentScale::quick());
+        for name in named_attacks() {
+            let attack = named_attack(&config, name)
+                .unwrap_or_else(|| panic!("{name} should be a known attack"));
+            let stats = TraceStats::collect(mix_with(&config, attack, 1));
+            assert!(stats.aggressor_share() > 0.0, "{name} emitted no attack");
+            assert!(stats.max_per_bank_interval <= 165, "{name} broke the cap");
+        }
+        assert!(named_attack(&config, "bogus").is_none());
     }
 
     #[test]

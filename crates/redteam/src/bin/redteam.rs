@@ -1,0 +1,103 @@
+//! Security-frontier search CLI.
+//!
+//! ```text
+//! redteam [--quick|--thorough] [seed] [output-dir]
+//! ```
+//!
+//! Searches the security frontier of all nine Table III techniques,
+//! prints the frontier table, and writes the JSON report (with a
+//! round-trip self-check) to `<output-dir>/redteam-frontier.json`
+//! (default `target/redteam`).
+
+use rh_redteam::{run_search, FrontierReport, SearchConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: redteam [--quick|--thorough] [seed] [output-dir]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut seed = 7u64;
+    let mut out_dir = PathBuf::from("target/redteam");
+    let mut thorough = false;
+    let mut positional = 0;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "quick" => thorough = false,
+            "--thorough" | "thorough" => thorough = true,
+            "--help" | "-h" => return usage(),
+            other => {
+                positional += 1;
+                match positional {
+                    1 => match other.parse() {
+                        Ok(s) => seed = s,
+                        Err(_) => {
+                            eprintln!("not a seed: {other}");
+                            return usage();
+                        }
+                    },
+                    2 => out_dir = PathBuf::from(other),
+                    _ => return usage(),
+                }
+            }
+        }
+    }
+
+    let mut search = SearchConfig::quick(seed);
+    if thorough {
+        search.rounds = 5;
+        search.population = 24;
+        search.survivors = 5;
+        search.max_windows = 4;
+    }
+    println!(
+        "red-team frontier search: seed {seed}, {} rounds, flip threshold {}, target {} flip(s)",
+        search.rounds, search.base.flip_threshold, search.flip_target
+    );
+
+    let report = run_search(&search);
+    println!("{}", report.render());
+
+    for result in &report.results {
+        if let (Some(adaptive), Some(static_ramp)) =
+            (&result.frontier_adaptive, &result.frontier_static)
+        {
+            if adaptive.budget < static_ramp.budget {
+                println!(
+                    "{}: adaptive {} breaches at budget {} vs static ramp {} ({:.0}% cheaper)",
+                    result.technique,
+                    adaptive.candidate.label(),
+                    adaptive.budget,
+                    static_ramp.budget,
+                    100.0 * (1.0 - adaptive.budget as f64 / static_ramp.budget as f64)
+                );
+            }
+        }
+    }
+
+    let json = report.to_json();
+    match FrontierReport::from_json(&json) {
+        Ok(back) if back == report => {}
+        Ok(_) => {
+            eprintln!("self-check failed: JSON round-trip changed the report");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("self-check failed: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join("redteam-frontier.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} bytes, round-trip checked)", path.display(), json.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,323 @@
+//! The attack-configuration search space: shapes, budgets, and the
+//! mapping from a [`Candidate`] to a runnable trace.
+//!
+//! A candidate is an attack *shape* (which pattern family) plus the two
+//! budget knobs the frontier is measured in: activations per refresh
+//! interval and duration in refresh windows.  The attacker budget of a
+//! run is the number of activations the attacker actually issued
+//! ([`rh_harness::RunMetrics::aggressor_activations`]), so duty-cycled
+//! shapes are charged only for the intervals they hammer in.
+
+use crate::feedback::{AdaptiveDecoyAttack, FeedbackBoard, FeedbackProbe};
+use dram_sim::{BankId, RowAddr};
+use mem_trace::{AttackConfig, AttackKind, Attacker, TraceSplit};
+use rh_harness::RunConfig;
+use serde::{Deserialize, Serialize};
+
+/// Base aggressor row for every synthesized attack.  Chosen low enough
+/// to fit the scaled-down search geometry (1024 rows) with room for the
+/// phase-shifted block relocations and decoy sprays above it.
+pub const BASE_ROW: u32 = 200;
+
+/// Aggressor count the ramping shapes grow to (the paper's 1→20 ramp).
+pub const RAMP_MAX_AGGRESSORS: u32 = 20;
+
+/// The attack pattern families the search synthesizes over.
+///
+/// `StaticRamp` and `DoubleSided` are the paper's static attackers; the
+/// remaining shapes are the red-team additions — decoy interleaving
+/// (exploiting probabilistic non-selection), window-synchronized
+/// relocation, refresh-synchronized duty cycling, and the
+/// feedback-adaptive decoy attack driven by observer hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackShape {
+    /// The paper's 1→20 multi-aggressor ramp.
+    StaticRamp,
+    /// Classic double-sided hammering of one victim.
+    DoubleSided,
+    /// Double-sided hammering interleaved with a fixed decoy spray.
+    Decoy {
+        /// Decoy rows interleaved per interval.
+        decoys: u32,
+    },
+    /// A ramp whose aggressor block relocates every `shift_16ths`/16 of
+    /// a refresh window (defeats location-keyed bookkeeping).
+    ShiftedRamp {
+        /// Relocation period in sixteenths of a refresh window (0 keeps
+        /// the block fixed).
+        shift_16ths: u32,
+    },
+    /// Refresh-synchronized bursts: hammer `pairs` aggressor pairs for
+    /// `duty_16ths`/16 of every window, starting `phase_16ths`/16 after
+    /// the window boundary (just after the victims' refresh slot).
+    Burst {
+        /// Aggressor pairs per burst.
+        pairs: u32,
+        /// Duty cycle in sixteenths of a window.
+        duty_16ths: u32,
+        /// Burst phase in sixteenths of a window.
+        phase_16ths: u32,
+    },
+    /// Feedback-adaptive decoy interleaving: the attacker watches the
+    /// mitigation's actions through an observer probe and sprays decoys
+    /// only while the mitigation is reacting.
+    AdaptiveDecoy {
+        /// Decoy ceiling the adaptation ramps up to.
+        max_decoys: u32,
+    },
+}
+
+impl AttackShape {
+    /// Whether this shape reacts to the defense (the red-team shapes)
+    /// as opposed to the paper's static attackers.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(
+            self,
+            AttackShape::ShiftedRamp { .. }
+                | AttackShape::Burst { .. }
+                | AttackShape::AdaptiveDecoy { .. }
+        )
+    }
+
+    /// Short display name of the shape family.
+    pub fn family(&self) -> &'static str {
+        match self {
+            AttackShape::StaticRamp => "static-ramp",
+            AttackShape::DoubleSided => "double-sided",
+            AttackShape::Decoy { .. } => "decoy",
+            AttackShape::ShiftedRamp { .. } => "shifted-ramp",
+            AttackShape::Burst { .. } => "burst",
+            AttackShape::AdaptiveDecoy { .. } => "adaptive-decoy",
+        }
+    }
+}
+
+/// One point of the search space: a shape with its budget knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Attack pattern family and its shape parameters.
+    pub shape: AttackShape,
+    /// Attacker activations per refresh interval while active.
+    pub acts_per_interval: u32,
+    /// Attack duration in refresh windows.
+    pub windows: u64,
+}
+
+impl Candidate {
+    /// The budget this candidate plans to spend: activations per
+    /// interval × the intervals its duty cycle keeps it active for.
+    pub fn planned_budget(&self, intervals_per_window: u32) -> u64 {
+        let ipw = u64::from(intervals_per_window);
+        let intervals = self.windows * ipw;
+        let active = match self.shape {
+            AttackShape::Burst { duty_16ths, .. } => {
+                let duty = (ipw * u64::from(duty_16ths) / 16).max(1);
+                self.windows * duty.min(ipw)
+            }
+            _ => intervals,
+        };
+        active * u64::from(self.acts_per_interval)
+    }
+
+    /// A deterministic human-readable label (`family a<acts> w<windows>`).
+    pub fn label(&self) -> String {
+        format!(
+            "{} a{} w{}",
+            self.shape.family(),
+            self.acts_per_interval,
+            self.windows
+        )
+    }
+}
+
+/// A candidate compiled to a runnable trace, plus the observer probe
+/// the run must attach when the shape is feedback-coupled.
+pub struct BuiltAttack {
+    /// The attacker trace (bank 0 of the configured geometry).
+    pub trace: Box<dyn TraceSplit>,
+    /// Present for [`AttackShape::AdaptiveDecoy`]: attach to the run so
+    /// the attacker sees the mitigation's actions.
+    pub probe: Option<FeedbackProbe>,
+}
+
+/// Compiles `candidate` into an attacker trace on bank 0 of
+/// `config.geometry`, lasting `candidate.windows` refresh windows.
+pub fn build_attack(candidate: &Candidate, config: &RunConfig) -> BuiltAttack {
+    let ipw = config.geometry.intervals_per_window();
+    let intervals = candidate.windows * u64::from(ipw);
+    let base = AttackConfig {
+        kind: AttackKind::DoubleSided {
+            victim: RowAddr(BASE_ROW + 1),
+        },
+        target_banks: vec![BankId(0)],
+        acts_per_interval: candidate.acts_per_interval,
+        start_interval: 0,
+        intervals,
+        ramp_hold_intervals: 0,
+    };
+    let sixteenth = |n: u32| (u64::from(ipw) * u64::from(n) / 16).max(1);
+    let kind = match candidate.shape {
+        AttackShape::StaticRamp => {
+            let ramp = AttackConfig {
+                kind: AttackKind::MultiAggressorRamp {
+                    base_row: RowAddr(BASE_ROW),
+                    max_aggressors: RAMP_MAX_AGGRESSORS,
+                },
+                ramp_hold_intervals: (intervals / u64::from(RAMP_MAX_AGGRESSORS))
+                    .max(u64::from(ipw)),
+                ..base
+            };
+            return BuiltAttack {
+                trace: Box::new(Attacker::new(ramp)),
+                probe: None,
+            };
+        }
+        AttackShape::DoubleSided => AttackKind::DoubleSided {
+            victim: RowAddr(BASE_ROW + 1),
+        },
+        // Not AttackKind::DecoyAssisted: its decoy rows sit 10 000 rows
+        // above the victim, outside small search geometries.  The fixed
+        // decoy attack interleaves the same way with decoys nearby.
+        AttackShape::Decoy { decoys } => {
+            let attack = AdaptiveDecoyAttack::fixed(
+                BankId(0),
+                RowAddr(BASE_ROW + 1),
+                candidate.acts_per_interval,
+                intervals,
+                decoys,
+            );
+            return BuiltAttack {
+                trace: Box::new(attack),
+                probe: None,
+            };
+        }
+        AttackShape::ShiftedRamp { shift_16ths } => AttackKind::PhaseShifted {
+            base_row: RowAddr(BASE_ROW),
+            max_aggressors: RAMP_MAX_AGGRESSORS,
+            shift_intervals: if shift_16ths == 0 {
+                0
+            } else {
+                sixteenth(shift_16ths)
+            },
+        },
+        AttackShape::Burst {
+            pairs,
+            duty_16ths,
+            phase_16ths,
+        } => AttackKind::RefreshSyncBurst {
+            base_row: RowAddr(BASE_ROW),
+            pairs,
+            duty_intervals: sixteenth(duty_16ths),
+            period_intervals: u64::from(ipw),
+            phase: if phase_16ths == 0 {
+                0
+            } else {
+                sixteenth(phase_16ths)
+            },
+        },
+        AttackShape::AdaptiveDecoy { max_decoys } => {
+            let board = FeedbackBoard::new(config.geometry.banks());
+            let attack = AdaptiveDecoyAttack::new(
+                BankId(0),
+                RowAddr(BASE_ROW + 1),
+                candidate.acts_per_interval,
+                intervals,
+                max_decoys,
+                board.clone(),
+            );
+            return BuiltAttack {
+                trace: Box::new(attack),
+                probe: Some(FeedbackProbe::new(board)),
+            };
+        }
+    };
+    BuiltAttack {
+        trace: Box::new(Attacker::new(AttackConfig { kind, ..base })),
+        probe: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_trace::TraceSource;
+    use rh_harness::ExperimentScale;
+
+    fn config() -> RunConfig {
+        let mut config = RunConfig::paper(&ExperimentScale::quick());
+        config.geometry = dram_sim::Geometry::scaled_down(64);
+        config
+    }
+
+    #[test]
+    fn planned_budget_charges_bursts_for_duty_only() {
+        let full = Candidate {
+            shape: AttackShape::DoubleSided,
+            acts_per_interval: 32,
+            windows: 2,
+        };
+        let burst = Candidate {
+            shape: AttackShape::Burst {
+                pairs: 1,
+                duty_16ths: 8,
+                phase_16ths: 4,
+            },
+            ..full
+        };
+        assert_eq!(full.planned_budget(128), 32 * 256);
+        assert_eq!(burst.planned_budget(128), 32 * 64 * 2);
+        assert!(burst.planned_budget(128) < full.planned_budget(128));
+    }
+
+    #[test]
+    fn built_attacks_emit_only_labelled_aggressors() {
+        let config = config();
+        for shape in [
+            AttackShape::StaticRamp,
+            AttackShape::DoubleSided,
+            AttackShape::Decoy { decoys: 3 },
+            AttackShape::ShiftedRamp { shift_16ths: 8 },
+            AttackShape::Burst {
+                pairs: 2,
+                duty_16ths: 4,
+                phase_16ths: 2,
+            },
+            AttackShape::AdaptiveDecoy { max_decoys: 4 },
+        ] {
+            let candidate = Candidate {
+                shape,
+                acts_per_interval: 8,
+                windows: 1,
+            };
+            let mut built = build_attack(&candidate, &config);
+            let mut out = Vec::new();
+            let mut intervals = 0;
+            while built.trace.next_interval(&mut out) {
+                intervals += 1;
+            }
+            assert_eq!(intervals, 128, "{shape:?}");
+            assert!(!out.is_empty(), "{shape:?}");
+            assert!(out.iter().all(|e| e.aggressor), "{shape:?}");
+            assert_eq!(
+                built.probe.is_some(),
+                matches!(shape, AttackShape::AdaptiveDecoy { .. })
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_serializes_round_trip() {
+        let candidate = Candidate {
+            shape: AttackShape::Burst {
+                pairs: 2,
+                duty_16ths: 6,
+                phase_16ths: 3,
+            },
+            acts_per_interval: 24,
+            windows: 2,
+        };
+        let json = serde_json::to_string(&candidate).unwrap();
+        let back: Candidate = serde_json::from_str(&json).unwrap();
+        assert_eq!(candidate, back);
+    }
+}

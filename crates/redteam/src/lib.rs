@@ -1,0 +1,40 @@
+//! Red-team subsystem: adaptive attack synthesis and a parallel
+//! security-frontier search over the Table III mitigation techniques.
+//!
+//! The paper evaluates its mitigations against a fixed attacker (the
+//! 1→20 ramping multi-aggressor attack).  This crate asks the converse
+//! question: *how cheaply can an adaptive attacker defeat each
+//! technique?*  For every technique it synthesizes attack
+//! configurations — static ramps, double-sided hammering, decoy
+//! interleaving, window-synchronized relocation, refresh-synchronized
+//! bursts, and a feedback-adaptive attacker wired to the run engine's
+//! observer hooks — and searches for the **security frontier**: the
+//! minimum attacker budget (activations spent) that reaches a flip
+//! target, and the shape that achieves it.
+//!
+//! Layers:
+//!
+//! * [`candidate`] — the search space and the mapping from a
+//!   [`Candidate`] to a runnable trace;
+//! * [`feedback`] — the observer probe / shared board pair coupling an
+//!   attacker to the mitigation's actions without breaking the
+//!   engine's bank-sharded determinism;
+//! * [`search`] — the budgeted random → successive-halving driver with
+//!   its content-addressed result cache;
+//! * [`report`] — security metrics per candidate and the frontier
+//!   table / JSON report.
+//!
+//! The whole search is deterministic: a fixed [`SearchConfig::seed`]
+//! produces byte-identical frontier JSON at any worker count.
+
+pub mod candidate;
+pub mod feedback;
+pub mod report;
+pub mod search;
+
+pub use candidate::{build_attack, AttackShape, BuiltAttack, Candidate};
+pub use feedback::{AdaptiveDecoyAttack, FeedbackBoard, FeedbackProbe};
+pub use report::{Evaluation, FrontierReport, TechniqueFrontier};
+pub use search::{
+    cache_key, evaluate, run_search, search_technique, SearchConfig, QUICK_FLIP_THRESHOLD,
+};

@@ -1,0 +1,198 @@
+//! Security metrics and the frontier report (table + JSON).
+
+use crate::candidate::Candidate;
+use rh_harness::TextTable;
+use serde::{Deserialize, Serialize};
+
+/// The measured outcome of one candidate against one technique.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The attack configuration that was run.
+    pub candidate: Candidate,
+    /// Attacker activations actually spent over the run (the budget the
+    /// frontier minimizes).
+    pub budget: u64,
+    /// Bit flips caused.
+    pub flips: usize,
+    /// Whether the flip target was reached.
+    pub achieved: bool,
+    /// Bank-local activation count at the first flip, if any.
+    pub time_to_first_flip: Option<u64>,
+    /// Mitigation trigger events the attack drew.
+    pub triggers: u64,
+    /// Share of the attacker budget that drew no true-positive
+    /// response, in percent.
+    pub evasion_percent: f64,
+    /// Flips per million attacker activations.
+    pub flips_per_mega_act: f64,
+    /// Peak disturbance as a fraction of the flip threshold.
+    pub attack_margin: f64,
+}
+
+/// The frontier search outcome for one technique.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechniqueFrontier {
+    /// Technique name (Table III).
+    pub technique: String,
+    /// The minimum-budget achiever over every shape, if any achieved
+    /// the flip target.
+    pub frontier: Option<Evaluation>,
+    /// The minimum-budget achiever restricted to the paper's static
+    /// ramp attacker.
+    pub frontier_static: Option<Evaluation>,
+    /// The minimum-budget achiever restricted to adaptive shapes.
+    pub frontier_adaptive: Option<Evaluation>,
+    /// Distinct candidates evaluated (cache misses).
+    pub evaluations: u64,
+    /// Cache hits over the whole search.
+    pub cache_hits: u64,
+}
+
+/// The full report over every technique.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierReport {
+    /// Flip threshold of the search configuration.
+    pub flip_threshold: u32,
+    /// Flips a candidate had to cause to achieve.
+    pub flip_target: usize,
+    /// The search seed the whole report is a pure function of.
+    pub search_seed: u64,
+    /// Search rounds that were run.
+    pub rounds: usize,
+    /// One frontier per technique, in Table III order.
+    pub results: Vec<TechniqueFrontier>,
+}
+
+impl FrontierReport {
+    /// The report as canonical JSON (byte-identical for identical
+    /// searches, independent of worker count).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Parses a report back from [`FrontierReport::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Renders the frontier table.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "technique",
+            "frontier attack",
+            "budget",
+            "first flip @ act",
+            "evasion",
+            "static-ramp budget",
+            "evals",
+            "cache hits",
+        ]);
+        for result in &self.results {
+            let (attack, budget, first_flip, evasion) = match &result.frontier {
+                Some(e) => (
+                    e.candidate.label(),
+                    e.budget.to_string(),
+                    e.time_to_first_flip
+                        .map_or_else(|| "-".into(), |a| a.to_string()),
+                    format!("{:.1}%", e.evasion_percent),
+                ),
+                None => ("(not breached)".into(), "-".into(), "-".into(), "-".into()),
+            };
+            table.row(vec![
+                result.technique.clone(),
+                attack,
+                budget,
+                first_flip,
+                evasion,
+                result
+                    .frontier_static
+                    .as_ref()
+                    .map_or_else(|| "-".into(), |e| e.budget.to_string()),
+                result.evaluations.to_string(),
+                result.cache_hits.to_string(),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::AttackShape;
+
+    fn evaluation() -> Evaluation {
+        Evaluation {
+            candidate: Candidate {
+                shape: AttackShape::Burst {
+                    pairs: 1,
+                    duty_16ths: 8,
+                    phase_16ths: 4,
+                },
+                acts_per_interval: 32,
+                windows: 1,
+            },
+            budget: 2048,
+            flips: 2,
+            achieved: true,
+            time_to_first_flip: Some(3100),
+            triggers: 12,
+            evasion_percent: 99.4,
+            flips_per_mega_act: 976.5,
+            attack_margin: 1.2,
+        }
+    }
+
+    fn report() -> FrontierReport {
+        FrontierReport {
+            flip_threshold: 2048,
+            flip_target: 1,
+            search_seed: 7,
+            rounds: 3,
+            results: vec![
+                TechniqueFrontier {
+                    technique: "PARA".into(),
+                    frontier: Some(evaluation()),
+                    frontier_static: Some(Evaluation {
+                        budget: 4096,
+                        candidate: Candidate {
+                            shape: AttackShape::StaticRamp,
+                            acts_per_interval: 16,
+                            windows: 2,
+                        },
+                        ..evaluation()
+                    }),
+                    frontier_adaptive: Some(evaluation()),
+                    evaluations: 40,
+                    cache_hits: 9,
+                },
+                TechniqueFrontier {
+                    technique: "TWiCe".into(),
+                    frontier: None,
+                    frontier_static: None,
+                    frontier_adaptive: None,
+                    evaluations: 40,
+                    cache_hits: 9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = report();
+        let back = FrontierReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn table_shows_frontier_and_unbreached_rows() {
+        let text = report().render();
+        assert!(text.contains("PARA"));
+        assert!(text.contains("burst a32 w1"));
+        assert!(text.contains("2048"));
+        assert!(text.contains("4096"));
+        assert!(text.contains("(not breached)"));
+        assert!(text.contains("cache hits"));
+    }
+}

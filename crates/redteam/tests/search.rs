@@ -1,0 +1,52 @@
+//! End-to-end properties of the security-frontier search.
+
+use rh_harness::TechniqueSpec;
+use rh_hwmodel::Technique;
+use rh_redteam::{search_technique, SearchConfig};
+
+fn quick(workers: usize) -> SearchConfig {
+    SearchConfig::quick(7).with_workers(workers)
+}
+
+/// The acceptance property of the red-team subsystem: an adaptive
+/// attack reaches the flip target against PARA with strictly less
+/// budget than the paper's static ramp attacker needs.
+#[test]
+fn adaptive_frontier_beats_static_ramp_against_para() {
+    let frontier = search_technique(TechniqueSpec::Paper(Technique::Para), &quick(0));
+    let adaptive = frontier
+        .frontier_adaptive
+        .as_ref()
+        .expect("an adaptive shape must breach PARA at quick scale");
+    let static_ramp = frontier
+        .frontier_static
+        .as_ref()
+        .expect("the static ramp must breach PARA at quick scale");
+    assert!(adaptive.achieved && static_ramp.achieved);
+    assert!(
+        adaptive.budget < static_ramp.budget,
+        "adaptive budget {} must undercut static ramp budget {}",
+        adaptive.budget,
+        static_ramp.budget
+    );
+    // The overall frontier is never worse than either restriction.
+    let overall = frontier.frontier.as_ref().unwrap();
+    assert!(overall.budget <= adaptive.budget);
+}
+
+/// Survivors re-enter the candidate pool every round, so a multi-round
+/// search must hit the content-addressed cache — and the hit counter,
+/// being decided before dispatch, must not depend on the worker count.
+#[test]
+fn cache_hits_are_counted_and_worker_independent() {
+    let baseline = search_technique(TechniqueSpec::Paper(Technique::Para), &quick(1));
+    assert!(
+        baseline.cache_hits > 0,
+        "survivors re-entering the pool must hit the cache"
+    );
+    assert!(baseline.evaluations > 0);
+    for workers in [2, 4] {
+        let again = search_technique(TechniqueSpec::Paper(Technique::Para), &quick(workers));
+        assert_eq!(baseline, again, "search diverged at {workers} workers");
+    }
+}

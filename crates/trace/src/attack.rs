@@ -52,7 +52,52 @@ pub enum AttackKind {
         /// Number of decoy rows (placed 10 000 rows above the victim).
         decoys: u32,
     },
+    /// Phase-shifted many-sided ramp: the aggressor count ramps exactly
+    /// like [`AttackKind::MultiAggressorRamp`], but the whole aggressor
+    /// block relocates to a different row region every
+    /// `shift_intervals` intervals, cycling through four disjoint
+    /// positions.  Relocation costs the attacker almost nothing — a
+    /// victim's disturbance counter is cleared by its once-per-window
+    /// auto-refresh anyway — while any *cross-window* per-row tracker
+    /// state (TWiCe lifetime counts, Graphene epoch tables, CaPRoMi
+    /// counters, MRLoc queue residency) is built against rows the
+    /// attack no longer touches.
+    PhaseShifted {
+        /// First aggressor row of position 0; positions `p` start at
+        /// `base_row + p * 2 * max_aggressors`.
+        base_row: RowAddr,
+        /// Final number of aggressors per targeted bank.
+        max_aggressors: u32,
+        /// Intervals between relocations (typically one refresh
+        /// window); `0` disables relocation.
+        shift_intervals: u64,
+    },
+    /// Refresh-synchronized burst: `pairs` adjacent aggressors (spaced
+    /// two apart, flanking shared victims) are hammered only during the
+    /// first `duty_intervals` of every `period_intervals`-long period,
+    /// offset by `phase`.  Aligning the duty cycle with the victims'
+    /// refresh slot concentrates the entire budget into the stretch
+    /// where a time-varying mitigation's selection probability is still
+    /// ramping up from its post-refresh floor — the attack spends
+    /// nothing while the defender is most likely to sample it.
+    RefreshSyncBurst {
+        /// First aggressor row.
+        base_row: RowAddr,
+        /// Number of aggressor rows (spaced two apart).
+        pairs: u32,
+        /// Active intervals at the start of each period.
+        duty_intervals: u64,
+        /// Period length in intervals (typically one refresh window);
+        /// `0` means always active.
+        period_intervals: u64,
+        /// Offset of the duty window within the period.
+        phase: u64,
+    },
 }
+
+/// Number of disjoint aggressor-block positions
+/// [`AttackKind::PhaseShifted`] cycles through.
+pub const PHASE_SHIFT_SLOTS: u64 = 4;
 
 /// A parameterised attacker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -185,27 +230,81 @@ impl Attacker {
                 base_row,
                 max_aggressors,
             } => {
-                let elapsed = interval.saturating_sub(self.config.start_interval);
-                let k = if let Some(step) = elapsed.checked_div(self.config.ramp_hold_intervals) {
-                    // Stepped ramp: hold each aggressor count for a
-                    // fixed number of intervals.
-                    1 + step.min(u64::from(max_aggressors.saturating_sub(1))) as u32
-                } else {
-                    // Legacy linear ramp over the whole duration.
-                    let duration = self
-                        .config
-                        .intervals
-                        .saturating_sub(self.config.start_interval);
-                    if duration <= 1 {
-                        max_aggressors
-                    } else {
-                        1 + (elapsed * u64::from(max_aggressors.saturating_sub(1)) / (duration - 1))
-                            as u32
-                    }
-                };
+                let k = self.ramp_count(interval, max_aggressors);
                 (0..k.max(1)).map(|j| RowAddr(base_row.0 + 2 * j)).collect()
             }
+            AttackKind::PhaseShifted {
+                base_row,
+                max_aggressors,
+                shift_intervals,
+            } => {
+                let k = self.ramp_count(interval, max_aggressors);
+                let elapsed = interval.saturating_sub(self.config.start_interval);
+                let slot = match shift_intervals {
+                    0 => 0,
+                    s => (elapsed / s) % PHASE_SHIFT_SLOTS,
+                };
+                let base = base_row.0 + slot as u32 * 2 * max_aggressors;
+                (0..k.max(1)).map(|j| RowAddr(base + 2 * j)).collect()
+            }
+            AttackKind::RefreshSyncBurst {
+                base_row,
+                pairs,
+                duty_intervals,
+                period_intervals,
+                phase,
+            } => {
+                let elapsed = interval.saturating_sub(self.config.start_interval);
+                let active = match period_intervals {
+                    0 => true,
+                    p => (elapsed + p - phase % p) % p < duty_intervals,
+                };
+                if active {
+                    (0..pairs.max(1)).map(|j| RowAddr(base_row.0 + 2 * j)).collect()
+                } else {
+                    Vec::new()
+                }
+            }
         }
+    }
+
+    /// The ramping aggressor count at `interval`, guaranteed to reach
+    /// `max_aggressors` in the final interval of the attack.
+    ///
+    /// The stepped schedule holds each count for `ramp_hold_intervals`
+    /// (preserving the long low-aggressor phases — the strongest part
+    /// of the attack), but is clamped from the end so the staircase
+    /// never schedules a step too late for the remaining counts to each
+    /// get at least one interval before the attack ends.  On a short
+    /// run the old schedule stalled below the maximum — the off-by-one
+    /// pinned by the proptests in `tests/ramp.rs`.
+    fn ramp_count(&self, interval: u64, max_aggressors: u32) -> u32 {
+        let elapsed = interval.saturating_sub(self.config.start_interval);
+        let duration = self
+            .config
+            .intervals
+            .saturating_sub(self.config.start_interval);
+        let span = u64::from(max_aggressors.saturating_sub(1));
+        if duration <= 1 || span == 0 {
+            return max_aggressors;
+        }
+        let elapsed = elapsed.min(duration - 1);
+        let hold = self.config.ramp_hold_intervals;
+        let max = u64::from(max_aggressors);
+        let count = match elapsed.checked_div(hold) {
+            Some(steps) => {
+                // Stepped ramp, with a deadline floor: by interval `e`
+                // the count must be at least `max - (remaining
+                // intervals)` or the tail of the staircase cannot fit.
+                let stepped = 1 + steps.min(span);
+                let deadline = max.saturating_sub(duration - 1 - elapsed);
+                stepped.max(deadline).min(max)
+            }
+            // No hold: linear ramp over the whole duration; exact at
+            // both ends.
+            None => 1 + elapsed * span / (duration - 1),
+        };
+        count as u32
     }
 
     /// All rows that are potential victims of this attack (the physical
@@ -214,6 +313,26 @@ impl Attacker {
     pub fn victim_rows(&self) -> Vec<RowAddr> {
         let mut aggressors = self.aggressors_at(self.config.intervals.saturating_sub(1));
         aggressors.extend(self.aggressors_at(self.config.start_interval));
+        match self.config.kind {
+            // The aggressor block relocates over time: union the full
+            // block over every position it can occupy.
+            AttackKind::PhaseShifted {
+                base_row,
+                max_aggressors,
+                shift_intervals,
+            } if shift_intervals > 0 => {
+                for slot in 0..PHASE_SHIFT_SLOTS as u32 {
+                    let base = base_row.0 + slot * 2 * max_aggressors;
+                    aggressors.extend((0..max_aggressors.max(1)).map(|j| RowAddr(base + 2 * j)));
+                }
+            }
+            // The burst may be off-duty at the sampled intervals: take
+            // the full aggressor set directly.
+            AttackKind::RefreshSyncBurst { base_row, pairs, .. } => {
+                aggressors.extend((0..pairs.max(1)).map(|j| RowAddr(base_row.0 + 2 * j)));
+            }
+            _ => {}
+        }
         let mut victims: Vec<RowAddr> = aggressors
             .iter()
             .flat_map(|a| [RowAddr(a.0.saturating_sub(1)), RowAddr(a.0 + 1)])
@@ -241,13 +360,17 @@ impl TraceSource for Attacker {
         if self.interval >= self.config.start_interval {
             let aggressors = self.aggressors_at(self.interval);
             let n = aggressors.len() as u32;
-            for &bank in &self.config.target_banks {
-                for shot in 0..self.config.acts_per_interval {
-                    let idx = (shot + self.rotation) % n;
-                    out.push(TraceEvent::attack(bank, aggressors[idx as usize]));
+            // An empty set (a burst pattern off-duty) emits nothing and
+            // leaves the rotation untouched.
+            if n > 0 {
+                for &bank in &self.config.target_banks {
+                    for shot in 0..self.config.acts_per_interval {
+                        let idx = (shot + self.rotation) % n;
+                        out.push(TraceEvent::attack(bank, aggressors[idx as usize]));
+                    }
                 }
+                self.rotation = (self.rotation + self.config.acts_per_interval) % n;
             }
-            self.rotation = (self.rotation + self.config.acts_per_interval) % n;
         }
         self.interval += 1;
         true
@@ -404,6 +527,108 @@ mod tests {
             intervals: 1,
             ramp_hold_intervals: 0,
         });
+    }
+
+    #[test]
+    fn short_ramp_still_reaches_max_aggressors() {
+        // A hold too long for the duration must not stall the ramp: the
+        // schedule compresses to linear and hits max in the final
+        // interval (this is the off-by-one the redteam search tripped
+        // over with quick-scale durations).
+        let a = Attacker::new(AttackConfig {
+            kind: AttackKind::MultiAggressorRamp {
+                base_row: RowAddr(100),
+                max_aggressors: 20,
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 4,
+            start_interval: 0,
+            intervals: 256,
+            ramp_hold_intervals: 128,
+        });
+        assert_eq!(a.aggressors_at(0).len(), 1);
+        assert_eq!(a.aggressors_at(255).len(), 20);
+    }
+
+    #[test]
+    fn phase_shifted_relocates_block_each_window() {
+        let a = Attacker::new(AttackConfig {
+            kind: AttackKind::PhaseShifted {
+                base_row: RowAddr(1000),
+                max_aggressors: 4,
+                shift_intervals: 100,
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 4,
+            start_interval: 0,
+            intervals: 400,
+            ramp_hold_intervals: 0,
+        });
+        // Position 0 in the first window, position 1 in the second, and
+        // wrap-around after PHASE_SHIFT_SLOTS windows.
+        assert_eq!(a.aggressors_at(0)[0], RowAddr(1000));
+        assert_eq!(a.aggressors_at(100)[0], RowAddr(1008));
+        assert_eq!(a.aggressors_at(399)[0], RowAddr(1024));
+        // The final interval still reaches max_aggressors.
+        assert_eq!(a.aggressors_at(399).len(), 4);
+        // Victims cover every position the block can occupy.
+        let victims = a.victim_rows();
+        assert!(victims.contains(&RowAddr(1001)));
+        assert!(victims.contains(&RowAddr(1009)));
+        assert!(victims.contains(&RowAddr(1025)));
+    }
+
+    #[test]
+    fn refresh_sync_burst_is_silent_off_duty() {
+        let mut a = Attacker::new(AttackConfig {
+            kind: AttackKind::RefreshSyncBurst {
+                base_row: RowAddr(200),
+                pairs: 2,
+                duty_intervals: 3,
+                period_intervals: 10,
+                phase: 0,
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 6,
+            start_interval: 0,
+            intervals: 20,
+            ramp_hold_intervals: 0,
+        });
+        let mut per_interval = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            out.clear();
+            if !a.next_interval(&mut out) {
+                break;
+            }
+            per_interval.push(out.len());
+        }
+        // 3 active intervals per 10-interval period, 2 periods.
+        assert_eq!(per_interval.iter().filter(|&&n| n > 0).count(), 6);
+        assert_eq!(per_interval.iter().sum::<usize>(), 6 * 6);
+        assert!(per_interval[0] > 0 && per_interval[3] == 0);
+        // The burst victims are known even when sampled off-duty.
+        assert!(a.victim_rows().contains(&RowAddr(201)));
+    }
+
+    #[test]
+    fn burst_phase_delays_duty_window() {
+        let a = Attacker::new(AttackConfig {
+            kind: AttackKind::RefreshSyncBurst {
+                base_row: RowAddr(200),
+                pairs: 1,
+                duty_intervals: 2,
+                period_intervals: 8,
+                phase: 3,
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 1,
+            start_interval: 0,
+            intervals: 8,
+            ramp_hold_intervals: 0,
+        });
+        let active: Vec<u64> = (0..8).filter(|&i| !a.aggressors_at(i).is_empty()).collect();
+        assert_eq!(active, vec![3, 4]);
     }
 
     #[test]

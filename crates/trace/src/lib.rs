@@ -43,7 +43,7 @@ pub mod stats;
 pub mod workload;
 pub mod zipf;
 
-pub use attack::{AttackConfig, AttackKind, Attacker};
+pub use attack::{AttackConfig, AttackKind, Attacker, PHASE_SHIFT_SLOTS};
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use cpu::{CoreBehavior, CpuWorkload, CpuWorkloadConfig};
 pub use event::{IdleTrace, ReplayTrace, TraceEvent, TraceSource, TraceSplit};

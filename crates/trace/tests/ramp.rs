@@ -1,0 +1,154 @@
+//! Property tests pinning the paper's ramping attacker schedule.
+//!
+//! The paper's attacker ramps 1 → `max_aggressors` over the attack
+//! duration.  Two properties must hold for *arbitrary* durations and
+//! hold lengths — not just the full-scale runs the schedule was tuned
+//! on:
+//!
+//! 1. the final refresh interval of the attack activates exactly
+//!    `max_aggressors` rows (the stepped schedule must compress to a
+//!    linear ramp when the duration cannot fit the full staircase —
+//!    the off-by-one rounding this file guards against);
+//! 2. every event the attacker emits carries the ground-truth
+//!    `aggressor = true` label the metrics layer depends on.
+
+use dram_sim::{BankId, RowAddr};
+use mem_trace::{AttackConfig, AttackKind, Attacker, TraceSource};
+use proptest::prelude::*;
+
+fn ramp_config(
+    max_aggressors: u32,
+    start_interval: u64,
+    intervals: u64,
+    ramp_hold_intervals: u64,
+    acts_per_interval: u32,
+) -> AttackConfig {
+    AttackConfig {
+        kind: AttackKind::MultiAggressorRamp {
+            base_row: RowAddr(10_000),
+            max_aggressors,
+        },
+        target_banks: vec![BankId(0)],
+        acts_per_interval,
+        start_interval,
+        intervals,
+        ramp_hold_intervals,
+    }
+}
+
+proptest! {
+    /// The ramp reaches `max_aggressors` in the final interval for any
+    /// duration, start offset, and hold length.
+    #[test]
+    fn ramp_reaches_max_in_final_interval(
+        max_aggressors in 1u32..64,
+        duration in 1u64..4000,
+        start in 0u64..200,
+        hold in 0u64..600,
+    ) {
+        let intervals = start + duration;
+        let a = Attacker::new(ramp_config(max_aggressors, start, intervals, hold, 4));
+        let last = a.aggressors_at(intervals - 1);
+        prop_assert_eq!(
+            last.len(),
+            max_aggressors as usize,
+            "duration {} hold {} start {}", duration, hold, start
+        );
+    }
+
+    /// The aggressor count never decreases over the attack and starts
+    /// at 1 whenever the duration can fit every count at least once
+    /// (shorter runs start higher so the final interval still reaches
+    /// the maximum).
+    #[test]
+    fn ramp_is_monotone_from_one(
+        max_aggressors in 1u32..32,
+        duration in 2u64..1500,
+        hold in 0u64..400,
+    ) {
+        let a = Attacker::new(ramp_config(max_aggressors, 0, duration, hold, 4));
+        if duration >= u64::from(max_aggressors) {
+            prop_assert_eq!(a.aggressors_at(0).len(), 1);
+        }
+        let mut previous = 0usize;
+        for interval in 0..duration {
+            let k = a.aggressors_at(interval).len();
+            prop_assert!(k >= previous, "count dropped {} -> {} at {}", previous, k, interval);
+            prop_assert!(k <= max_aggressors as usize);
+            previous = k;
+        }
+    }
+
+    /// Every emitted event is labelled `aggressor = true`, targets a
+    /// configured bank, and the per-interval budget is respected.
+    #[test]
+    fn every_emitted_event_is_labelled_aggressor(
+        max_aggressors in 1u32..24,
+        duration in 1u64..300,
+        hold in 0u64..100,
+        acts in 1u32..32,
+    ) {
+        let mut a = Attacker::new(ramp_config(max_aggressors, 0, duration, hold, acts));
+        let mut out = Vec::new();
+        let mut intervals = 0u64;
+        while a.next_interval(&mut out) {
+            intervals += 1;
+        }
+        prop_assert_eq!(intervals, duration);
+        prop_assert_eq!(out.len() as u64, duration * u64::from(acts));
+        for event in &out {
+            prop_assert!(event.aggressor, "unlabelled aggressor event {:?}", event);
+            prop_assert_eq!(event.bank, BankId(0));
+        }
+    }
+
+    /// The adaptive variants keep the labelling invariant too: a
+    /// phase-shifted ramp and a refresh-synchronized burst emit only
+    /// `aggressor = true` events, and the burst stays within its duty
+    /// cycle's budget.
+    #[test]
+    fn adaptive_variants_keep_aggressor_labels(
+        max_aggressors in 1u32..16,
+        duration in 1u64..300,
+        shift in 0u64..128,
+        duty in 1u64..64,
+        period in 1u64..64,
+    ) {
+        let shifted = AttackConfig {
+            kind: AttackKind::PhaseShifted {
+                base_row: RowAddr(10_000),
+                max_aggressors,
+                shift_intervals: shift,
+            },
+            ..ramp_config(max_aggressors, 0, duration, 0, 4)
+        };
+        let mut out = Vec::new();
+        let mut a = Attacker::new(shifted);
+        while a.next_interval(&mut out) {}
+        prop_assert!(out.iter().all(|e| e.aggressor));
+        prop_assert_eq!(out.len() as u64, duration * 4);
+
+        let burst = AttackConfig {
+            kind: AttackKind::RefreshSyncBurst {
+                base_row: RowAddr(10_000),
+                pairs: max_aggressors,
+                duty_intervals: duty,
+                period_intervals: period,
+                phase: 0,
+            },
+            ..ramp_config(max_aggressors, 0, duration, 0, 4)
+        };
+        out.clear();
+        let mut a = Attacker::new(burst);
+        while a.next_interval(&mut out) {}
+        prop_assert!(out.iter().all(|e| e.aggressor));
+        // Exactly duty-many active intervals per period emit events.
+        let active_per_period = duty.min(period);
+        let full_periods = duration / period;
+        let tail = (duration % period).min(duty);
+        prop_assert_eq!(
+            out.len() as u64,
+            (full_periods * active_per_period + tail) * 4
+        );
+    }
+}

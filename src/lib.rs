@@ -11,12 +11,15 @@
 //! * [`baselines`] — PARA, ProHit, MRLoc, TWiCe, CRA (and CAT).
 //! * [`hwmodel`] — FSM cycle-count and LUT area models.
 //! * [`harness`] — the experiment engine reproducing each table/figure.
+//! * [`redteam`] — adaptive attack synthesis and the security-frontier
+//!   search engine.
 
 pub use dram_sim as dram;
 pub use mem_trace as trace;
 pub use rh_baselines as baselines;
 pub use rh_harness as harness;
 pub use rh_hwmodel as hwmodel;
+pub use rh_redteam as redteam;
 pub use tivapromi;
 
 // The user-facing run API, flattened to the facade root so examples

@@ -177,6 +177,29 @@ fn observed_sharded_runs_match_observed_sequential() {
     }
 }
 
+// --- Red-team search determinism ------------------------------------
+
+/// The security-frontier search is a coordinator/worker design: all
+/// randomness and ranking happen on the coordinator, workers only
+/// evaluate candidates.  The full quick search under a fixed seed must
+/// therefore produce *byte-identical* frontier JSON at 1, 2 and
+/// `available_parallelism` workers.
+#[test]
+fn redteam_search_json_is_worker_count_independent() {
+    use tivapromi_suite::redteam::{run_search, SearchConfig};
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let baseline = run_search(&SearchConfig::quick(7).with_workers(1)).to_json();
+    for workers in [2, available] {
+        let json = run_search(&SearchConfig::quick(7).with_workers(workers)).to_json();
+        assert_eq!(
+            baseline, json,
+            "frontier JSON diverged at {workers} workers"
+        );
+    }
+}
+
 // --- RunMetrics::merge algebra --------------------------------------
 
 /// Shard-like metrics: the kept fields (technique, flip threshold,
@@ -186,18 +209,19 @@ fn metrics_strategy() -> impl Strategy<Value = RunMetrics> {
     (
         (0u64..10_000, 0u64..1000, 0u64..500, 0u64..500),
         (0usize..5, 0u32..200_000, (any::<bool>(), 0u64..50_000)),
-        0u64..64,
+        (0u64..64, 0u64..5000, (any::<bool>(), 0u64..60_000)),
     )
         .prop_map(
             |(
                 (workload, mitigation, triggers, fps),
                 (flips, max_disturbance, (has_trigger, trigger_act)),
-                intervals,
+                (intervals, aggressors, (has_flip, flip_act)),
             )| {
                 let first_trigger = has_trigger.then_some(trigger_act);
                 RunMetrics {
                     technique: "shard".into(),
                     workload_activations: workload,
+                    aggressor_activations: aggressors.min(workload),
                     mitigation_activations: mitigation,
                     trigger_events: triggers,
                     false_positive_events: fps.min(triggers),
@@ -205,6 +229,7 @@ fn metrics_strategy() -> impl Strategy<Value = RunMetrics> {
                     max_disturbance,
                     flip_threshold: 139_000,
                     first_trigger_act: first_trigger,
+                    time_to_first_flip: has_flip.then_some(flip_act),
                     storage_bytes_per_bank: 64.0,
                     intervals,
                     timeseries: None,
