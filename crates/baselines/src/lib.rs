@@ -35,6 +35,7 @@
 
 pub mod cat;
 pub mod cra;
+pub mod dispatch;
 pub mod graphene;
 pub mod mrloc;
 pub mod para;
@@ -43,6 +44,7 @@ pub mod twice;
 
 pub use cat::CounterTree;
 pub use cra::Cra;
+pub use dispatch::AnyMitigation;
 pub use graphene::Graphene;
 pub use mrloc::MrLoc;
 pub use para::Para;

@@ -9,8 +9,10 @@
 //! activation overhead and false positives among the compared schemes.
 
 use dram_sim::{BankId, Geometry, RowAddr};
+use mem_trace::EventBatch;
 use rand::RngExt;
-use tivapromi::{BankRngs, Mitigation, MitigationAction};
+use std::ops::Range;
+use tivapromi::{ActionSink, BankRngs, Mitigation, MitigationAction};
 
 /// The PARA mitigation.
 ///
@@ -71,6 +73,30 @@ impl Mitigation for Para {
                 RowAddr(row.0 + 1)
             };
             actions.push(MitigationAction::RefreshRow { bank, row: victim });
+        }
+    }
+
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
+        // The probability and bank size never change: hoist them (and
+        // the sink tagging) out of the per-event dispatch.  The two RNG
+        // draws happen in exactly the scalar order, so batched and
+        // scalar runs stay bit-identical.
+        let probability = self.probability;
+        let rows_per_bank = self.rows_per_bank;
+        for i in range {
+            let (bank, row) = (batch.bank(i), batch.row(i));
+            let rng = self.rngs.get(bank);
+            if rng.random_bool(probability) {
+                let up = rng.random_bool(0.5);
+                let victim = if up && row.0 + 1 < rows_per_bank {
+                    RowAddr(row.0 + 1)
+                } else if row.0 > 0 {
+                    RowAddr(row.0 - 1)
+                } else {
+                    RowAddr(row.0 + 1)
+                };
+                sink.push(i as u32, MitigationAction::RefreshRow { bank, row: victim });
+            }
         }
     }
 

@@ -142,6 +142,12 @@ pub struct RunConfig {
     pub windows: u64,
     /// How [`crate::engine::run_with`] parallelises this run.
     pub parallelism: Parallelism,
+    /// Soft size of the engine's event batches, in activations (the
+    /// chunk granularity of trace delivery and mitigation dispatch —
+    /// see [`mem_trace::EventBatch`]).  Any value ≥ 1 produces
+    /// bit-identical results; the default amortises per-batch dispatch
+    /// while keeping the buffer cache-resident.
+    pub batch_events: usize,
 }
 
 impl RunConfig {
@@ -156,12 +162,20 @@ impl RunConfig {
             distance2_sixteenths: 0,
             windows: scale.windows,
             parallelism: Parallelism::default(),
+            batch_events: mem_trace::DEFAULT_BATCH_EVENTS,
         }
     }
 
     /// Returns a copy with a different parallelism policy.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Returns a copy with a different event-batch size (clamped to at
+    /// least 1 by the batch buffer; results are identical at any size).
+    pub fn with_batch_events(mut self, batch_events: usize) -> Self {
+        self.batch_events = batch_events;
         self
     }
 

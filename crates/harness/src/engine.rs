@@ -1,15 +1,30 @@
 //! The run engine: drives a trace through a mitigation and the DRAM
 //! device, collecting [`RunMetrics`].
 //!
-//! Per refresh interval the engine
+//! The hot loop is *batched*: the trace delivers [`EventBatch`]es of a
+//! few thousand activations spanning whole refresh intervals
+//! ([`mem_trace::TraceSource::next_batch`]), and per interval segment
+//! the engine
 //!
-//! 1. delivers the interval's activations — each goes to the device
-//!    (disturbance accounting) and to the mitigation (`on_activate`),
-//!    whose actions are applied immediately;
-//! 2. issues the auto-refresh to the device;
-//! 3. calls the mitigation's `on_refresh_interval`, applying the
-//!    interval-granular actions (CaPRoMi's collective decisions,
-//!    ProHit's hot-table refresh).
+//! 1. hands the whole segment to the mitigation in one
+//!    [`Mitigation::on_batch`] call, collecting its actions — tagged by
+//!    causing event — in an [`ActionSink`];
+//! 2. reports the segment to the observer ([`Observer::on_batch`]);
+//! 3. replays the segment event by event: ledger and device accounting
+//!    for the activation, then that event's actions applied
+//!    immediately — the exact order of the one-event-at-a-time path,
+//!    so the batched engine is bit-identical to the scalar reference
+//!    ([`run_scalar`], kept for equivalence tests and benchmarks);
+//! 4. issues the auto-refresh and the mitigation's
+//!    `on_refresh_interval`, applying the interval-granular actions
+//!    (CaPRoMi's collective decisions, ProHit's hot-table refresh).
+//!
+//! Step 3 is sound because mitigations never read the device: deciding
+//! a whole segment before applying any of its device commands cannot
+//! change a decision.  The only segment-visible coupling runs the other
+//! way — feedback-coupled *traces* reading mitigation actions — and is
+//! handled at delivery: such sources bound their batch to one interval
+//! via [`mem_trace::TraceSource::max_batch_intervals`].
 //!
 //! False-positive attribution uses the trace's ground-truth aggressor
 //! labels: a trigger is a false positive when the row it names (the
@@ -20,19 +35,21 @@
 //! [`Observer`]/[`Observe`] through the loop (see [`crate::observe`]);
 //! the unobserved functions are monomorphised over
 //! [`crate::observe::NullObserver`], whose empty inline callbacks
-//! compile away, so the no-observer path costs nothing.  Prefer the
-//! [`crate::Runner`] builder over calling these functions directly.
+//! compile away, so the no-observer path costs nothing.  The mitigation
+//! is a generic parameter: built as [`rh_baselines::AnyMitigation`]
+//! (see [`crate::techniques::build_any`]) the per-event inner loop is a
+//! `match`, not a vtable call — one dynamic-free dispatch per interval
+//! segment.  Prefer the [`crate::Runner`] builder over calling these
+//! functions directly.
 
 use crate::config::RunConfig;
 use crate::metrics::RunMetrics;
-use crate::observe::{
-    IntervalSnapshot, NullObserve, NullObserver, Observe, Observer, RunSummary, ShardInfo,
-};
+use crate::observe::{IntervalSnapshot, NullObserver, Observe, Observer, RunSummary, ShardInfo};
 use dram_sim::{BankId, Command, DramDevice, RowAddr};
-use mem_trace::{TraceEvent, TraceSource, TraceSplit};
+use mem_trace::{EventBatch, TraceEvent, TraceSource, TraceSplit};
 use std::collections::HashSet;
 use std::time::Instant;
-use tivapromi::{Mitigation, MitigationAction};
+use tivapromi::{ActionSink, Mitigation, MitigationAction};
 
 /// Tracks which rows the attacker has hammered, for ground-truth
 /// false-positive attribution.
@@ -43,8 +60,12 @@ struct AggressorLedger {
 
 impl AggressorLedger {
     fn record(&mut self, event: &TraceEvent) {
-        if event.aggressor {
-            self.rows.insert((event.bank.0, event.row.0));
+        self.record_parts(event.bank, event.row, event.aggressor);
+    }
+
+    fn record_parts(&mut self, bank: BankId, row: RowAddr, aggressor: bool) {
+        if aggressor {
+            self.rows.insert((bank.0, row.0));
         }
     }
 
@@ -105,6 +126,33 @@ impl TriggerLedger {
     }
 }
 
+#[inline]
+fn apply_action<O: Observer + ?Sized>(
+    action: MitigationAction,
+    device: &mut DramDevice,
+    ledger: &AggressorLedger,
+    triggers: &mut TriggerLedger,
+    observer: &mut O,
+) {
+    triggers.trigger_events += 1;
+    let true_positive = ledger.is_true_positive(&action);
+    if !true_positive {
+        triggers.false_positive_events += 1;
+    }
+    observer.on_action(&action, true_positive);
+    let bank = action.bank().index();
+    if bank >= triggers.bank_first.len() {
+        triggers.bank_first.resize(bank + 1, None);
+    }
+    if triggers.bank_first[bank].is_none() {
+        triggers.bank_first[bank] = Some(triggers.bank_acts.get(bank).copied().unwrap_or(0));
+    }
+    device.apply(action.to_command());
+    // ActivateNeighbors disturbs the neighbors' neighbors and can
+    // itself cross the flip threshold.
+    triggers.note_flips(device, bank);
+}
+
 fn apply_actions<O: Observer + ?Sized>(
     actions: &mut Vec<MitigationAction>,
     device: &mut DramDevice,
@@ -113,23 +161,7 @@ fn apply_actions<O: Observer + ?Sized>(
     observer: &mut O,
 ) {
     for action in actions.drain(..) {
-        triggers.trigger_events += 1;
-        let true_positive = ledger.is_true_positive(&action);
-        if !true_positive {
-            triggers.false_positive_events += 1;
-        }
-        observer.on_action(&action, true_positive);
-        let bank = action.bank().index();
-        if bank >= triggers.bank_first.len() {
-            triggers.bank_first.resize(bank + 1, None);
-        }
-        if triggers.bank_first[bank].is_none() {
-            triggers.bank_first[bank] = Some(triggers.bank_acts.get(bank).copied().unwrap_or(0));
-        }
-        device.apply(action.to_command());
-        // ActivateNeighbors disturbs the neighbors' neighbors and can
-        // itself cross the flip threshold.
-        triggers.note_flips(device, bank);
+        apply_action(action, device, ledger, triggers, observer);
     }
 }
 
@@ -140,9 +172,9 @@ fn apply_actions<O: Observer + ?Sized>(
 ///
 /// The trace is consumed until it is exhausted or `config.intervals()`
 /// refresh intervals have elapsed, whichever comes first.
-pub fn run<S: TraceSource>(
+pub fn run<S: TraceSource, M: Mitigation + ?Sized>(
     trace: S,
-    mitigation: &mut dyn Mitigation,
+    mitigation: &mut M,
     config: &RunConfig,
 ) -> RunMetrics {
     run_observed(trace, mitigation, config, &mut NullObserver)
@@ -153,9 +185,9 @@ pub fn run<S: TraceSource>(
 ///
 /// The observer type is a generic parameter, so passing
 /// [`NullObserver`] monomorphises to exactly the unobserved loop.
-pub fn run_observed<S: TraceSource, O: Observer + ?Sized>(
+pub fn run_observed<S: TraceSource, M: Mitigation + ?Sized, O: Observer + ?Sized>(
     mut trace: S,
-    mitigation: &mut dyn Mitigation,
+    mitigation: &mut M,
     config: &RunConfig,
     observer: &mut O,
 ) -> RunMetrics {
@@ -165,23 +197,139 @@ pub fn run_observed<S: TraceSource, O: Observer + ?Sized>(
 
 /// Like [`run`], but on a caller-provided device (lets callers inspect
 /// device state afterwards).
-pub fn run_on_device<S: TraceSource>(
+pub fn run_on_device<S: TraceSource, M: Mitigation + ?Sized>(
     trace: &mut S,
-    mitigation: &mut dyn Mitigation,
+    mitigation: &mut M,
     config: &RunConfig,
     device: &mut DramDevice,
 ) -> RunMetrics {
     run_on_device_observed(trace, mitigation, config, device, &mut NullObserver)
 }
 
-/// The full engine loop: caller-provided device and observer.
-pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
+/// The full engine loop — batched: caller-provided device and observer.
+pub fn run_on_device_observed<S, M, O>(
     trace: &mut S,
-    mitigation: &mut dyn Mitigation,
+    mitigation: &mut M,
     config: &RunConfig,
     device: &mut DramDevice,
     observer: &mut O,
+) -> RunMetrics
+where
+    S: TraceSource,
+    M: Mitigation + ?Sized,
+    O: Observer + ?Sized,
+{
+    let banks = config.geometry.banks() as usize;
+    let mut batch = EventBatch::with_target_events(config.batch_events);
+    let mut sink = ActionSink::new();
+    let mut actions: Vec<MitigationAction> = Vec::new();
+    let mut ledger = AggressorLedger::default();
+    let mut triggers = TriggerLedger {
+        trigger_events: 0,
+        false_positive_events: 0,
+        bank_acts: vec![0; banks],
+        bank_first: vec![None; banks],
+        flips_seen: 0,
+        bank_first_flip: vec![None; banks],
+    };
+    let mut total_acts = 0u64;
+    let mut aggressor_acts = 0u64;
+    let max_intervals = config.intervals();
+    let mut interval = 0u64;
+
+    while interval < max_intervals && trace.next_batch(&mut batch, max_intervals - interval) {
+        for segment in 0..batch.intervals() {
+            let range = batch.segment(segment);
+            // Decide ahead: the mitigation sees the whole segment in
+            // one call (mitigations never read the device, so deciding
+            // before applying cannot change a decision) …
+            sink.clear();
+            mitigation.on_batch(&batch, range.clone(), &mut sink);
+            observer.on_batch(&batch, range.clone());
+            // … then replay in scalar order: per event, ledger/device
+            // accounting followed immediately by that event's actions.
+            // The columns are walked as parallel slices so the hot loop
+            // carries no per-event bounds checks.
+            let (banks_col, rows_col, aggrs_col) = batch.columns();
+            let start = range.start;
+            let events = banks_col[range.clone()]
+                .iter()
+                .zip(&rows_col[range.clone()])
+                .zip(&aggrs_col[range]);
+            for (offset, ((&bank_id, &row), &aggressor)) in events.enumerate() {
+                let i = start + offset;
+                ledger.record_parts(bank_id, row, aggressor);
+                let bank = bank_id.index();
+                if bank >= triggers.bank_acts.len() {
+                    triggers.bank_acts.resize(bank + 1, 0);
+                }
+                triggers.bank_acts[bank] += 1;
+                total_acts += 1;
+                if aggressor {
+                    aggressor_acts += 1;
+                }
+                device.apply(Command::Activate { bank: bank_id, row });
+                triggers.note_flips(device, bank);
+                while let Some(action) = sink.next_for(i as u32) {
+                    apply_action(action, device, &ledger, &mut triggers, observer);
+                }
+            }
+            debug_assert!(sink.fully_drained(), "sink tags must cover the segment");
+            device.apply(Command::Refresh);
+            mitigation.on_refresh_interval(&mut actions);
+            if !actions.is_empty() {
+                apply_actions(&mut actions, device, &ledger, &mut triggers, observer);
+            }
+            observer.on_interval_end(&IntervalSnapshot {
+                interval,
+                activations: total_acts,
+                triggers: triggers.trigger_events,
+                false_positives: triggers.false_positive_events,
+                device,
+            });
+            interval += 1;
+        }
+    }
+
+    finish_metrics(
+        mitigation,
+        config,
+        device,
+        &triggers,
+        aggressor_acts,
+        observer,
+    )
+}
+
+/// The scalar reference loop: one event at a time, exactly the pre-batch
+/// engine.
+///
+/// Kept public for two reasons: the equivalence tests prove the batched
+/// loop bit-identical against it at several batch sizes, and the
+/// throughput bench uses it as the baseline the batched pipeline is
+/// measured against.  Not otherwise called by the harness.
+pub fn run_scalar<S: TraceSource, M: Mitigation + ?Sized>(
+    trace: S,
+    mitigation: &mut M,
+    config: &RunConfig,
 ) -> RunMetrics {
+    run_scalar_observed(trace, mitigation, config, &mut NullObserver)
+}
+
+/// [`run_scalar`] with an observer — the reference for observed runs.
+pub fn run_scalar_observed<S, M, O>(
+    mut trace: S,
+    mitigation: &mut M,
+    config: &RunConfig,
+    observer: &mut O,
+) -> RunMetrics
+where
+    S: TraceSource,
+    M: Mitigation + ?Sized,
+    O: Observer + ?Sized,
+{
+    let mut device = config.build_device();
+    let device = &mut device;
     let mut events: Vec<TraceEvent> = Vec::new();
     let mut actions: Vec<MitigationAction> = Vec::new();
     let mut ledger = AggressorLedger::default();
@@ -238,6 +386,24 @@ pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
         });
     }
 
+    finish_metrics(
+        mitigation,
+        config,
+        device,
+        &triggers,
+        aggressor_acts,
+        observer,
+    )
+}
+
+fn finish_metrics<M: Mitigation + ?Sized, O: Observer + ?Sized>(
+    mitigation: &mut M,
+    config: &RunConfig,
+    device: &mut DramDevice,
+    triggers: &TriggerLedger,
+    aggressor_acts: u64,
+    observer: &mut O,
+) -> RunMetrics {
     let stats = device.stats();
     let mut metrics = RunMetrics {
         technique: mitigation.name().to_string(),
@@ -279,22 +445,23 @@ pub fn run_on_device_observed<S: TraceSource, O: Observer + ?Sized>(
 /// `build` must construct the mitigation identically on every call
 /// (same technique, same seed); it is called once per bank shard, plus
 /// once for the sequential fallback.
-pub fn run_with<S: TraceSplit>(
-    trace: S,
-    build: &(dyn Fn() -> Box<dyn Mitigation> + Sync),
-    config: &RunConfig,
-) -> RunMetrics {
+pub fn run_with<S, M, F>(trace: S, build: &F, config: &RunConfig) -> RunMetrics
+where
+    S: TraceSplit,
+    M: Mitigation,
+    F: Fn() -> M + Sync,
+{
     let banks = config.geometry.banks();
     if !config.parallelism.shard_by_bank || banks <= 1 {
         let mut mitigation = build();
-        return run(trace, mitigation.as_mut(), config);
+        return run(trace, &mut mitigation, config);
     }
     let shards: Vec<Box<dyn TraceSplit>> =
         (0..banks).map(|b| trace.bank_shard(BankId(b))).collect();
     let workers = config.parallelism.effective_workers();
     let results = crate::parallel::map_workers(shards, workers, |shard| {
         let mut mitigation = build();
-        run(shard, mitigation.as_mut(), config)
+        run(shard, &mut mitigation, config)
     });
     results
         .into_iter()
@@ -311,12 +478,17 @@ pub fn run_with<S: TraceSplit>(
 /// merged [`RunMetrics`] bit-identical to the sequential run at every
 /// worker count; timing-based ones ([`crate::PerfCounters`]) keep their
 /// non-deterministic readings outside the metrics.
-pub fn run_with_observed<S: TraceSplit>(
+pub fn run_with_observed<S, M, F>(
     trace: S,
-    build: &(dyn Fn() -> Box<dyn Mitigation> + Sync),
+    build: &F,
     config: &RunConfig,
     observe: &dyn Observe,
-) -> RunMetrics {
+) -> RunMetrics
+where
+    S: TraceSplit,
+    M: Mitigation,
+    F: Fn() -> M + Sync,
+{
     let start = Instant::now();
     let banks = config.geometry.banks();
     let (metrics, workers, shard_count) = if !config.parallelism.shard_by_bank || banks <= 1 {
@@ -325,7 +497,7 @@ pub fn run_with_observed<S: TraceSplit>(
         let shard_start = Instant::now();
         let mut observer = observe.observer(&shard);
         let mut mitigation = build();
-        let metrics = run_observed(trace, mitigation.as_mut(), config, observer.as_mut());
+        let metrics = run_observed(trace, &mut mitigation, config, observer.as_mut());
         observe.on_shard_finish(&shard, &metrics, shard_start.elapsed());
         (metrics, 1, 1)
     } else {
@@ -345,7 +517,7 @@ pub fn run_with_observed<S: TraceSplit>(
             let shard_start = Instant::now();
             let mut observer = observe.observer(&info);
             let mut mitigation = build();
-            let metrics = run_observed(shard, mitigation.as_mut(), config, observer.as_mut());
+            let metrics = run_observed(shard, &mut mitigation, config, observer.as_mut());
             observe.on_shard_finish(&info, &metrics, shard_start.elapsed());
             metrics
         });
@@ -364,16 +536,6 @@ pub fn run_with_observed<S: TraceSplit>(
         },
     );
     metrics
-}
-
-/// Shim kept so existing observers of the unobserved API see no change:
-/// [`run_with`] with a [`NullObserve`] would pay a per-activation
-/// virtual call; this assertion documents why it instead short-circuits
-/// to the monomorphised path.
-#[allow(dead_code)]
-fn _null_observe_is_zero_sized() {
-    const _: () = assert!(std::mem::size_of::<NullObserve>() == 0);
-    const _: () = assert!(std::mem::size_of::<NullObserver>() == 0);
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 use crate::metrics::{RunMetrics, TimePoint, TimeSeries};
 use crate::table::TextTable;
 use dram_sim::{BankId, DramDevice, RowAddr};
+use mem_trace::EventBatch;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -101,6 +102,23 @@ pub trait Observer: Send {
         let _ = (action, true_positive);
     }
 
+    /// One interval segment of an [`EventBatch`] is about to be
+    /// replayed: the events at `range` belong to the interval whose
+    /// [`Observer::on_interval_end`] fires next.
+    ///
+    /// The default fans out to [`Observer::on_activation`] per event,
+    /// so per-event observers see every activation unchanged.  Batch
+    /// granularity lets an observer touch its counters once per
+    /// interval instead of once per activation; note that all of a
+    /// segment's activations are reported *before* the segment's
+    /// [`Observer::on_action`] calls (the scalar path interleaved
+    /// them), while interval-end state is identical.
+    fn on_batch(&mut self, batch: &EventBatch, range: std::ops::Range<usize>) {
+        for i in range {
+            self.on_activation(batch.bank(i), batch.row(i), batch.aggressor(i));
+        }
+    }
+
     /// A refresh interval completed (after the auto-refresh and the
     /// mitigation's interval-granular actions were applied).
     fn on_interval_end(&mut self, snapshot: &IntervalSnapshot<'_>) {
@@ -122,7 +140,12 @@ pub trait Observer: Send {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl Observer for NullObserver {}
+impl Observer for NullObserver {
+    fn on_batch(&mut self, _batch: &EventBatch, _range: std::ops::Range<usize>) {
+        // Explicitly empty (not the fan-out default): the unobserved
+        // engine must not even loop over the segment.
+    }
+}
 
 impl Observer for Box<dyn Observer> {
     fn on_activation(&mut self, bank: BankId, row: RowAddr, aggressor: bool) {
@@ -130,6 +153,9 @@ impl Observer for Box<dyn Observer> {
     }
     fn on_action(&mut self, action: &MitigationAction, true_positive: bool) {
         (**self).on_action(action, true_positive);
+    }
+    fn on_batch(&mut self, batch: &EventBatch, range: std::ops::Range<usize>) {
+        (**self).on_batch(batch, range);
     }
     fn on_interval_end(&mut self, snapshot: &IntervalSnapshot<'_>) {
         (**self).on_interval_end(snapshot);
@@ -152,6 +178,11 @@ impl Observer for FanoutObserver {
     fn on_action(&mut self, action: &MitigationAction, true_positive: bool) {
         for o in &mut self.0 {
             o.on_action(action, true_positive);
+        }
+    }
+    fn on_batch(&mut self, batch: &EventBatch, range: std::ops::Range<usize>) {
+        for o in &mut self.0 {
+            o.on_batch(batch, range.clone());
         }
     }
     fn on_interval_end(&mut self, snapshot: &IntervalSnapshot<'_>) {

@@ -109,7 +109,9 @@ impl Runner {
     /// Deterministic: the result is bit-identical for every worker
     /// count, with or without deterministic observers attached.
     pub fn run<S: TraceSplit>(&self, trace: S) -> RunMetrics {
-        let build = || techniques::build(self.spec, &self.config, self.seed);
+        // Static dispatch: the engine loop matches on [`AnyMitigation`]
+        // per interval segment instead of making per-event vtable calls.
+        let build = || techniques::build_any(self.spec, &self.config, self.seed);
         if self.observers.is_empty() {
             engine::run_with(trace, &build, &self.config)
         } else {
@@ -122,9 +124,9 @@ impl Runner {
     /// is not `Send`) sequentially, still honouring observers: the
     /// whole run is reported as a single shard.
     pub fn run_sequential<S: TraceSource>(&self, trace: S) -> RunMetrics {
-        let mut mitigation = techniques::build(self.spec, &self.config, self.seed);
+        let mut mitigation = techniques::build_any(self.spec, &self.config, self.seed);
         if self.observers.is_empty() {
-            return engine::run(trace, mitigation.as_mut(), &self.config);
+            return engine::run(trace, &mut mitigation, &self.config);
         }
         let observe: &[Box<dyn Observe>] = &self.observers;
         let start = Instant::now();
@@ -132,7 +134,7 @@ impl Runner {
         observe.on_shard_start(&shard);
         let mut observer = observe.observer(&shard);
         let metrics =
-            engine::run_observed(trace, mitigation.as_mut(), &self.config, observer.as_mut());
+            engine::run_observed(trace, &mut mitigation, &self.config, observer.as_mut());
         observe.on_shard_finish(&shard, &metrics, start.elapsed());
         observe.on_run_end(
             &metrics,

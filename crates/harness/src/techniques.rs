@@ -6,9 +6,10 @@
 //! with custom TiVaPRoMi parameters.
 
 use crate::config::RunConfig;
-use rh_baselines::{CounterTree, Cra, Graphene, MrLoc, Para, ProHit, TwiCe};
+use rh_baselines::{AnyMitigation, CounterTree, Cra, Graphene, MrLoc, Para, ProHit, TwiCe};
 use rh_hwmodel::Technique;
-use tivapromi::{Mitigation, TivaConfig, TivaVariant};
+use std::fmt;
+use tivapromi::{CaPromi, Mitigation, TimeVarying, TivaConfig, TivaVariant};
 
 /// What to build: a paper-configured technique, or a TiVaPRoMi variant
 /// with explicit parameters.
@@ -46,6 +47,15 @@ impl TechniqueSpec {
     }
 }
 
+impl fmt::Display for TechniqueSpec {
+    /// Formats as the technique's reported name, byte-for-byte
+    /// [`TechniqueSpec::name`] — callers keying caches or seeds on the
+    /// rendered name see the exact strings `.name()` produced.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Builds a boxed mitigation for `spec` under `config`, seeded
 /// deterministically.
 ///
@@ -67,25 +77,41 @@ impl TechniqueSpec {
 /// assert_eq!(m.name(), "LoPRoMi");
 /// ```
 pub fn build(spec: impl Into<TechniqueSpec>, config: &RunConfig, seed: u64) -> Box<dyn Mitigation> {
+    Box::new(build_any(spec, config, seed))
+}
+
+/// Builds the statically dispatched [`AnyMitigation`] for `spec`.
+///
+/// This is what the engine's hot loop wants: the per-segment dispatch
+/// is a `match` over the closed technique set instead of a vtable call,
+/// so the techniques' `on_batch` bodies inline.  [`build`] wraps this
+/// in a box for callers that need type erasure; both construct the
+/// identical mitigation.
+pub fn build_any(spec: impl Into<TechniqueSpec>, config: &RunConfig, seed: u64) -> AnyMitigation {
     let geometry = &config.geometry;
     match spec.into() {
         TechniqueSpec::Paper(technique) => {
             let tiva = TivaConfig::paper(geometry);
             match technique {
-                Technique::Para => Box::new(Para::paper(geometry, seed)),
-                Technique::ProHit => Box::new(ProHit::paper(geometry, seed)),
-                Technique::MrLoc => Box::new(MrLoc::paper(geometry, seed)),
-                Technique::TwiCe => Box::new(TwiCe::paper(geometry)),
-                Technique::Cra => Box::new(Cra::paper(geometry)),
-                Technique::Cat => Box::new(CounterTree::paper(geometry)),
-                Technique::Graphene => Box::new(Graphene::paper(geometry)),
-                Technique::LiPromi => TivaVariant::LiPromi.build(tiva, seed),
-                Technique::LoPromi => TivaVariant::LoPromi.build(tiva, seed),
-                Technique::LoLiPromi => TivaVariant::LoLiPromi.build(tiva, seed),
-                Technique::CaPromi => TivaVariant::CaPromi.build(tiva, seed),
+                Technique::Para => Para::paper(geometry, seed).into(),
+                Technique::ProHit => ProHit::paper(geometry, seed).into(),
+                Technique::MrLoc => MrLoc::paper(geometry, seed).into(),
+                Technique::TwiCe => TwiCe::paper(geometry).into(),
+                Technique::Cra => Cra::paper(geometry).into(),
+                Technique::Cat => CounterTree::paper(geometry).into(),
+                Technique::Graphene => Graphene::paper(geometry).into(),
+                Technique::LiPromi => TimeVarying::lipromi(tiva, seed).into(),
+                Technique::LoPromi => TimeVarying::lopromi(tiva, seed).into(),
+                Technique::LoLiPromi => TimeVarying::lolipromi(tiva, seed).into(),
+                Technique::CaPromi => CaPromi::new(tiva, seed).into(),
             }
         }
-        TechniqueSpec::Tiva(variant, tiva) => variant.build(tiva, seed),
+        TechniqueSpec::Tiva(variant, tiva) => match variant {
+            TivaVariant::LiPromi => TimeVarying::lipromi(tiva, seed).into(),
+            TivaVariant::LoPromi => TimeVarying::lopromi(tiva, seed).into(),
+            TivaVariant::LoLiPromi => TimeVarying::lolipromi(tiva, seed).into(),
+            TivaVariant::CaPromi => CaPromi::new(tiva, seed).into(),
+        },
     }
 }
 
@@ -112,6 +138,50 @@ mod tests {
         let spec = TechniqueSpec::from((TivaVariant::LoLiPromi, tiva));
         assert_eq!(spec.name(), "LoLiPRoMi");
         assert_eq!(build(spec, &config, 1).name(), "LoLiPRoMi");
+    }
+
+    #[test]
+    fn tiva_pair_round_trips_through_from() {
+        let config = RunConfig::paper(&ExperimentScale::quick());
+        let tiva = TivaConfig::paper(&config.geometry).with_history_entries(4);
+        for variant in [
+            TivaVariant::LiPromi,
+            TivaVariant::LoPromi,
+            TivaVariant::LoLiPromi,
+            TivaVariant::CaPromi,
+        ] {
+            // From<(TivaVariant, TivaConfig)> must preserve both halves.
+            let spec = TechniqueSpec::from((variant, tiva));
+            assert_eq!(spec, TechniqueSpec::Tiva(variant, tiva));
+            match spec {
+                TechniqueSpec::Tiva(v, c) => {
+                    assert_eq!(v, variant);
+                    assert_eq!(c, tiva);
+                }
+                other => panic!("expected Tiva spec, got {other:?}"),
+            }
+            assert_eq!(spec.name(), variant.name());
+        }
+    }
+
+    #[test]
+    fn display_matches_name_for_every_spec() {
+        let config = RunConfig::paper(&ExperimentScale::quick());
+        let tiva = TivaConfig::paper(&config.geometry);
+        let mut specs: Vec<TechniqueSpec> =
+            Technique::TABLE3.iter().map(|&t| t.into()).collect();
+        specs.push((TivaVariant::LoLiPromi, tiva).into());
+        for spec in specs {
+            assert_eq!(spec.to_string(), spec.name());
+        }
+    }
+
+    #[test]
+    fn build_any_matches_boxed_build() {
+        let config = RunConfig::paper(&ExperimentScale::quick());
+        for t in Technique::TABLE3 {
+            assert_eq!(build_any(t, &config, 3).name(), build(t, &config, 3).name());
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn small_config() -> RunConfig {
         distance2_sixteenths: 0,
         windows: 2,
         parallelism: rh_harness::Parallelism::default(),
+        batch_events: mem_trace::DEFAULT_BATCH_EVENTS,
     }
 }
 

@@ -209,6 +209,18 @@ impl TraceSource for AdaptiveDecoyAttack {
     fn intervals_hint(&self) -> Option<u64> {
         Some(self.intervals)
     }
+
+    fn max_batch_intervals(&self) -> u64 {
+        // The adaptive variant reads the feedback board at the top of
+        // every interval: batching ahead of the mitigation would break
+        // the closed loop.  The fixed variant is open-loop and may be
+        // prefetched freely.
+        if self.adaptive {
+            1
+        } else {
+            u64::MAX
+        }
+    }
 }
 
 impl TraceSplit for AdaptiveDecoyAttack {

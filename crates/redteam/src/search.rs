@@ -270,7 +270,10 @@ fn achiever_rank(e: &Evaluation) -> (u64, u64, String) {
 pub fn search_technique(spec: TechniqueSpec, search: &SearchConfig) -> TechniqueFrontier {
     let mut cache: HashMap<u64, Evaluation> = HashMap::new();
     let mut cache_hits = 0u64;
-    let mut rng = StdRng::seed_from_u64(search.seed ^ fnv1a(spec.name().as_bytes()));
+    // `Display` renders the exact `.name()` bytes, so seeds and cache
+    // keys derived from it are stable across the refactor.
+    let technique = spec.to_string();
+    let mut rng = StdRng::seed_from_u64(search.seed ^ fnv1a(technique.as_bytes()));
     let mut pool = seed_candidates(search);
 
     for _round in 0..search.rounds {
@@ -284,7 +287,7 @@ pub fn search_technique(spec: TechniqueSpec, search: &SearchConfig) -> Technique
         let mut seen = HashSet::new();
         let mut batch = Vec::new();
         for candidate in pool.drain(..) {
-            let key = cache_key(spec.name(), &candidate, search.seed);
+            let key = cache_key(&technique, &candidate, search.seed);
             if !seen.insert(key) {
                 continue;
             }
@@ -349,7 +352,7 @@ pub fn search_technique(spec: TechniqueSpec, search: &SearchConfig) -> Technique
         .map(|e| (*e).clone());
 
     TechniqueFrontier {
-        technique: spec.name().to_string(),
+        technique,
         frontier,
         frontier_static,
         frontier_adaptive,

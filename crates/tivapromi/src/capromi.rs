@@ -16,10 +16,12 @@ use crate::bank_rng::BankRngs;
 use crate::config::TivaConfig;
 use crate::counter_table::CounterTable;
 use crate::history::HistoryTable;
-use crate::mitigation::{Mitigation, MitigationAction};
+use crate::mitigation::{ActionSink, Mitigation, MitigationAction};
 use crate::weight::{linear_weight, log_weight};
 use dram_sim::{BankId, RowAddr};
+use mem_trace::EventBatch;
 use rand::RngExt;
+use std::ops::Range;
 
 /// The counter-assisted TiVaPRoMi variant.
 ///
@@ -111,6 +113,17 @@ impl Mitigation for CaPromi {
         // calculation can start from the stored trigger interval.
         let slot = self.histories[bank.index()].position(row);
         let _ = self.counters[bank.index()].observe(row, slot, self.rngs.get(bank));
+    }
+
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, _sink: &mut ActionSink) {
+        // CaPRoMi's act path only counts — decisions happen at the
+        // interval end — so the batched loop skips the action-tagging
+        // bookkeeping of the default fan-out entirely.
+        for i in range {
+            let (bank, row) = (batch.bank(i), batch.row(i));
+            let slot = self.histories[bank.index()].position(row);
+            let _ = self.counters[bank.index()].observe(row, slot, self.rngs.get(bank));
+        }
     }
 
     fn on_refresh_interval(&mut self, actions: &mut Vec<MitigationAction>) {

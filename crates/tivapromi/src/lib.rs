@@ -74,7 +74,7 @@ pub use capromi::CaPromi;
 pub use config::TivaConfig;
 pub use counter_table::{CounterEntry, CounterTable, InsertOutcome};
 pub use history::{HistoryPolicy, HistoryTable};
-pub use mitigation::{Mitigation, MitigationAction, WideNeighborhood};
+pub use mitigation::{ActionSink, Mitigation, MitigationAction, WideNeighborhood};
 pub use time_varying::{TimeVarying, WeightMode};
 pub use weight::{linear_weight, log_weight};
 

@@ -6,6 +6,8 @@
 //! to issue extra restorative activations.
 
 use dram_sim::{BankId, RowAddr};
+use mem_trace::EventBatch;
+use std::ops::Range;
 
 /// An extra command a mitigation asks the memory controller to issue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,6 +59,89 @@ impl MitigationAction {
                 dram_sim::Command::RefreshRow { bank, row }
             }
         }
+    }
+}
+
+/// Action buffer of the batched hot path: every action a mitigation
+/// emits while processing an [`EventBatch`] segment is tagged with the
+/// index of the event that caused it.
+///
+/// The tag is what lets the driving harness *decide ahead, apply in
+/// order*: a mitigation processes a whole interval segment in one call
+/// (amortising dispatch and letting it hoist per-interval state), and
+/// the harness then replays the segment event by event, applying each
+/// event's actions to the device immediately after that event's
+/// activation — the exact order the one-event-at-a-time path used, so
+/// results stay bit-identical.  Tags must be pushed in ascending order,
+/// which falls out naturally from walking the segment front to back.
+#[derive(Debug, Default)]
+pub struct ActionSink {
+    actions: Vec<MitigationAction>,
+    tags: Vec<u32>,
+    cursor: usize,
+}
+
+impl ActionSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ActionSink::default()
+    }
+
+    /// Drops all actions and resets the drain cursor.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+        self.tags.clear();
+        self.cursor = 0;
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the sink holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Buffers `action` as caused by the event at batch index `tag`.
+    #[inline]
+    pub fn push(&mut self, tag: u32, action: MitigationAction) {
+        debug_assert!(
+            self.tags.last().is_none_or(|&last| last <= tag),
+            "actions must be pushed in ascending event order"
+        );
+        self.actions.push(action);
+        self.tags.push(tag);
+    }
+
+    /// Runs `fill` against a plain action `Vec` and tags everything it
+    /// appended with `tag` — the bridge from the scalar
+    /// [`Mitigation::on_activate`] signature.
+    #[inline]
+    pub fn record<F: FnOnce(&mut Vec<MitigationAction>)>(&mut self, tag: u32, fill: F) {
+        fill(&mut self.actions);
+        self.tags.resize(self.actions.len(), tag);
+    }
+
+    /// Drains the next action if it is tagged with event `tag`.
+    ///
+    /// The harness calls this in its replay walk; because tags ascend,
+    /// a single forward cursor visits every action exactly once.
+    #[inline]
+    pub fn next_for(&mut self, tag: u32) -> Option<MitigationAction> {
+        if self.cursor < self.tags.len() && self.tags[self.cursor] == tag {
+            let action = self.actions[self.cursor];
+            self.cursor += 1;
+            Some(action)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the replay walk consumed every buffered action.
+    pub fn fully_drained(&self) -> bool {
+        self.cursor == self.actions.len()
     }
 }
 
@@ -121,6 +206,25 @@ pub trait Mitigation: Send {
     /// x-axis of Fig. 4.  Stateless techniques (PARA) return 0.
     fn storage_bits_per_bank(&self) -> u64;
 
+    /// Processes one refresh interval's worth of activations — the
+    /// events of `batch` at `range` — in a single call, pushing every
+    /// resulting action into `sink` tagged with its causing event's
+    /// batch index.
+    ///
+    /// The default fans out to [`Mitigation::on_activate`] per event,
+    /// so every technique batches correctly without changes.
+    /// Overriding implementations may hoist per-interval work (the
+    /// time-varying weight, PARA's probability bound) out of the
+    /// per-event loop, but must preserve the *exact* per-event order of
+    /// state updates and RNG draws: the engine's determinism contract
+    /// (sequential ≡ sharded, batched ≡ scalar) depends on it.
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
+        for i in range {
+            let (bank, row) = (batch.bank(i), batch.row(i));
+            sink.record(i as u32, |actions| self.on_activate(bank, row, actions));
+        }
+    }
+
     /// Storage per bank in bytes (derived; Fig. 4 is plotted in bytes).
     fn storage_bytes_per_bank(&self) -> f64 {
         self.storage_bits_per_bank() as f64 / 8.0
@@ -142,6 +246,10 @@ impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
 
     fn storage_bits_per_bank(&self) -> u64 {
         (**self).storage_bits_per_bank()
+    }
+
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
+        (**self).on_batch(batch, range, sink)
     }
 }
 
@@ -276,6 +384,61 @@ mod tests {
         fn storage_bits_per_bank(&self) -> u64 {
             7
         }
+    }
+
+    #[test]
+    fn sink_tags_and_replays_in_event_order() {
+        let mut sink = ActionSink::new();
+        let act = |row| MitigationAction::RefreshRow {
+            bank: BankId(0),
+            row: RowAddr(row),
+        };
+        sink.push(0, act(10));
+        sink.record(2, |actions| {
+            actions.push(act(20));
+            actions.push(act(21));
+        });
+        assert_eq!(sink.len(), 3);
+        // Replay walk: event 0 yields one action, event 1 none, event 2
+        // both of its actions, in push order.
+        assert_eq!(sink.next_for(0), Some(act(10)));
+        assert_eq!(sink.next_for(0), None);
+        assert_eq!(sink.next_for(1), None);
+        assert_eq!(sink.next_for(2), Some(act(20)));
+        assert_eq!(sink.next_for(2), Some(act(21)));
+        assert_eq!(sink.next_for(2), None);
+        assert!(sink.fully_drained());
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn default_on_batch_matches_per_event_calls() {
+        use mem_trace::TraceEvent;
+        let events = vec![
+            TraceEvent::benign(BankId(0), RowAddr(3)),
+            TraceEvent::benign(BankId(1), RowAddr(4)),
+        ];
+        let mut batch = EventBatch::new();
+        batch.push_interval(&events);
+
+        let mut batched = Fixed;
+        let mut sink = ActionSink::new();
+        batched.on_batch(&batch, batch.segment(0), &mut sink);
+
+        let mut scalar = Fixed;
+        let mut expected = Vec::new();
+        for e in &events {
+            scalar.on_activate(e.bank, e.row, &mut expected);
+        }
+        let mut drained = Vec::new();
+        for tag in 0..events.len() as u32 {
+            while let Some(a) = sink.next_for(tag) {
+                drained.push(a);
+            }
+        }
+        assert_eq!(drained, expected);
+        assert!(sink.fully_drained());
     }
 
     #[test]

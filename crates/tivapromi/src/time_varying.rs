@@ -7,10 +7,12 @@
 use crate::bank_rng::BankRngs;
 use crate::config::TivaConfig;
 use crate::history::HistoryTable;
-use crate::mitigation::{Mitigation, MitigationAction};
+use crate::mitigation::{ActionSink, Mitigation, MitigationAction};
 use crate::weight::{linear_weight, log_weight};
 use dram_sim::{BankId, RowAddr};
+use mem_trace::EventBatch;
 use rand::RngExt;
+use std::ops::Range;
 
 /// How the Eq. 1 weight is shaped before computing the probability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +173,45 @@ impl Mitigation for TimeVarying {
         }
     }
 
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
+        // The batched fast path: the interval clock, window length, mode
+        // and draw bound are constant across a whole segment, so they
+        // are hoisted out of the per-event loop (the scalar
+        // `on_activate` re-reads them on every activation).  State
+        // updates and RNG draws happen in the exact per-event order of
+        // the scalar path — the determinism contract depends on it.
+        let interval = self.interval;
+        let config = self.config;
+        let bound = 1u64 << config.p_base_exponent;
+        let mode = self.mode;
+        for i in range {
+            let (bank, row) = (batch.bank(i), batch.row(i));
+            let found = self.histories[bank.index()].search(row);
+            let base = match found {
+                Some(base) => base,
+                None => config.home_interval(row),
+            };
+            let w = linear_weight(interval, base % config.ref_int, config.ref_int);
+            let weight = match mode {
+                WeightMode::Linear => w,
+                WeightMode::Logarithmic => log_weight(w),
+                WeightMode::Hybrid => {
+                    if found.is_some() {
+                        w
+                    } else {
+                        log_weight(w)
+                    }
+                }
+            };
+            let draw: u64 = self.rngs.get(bank).random_range(0..bound);
+            if draw < u64::from(weight) {
+                sink.push(i as u32, MitigationAction::ActivateNeighbors { bank, row });
+                self.histories[bank.index()].record(row, interval);
+                self.triggers += 1;
+            }
+        }
+    }
+
     fn on_refresh_interval(&mut self, _actions: &mut Vec<MitigationAction>) {
         self.interval += 1;
         if self.interval == self.config.ref_int {
@@ -324,6 +365,44 @@ mod tests {
         let m = TimeVarying::lipromi(config(), 1);
         assert_eq!(m.storage_bits_per_bank(), 960);
         assert!((m.storage_bytes_per_bank() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_override_matches_scalar_path() {
+        use mem_trace::TraceEvent;
+        let cfg = config();
+        for mode in [
+            WeightMode::Linear,
+            WeightMode::Logarithmic,
+            WeightMode::Hybrid,
+        ] {
+            let mut scalar = TimeVarying::new(cfg, mode, 9);
+            let mut batched = TimeVarying::new(cfg, mode, 9);
+            drive_intervals(&mut scalar, 6000);
+            drive_intervals(&mut batched, 6000);
+
+            // One interval of mixed traffic, hot rows included.
+            let events: Vec<TraceEvent> = (0..512)
+                .map(|i| TraceEvent::benign(BankId(0), RowAddr([0, 123, 65_000][i % 3])))
+                .collect();
+            let mut batch = EventBatch::new();
+            batch.push_interval(&events);
+
+            let mut expected = Vec::new();
+            for e in &events {
+                scalar.on_activate(e.bank, e.row, &mut expected);
+            }
+            let mut sink = ActionSink::new();
+            batched.on_batch(&batch, batch.segment(0), &mut sink);
+            let mut got = Vec::new();
+            for tag in 0..events.len() as u32 {
+                while let Some(a) = sink.next_for(tag) {
+                    got.push(a);
+                }
+            }
+            assert_eq!(got, expected, "{mode:?} diverged");
+            assert_eq!(scalar.trigger_count(), batched.trigger_count());
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Trace events and the interval-batched trace source abstraction.
 
+use crate::batch::EventBatch;
 use dram_sim::{BankId, RowAddr};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,49 @@ pub trait TraceSource {
     fn intervals_hint(&self) -> Option<u64> {
         None
     }
+
+    /// The most intervals this source may deliver in one batch.
+    ///
+    /// Sources that *react* to what the consumer did with earlier
+    /// intervals (closed-loop attackers reading a feedback board) must
+    /// return `1`: prefetching interval `n+1` before the mitigation has
+    /// processed interval `n` would decouple the loop.  Open-loop
+    /// generators keep the default unbounded value.  Composite sources
+    /// take the minimum over their parts.
+    fn max_batch_intervals(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Fills `batch` (cleared first) with up to `max_intervals` whole
+    /// refresh intervals of activations, stopping early once the
+    /// batch's soft event capacity is reached.  Returns `false` when
+    /// the trace is exhausted (no interval delivered).
+    ///
+    /// The default implementation is a one-interval-at-a-time shim over
+    /// [`TraceSource::next_interval`], so every existing source —
+    /// including externally-driven ones like `CpuWorkload` — batches
+    /// without changes.  The number of intervals per fill is bounded by
+    /// `max_intervals`, by [`TraceSource::max_batch_intervals`], and by
+    /// the batch's event target (so sparse traces cannot grow the
+    /// boundary list without bound).
+    fn next_batch(&mut self, batch: &mut EventBatch, max_intervals: u64) -> bool {
+        batch.clear();
+        let cap = max_intervals
+            .min(self.max_batch_intervals())
+            .min(batch.target_events() as u64);
+        let mut delivered = 0u64;
+        let mut scratch = batch.take_scratch();
+        while delivered < cap && !batch.is_full() {
+            scratch.clear();
+            if !self.next_interval(&mut scratch) {
+                break;
+            }
+            batch.push_interval(&scratch);
+            delivered += 1;
+        }
+        batch.restore_scratch(scratch);
+        delivered > 0
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for &mut S {
@@ -64,6 +108,14 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn intervals_hint(&self) -> Option<u64> {
         (**self).intervals_hint()
     }
+
+    fn max_batch_intervals(&self) -> u64 {
+        (**self).max_batch_intervals()
+    }
+
+    fn next_batch(&mut self, batch: &mut EventBatch, max_intervals: u64) -> bool {
+        (**self).next_batch(batch, max_intervals)
+    }
 }
 
 impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
@@ -73,6 +125,14 @@ impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
 
     fn intervals_hint(&self) -> Option<u64> {
         (**self).intervals_hint()
+    }
+
+    fn max_batch_intervals(&self) -> u64 {
+        (**self).max_batch_intervals()
+    }
+
+    fn next_batch(&mut self, batch: &mut EventBatch, max_intervals: u64) -> bool {
+        (**self).next_batch(batch, max_intervals)
     }
 }
 
@@ -140,6 +200,22 @@ impl TraceSource for IdleTrace {
     fn intervals_hint(&self) -> Option<u64> {
         Some(self.total)
     }
+
+    fn next_batch(&mut self, batch: &mut EventBatch, max_intervals: u64) -> bool {
+        // Idle bank shards are the common case of a sharded run: ticks
+        // only, no events, no scratch round-trip.
+        batch.clear();
+        let n = self
+            .remaining
+            .min(max_intervals)
+            .min(batch.target_events() as u64);
+        if n == 0 {
+            return false;
+        }
+        self.remaining -= n;
+        batch.push_empty_intervals(n);
+        true
+    }
 }
 
 impl TraceSplit for IdleTrace {
@@ -198,6 +274,24 @@ impl TraceSource for ReplayTrace {
     fn intervals_hint(&self) -> Option<u64> {
         Some(self.total)
     }
+
+    fn next_batch(&mut self, batch: &mut EventBatch, max_intervals: u64) -> bool {
+        // Recorded intervals go straight into the SoA buffer, skipping
+        // the shim's staging copy.
+        batch.clear();
+        let cap = max_intervals.min(batch.target_events() as u64);
+        let mut delivered = 0u64;
+        while delivered < cap && !batch.is_full() {
+            match self.intervals.pop_front() {
+                Some(events) => {
+                    batch.push_interval(&events);
+                    delivered += 1;
+                }
+                None => break,
+            }
+        }
+        delivered > 0
+    }
 }
 
 impl TraceSplit for ReplayTrace {
@@ -253,6 +347,74 @@ mod tests {
         assert!(shard.next_interval(&mut out));
         assert_eq!(out, vec![TraceEvent::benign(BankId(1), RowAddr(3))]);
         assert!(!shard.next_interval(&mut out));
+    }
+
+    #[test]
+    fn default_batch_shim_matches_interval_delivery() {
+        let intervals = vec![
+            vec![TraceEvent::benign(BankId(0), RowAddr(1))],
+            vec![],
+            vec![
+                TraceEvent::attack(BankId(1), RowAddr(2)),
+                TraceEvent::benign(BankId(0), RowAddr(3)),
+            ],
+        ];
+        // Drive the *shim* (not ReplayTrace's override) through a
+        // wrapper that only implements next_interval.
+        struct Shimmed(ReplayTrace);
+        impl TraceSource for Shimmed {
+            fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool {
+                self.0.next_interval(out)
+            }
+        }
+        let mut shimmed = Shimmed(ReplayTrace::new(intervals.clone()));
+        let mut batch = EventBatch::new();
+        assert!(shimmed.next_batch(&mut batch, u64::MAX));
+        assert_eq!(batch.intervals(), 3);
+        let flattened: Vec<_> = (0..batch.len()).map(|i| batch.event(i)).collect();
+        let expected: Vec<_> = intervals.iter().flatten().copied().collect();
+        assert_eq!(flattened, expected);
+        assert_eq!(batch.segment(1), 1..1);
+        assert!(!shimmed.next_batch(&mut batch, u64::MAX));
+    }
+
+    #[test]
+    fn batch_respects_max_intervals_and_source_cap() {
+        struct OnePerBatch(ReplayTrace);
+        impl TraceSource for OnePerBatch {
+            fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool {
+                self.0.next_interval(out)
+            }
+            fn max_batch_intervals(&self) -> u64 {
+                1
+            }
+        }
+        let intervals = vec![vec![], vec![], vec![]];
+        let mut capped = OnePerBatch(ReplayTrace::new(intervals.clone()));
+        let mut batch = EventBatch::new();
+        let mut fills = 0;
+        while capped.next_batch(&mut batch, u64::MAX) {
+            assert_eq!(batch.intervals(), 1);
+            fills += 1;
+        }
+        assert_eq!(fills, 3);
+
+        // The caller's limit binds too, on the override path.
+        let mut replay = ReplayTrace::new(intervals);
+        assert!(replay.next_batch(&mut batch, 2));
+        assert_eq!(batch.intervals(), 2);
+    }
+
+    #[test]
+    fn idle_batch_ticks_in_bulk() {
+        let mut idle = IdleTrace::new(5);
+        let mut batch = EventBatch::new();
+        assert!(idle.next_batch(&mut batch, 3));
+        assert_eq!(batch.intervals(), 3);
+        assert!(batch.is_empty());
+        assert!(idle.next_batch(&mut batch, u64::MAX));
+        assert_eq!(batch.intervals(), 2);
+        assert!(!idle.next_batch(&mut batch, u64::MAX));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod attack;
+pub mod batch;
 pub mod cache;
 pub mod cpu;
 pub mod event;
@@ -44,6 +45,7 @@ pub mod workload;
 pub mod zipf;
 
 pub use attack::{AttackConfig, AttackKind, Attacker, PHASE_SHIFT_SLOTS};
+pub use batch::{EventBatch, DEFAULT_BATCH_EVENTS};
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use cpu::{CoreBehavior, CpuWorkload, CpuWorkloadConfig};
 pub use event::{IdleTrace, ReplayTrace, TraceEvent, TraceSource, TraceSplit};
