@@ -41,7 +41,8 @@ impl GrapheneConfig {
     pub fn paper(geometry: &Geometry) -> Self {
         let trigger_threshold = FLIP_THRESHOLD / 4;
         let window_acts = 165u64 * u64::from(geometry.intervals_per_window());
-        let entries = (window_acts / u64::from(trigger_threshold) + 9) as usize;
+        let entries = usize::try_from(window_acts / u64::from(trigger_threshold) + 9)
+            .expect("Misra-Gries entry count fits usize");
         GrapheneConfig {
             banks: geometry.banks(),
             rows_per_bank: geometry.rows_per_bank(),

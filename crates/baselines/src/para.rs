@@ -76,6 +76,9 @@ impl Mitigation for Para {
         }
     }
 
+    // Hot path: segment event indices are bounded by the batch length,
+    // far below u32::MAX.
+    #[allow(clippy::cast_possible_truncation)]
     fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
         // The probability and bank size never change: hoist them (and
         // the sink tagging) out of the per-event dispatch.  The two RNG

@@ -168,7 +168,7 @@ impl Mitigation for ProHit {
             if !tables.hot.is_empty() {
                 let victim = tables.hot.remove(0);
                 actions.push(MitigationAction::RefreshRow {
-                    bank: BankId(bank_idx as u32),
+                    bank: BankId(u32::try_from(bank_idx).expect("bank count fits u32")),
                     row: victim,
                 });
             }

@@ -234,7 +234,8 @@ impl DramDevice {
     /// Position of the *next* refresh interval within the current window
     /// (`i ∈ [0, RefInt−1]` in the paper's notation).
     pub fn interval_in_window(&self) -> u32 {
-        (self.interval % u64::from(self.geometry.intervals_per_window())) as u32
+        u32::try_from(self.interval % u64::from(self.geometry.intervals_per_window()))
+            .expect("modulo a u32 always fits u32")
     }
 
     /// Index of the current refresh window.

@@ -137,7 +137,7 @@ impl DisturbState {
 
     /// Number of rows tracked.
     pub fn rows(&self) -> u32 {
-        self.counters.len() as u32
+        u32::try_from(self.counters.len()).expect("row count fits u32")
     }
 }
 

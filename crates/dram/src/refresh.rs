@@ -110,6 +110,9 @@ impl RefreshSchedule {
                 );
                 let mut scrambled = vec![RowAddr(0); rows as usize];
                 for i in 0..intervals {
+                    // Truncation to u32 IS the scramble: the low word of
+                    // the Knuth product is the hashed counter.
+                    #[allow(clippy::cast_possible_truncation)]
                     let g = ((u64::from(i) * ODD_MULTIPLIER) as u32 ^ mask) % intervals;
                     for k in 0..rpi {
                         scrambled[(i * rpi + k) as usize] = RowAddr(g * rpi + k);
@@ -121,7 +124,7 @@ impl RefreshSchedule {
 
         let mut interval_of = vec![0u32; rows as usize];
         for (pos, row) in order.iter().enumerate() {
-            interval_of[row.index()] = pos as u32 / rpi;
+            interval_of[row.index()] = u32::try_from(pos).expect("row position fits u32") / rpi;
         }
 
         RefreshSchedule {
@@ -153,7 +156,8 @@ impl RefreshSchedule {
 
     /// Total number of intervals in the schedule.
     pub fn intervals(&self) -> u32 {
-        (self.order.len() / self.rows_per_interval as usize) as u32
+        u32::try_from(self.order.len() / self.rows_per_interval as usize)
+            .expect("interval count fits u32")
     }
 }
 

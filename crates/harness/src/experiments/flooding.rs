@@ -103,7 +103,11 @@ pub fn run(scale: &ExperimentScale) -> Vec<FloodingResult> {
                 phase,
                 first_trigger: MeanStd::of(&firsts),
                 worst: if worst.is_finite() {
-                    worst as u64
+                    // Activation counts round-trip f64 exactly (< 2^53).
+                    #[allow(clippy::cast_possible_truncation)]
+                    {
+                        worst as u64
+                    }
                 } else {
                     u64::MAX
                 },

@@ -129,6 +129,8 @@ impl Runner {
             return engine::run(trace, &mut mitigation, &self.config);
         }
         let observe: &[Box<dyn Observe>] = &self.observers;
+        // lint: allow(D2) — wall time feeds only Observe shard/run
+        // callbacks, never RunMetrics.
         let start = Instant::now();
         let shard = ShardInfo::whole_run();
         observe.on_shard_start(&shard);

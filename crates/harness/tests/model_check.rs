@@ -1,0 +1,338 @@
+//! Concurrency model check for the chunked `fetch_add` dispatcher.
+//!
+//! The determinism suite (`tests/determinism.rs`) proves sequential ≡
+//! sharded ≡ batched on *sampled* schedules — whatever interleavings
+//! the OS happens to produce.  This test closes the gap: it models the
+//! dispatcher claim loop and the shard-merge join as a small state
+//! machine and lets the vendored `interleave` explorer run **every**
+//! interleaving of 2–3 workers, asserting on each terminal state that
+//!
+//! 1. every job index is dispatched to exactly one worker (claim
+//!    uniqueness — the property the `Ordering::Relaxed` audit in
+//!    `src/parallel.rs` rests on),
+//! 2. every result slot is written exactly once, with the value the
+//!    sequential run would produce (order preservation),
+//! 3. folding the workers' shard partials with the *real*
+//!    [`RunMetrics::merge`] yields the sequential merge, for every
+//!    possible partition of jobs onto workers (merge algebra).
+//!
+//! A negative model seeds the classic bug — the claim split into a
+//! non-atomic read step and write step — and asserts the explorer
+//! *finds* the duplicate dispatch, so the green runs above are
+//! evidence and not vacuity.
+
+use interleave::{any_schedule, explore, Model};
+use rh_harness::metrics::RunMetrics;
+
+/// Per-job metrics fixture: distinct counters per index plus staggered
+/// `Option` firsts so the min-over-`Option` legs of the merge algebra
+/// are exercised, not just the sums.
+fn job_metrics(index: usize) -> RunMetrics {
+    let i = index as u64;
+    RunMetrics {
+        technique: "model".to_string(),
+        workload_activations: 10 * (i + 1),
+        aggressor_activations: 3 * i,
+        mitigation_activations: i,
+        trigger_events: i % 3,
+        false_positive_events: i % 2,
+        flips: index % 2,
+        max_disturbance: u32::try_from(100 + 7 * i).expect("small fixture"),
+        flip_threshold: 1000,
+        first_trigger_act: if index.is_multiple_of(2) { Some(50 - i) } else { None },
+        time_to_first_flip: if index >= 3 { Some(90 - i) } else { None },
+        storage_bytes_per_bank: 8.0,
+        intervals: 5 + i,
+        timeseries: None,
+    }
+}
+
+/// The sequential reference: jobs merged left-to-right in input order.
+fn sequential_merge(len: usize) -> RunMetrics {
+    (1..len).fold(job_metrics(0), |acc, i| acc.merge(job_metrics(i)))
+}
+
+/// One modeled worker: either between claims (`range == None`) or
+/// processing its claimed chunk one index per step.
+#[derive(Clone)]
+struct Worker {
+    range: Option<(usize, usize)>,
+    partial: Option<RunMetrics>,
+    done: bool,
+    /// Broken-variant staging: a cursor value read but not yet
+    /// published.  Always `None` in the sound model.
+    staged_read: Option<usize>,
+}
+
+#[derive(Clone)]
+struct State {
+    cursor: usize,
+    workers: Vec<Worker>,
+    /// Result slots, mirroring `Slots` in `src/parallel.rs`.
+    slots: Vec<Option<RunMetrics>>,
+    /// Dispatch count per job index; the sound model must end with
+    /// every entry exactly 1.
+    dispatched: Vec<u32>,
+}
+
+/// Models `map_workers`' claim loop faithfully: the claim — a read of
+/// the cursor and its advance — is ONE atomic step, exactly like the
+/// `fetch_add` in `Dispatcher::claim`; each per-index take/compute/
+/// write is a separate step, so claims and writes of different workers
+/// interleave freely.
+struct DispatcherModel {
+    workers: usize,
+    len: usize,
+    chunk: usize,
+}
+
+impl DispatcherModel {
+    fn process_one(&self, state: &mut State, t: usize) {
+        let worker = &mut state.workers[t];
+        let (index, end) = worker.range.expect("processing without a claim");
+        state.dispatched[index] += 1;
+        let out = job_metrics(index);
+        worker.partial = Some(match worker.partial.take() {
+            Some(acc) => acc.merge(out.clone()),
+            None => out.clone(),
+        });
+        state.slots[index] = Some(out);
+        worker.range = if index + 1 < end {
+            Some((index + 1, end))
+        } else {
+            None
+        };
+    }
+
+    fn finish_claim(&self, state: &mut State, t: usize, start: usize) {
+        let worker = &mut state.workers[t];
+        if start >= self.len {
+            worker.done = true;
+        } else {
+            worker.range = Some((start, (start + self.chunk).min(self.len)));
+        }
+    }
+}
+
+impl Model for DispatcherModel {
+    type State = State;
+
+    fn initial(&self) -> State {
+        State {
+            cursor: 0,
+            workers: vec![
+                Worker {
+                    range: None,
+                    partial: None,
+                    done: false,
+                    staged_read: None,
+                };
+                self.workers
+            ],
+            slots: vec![None; self.len],
+            dispatched: vec![0; self.len],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.workers
+    }
+
+    fn runnable(&self, state: &State, t: usize) -> bool {
+        !state.workers[t].done
+    }
+
+    fn step(&self, state: &mut State, t: usize) {
+        if state.workers[t].range.is_some() {
+            self.process_one(state, t);
+        } else {
+            // The atomic claim: read + advance in one indivisible step.
+            let start = state.cursor;
+            state.cursor += self.chunk;
+            self.finish_claim(state, t, start);
+        }
+    }
+
+    fn check(&self, state: &State, schedule: &[usize]) {
+        // 1. Claim uniqueness: each index dispatched exactly once.
+        for (index, &count) in state.dispatched.iter().enumerate() {
+            assert_eq!(count, 1, "index {index} dispatched {count}× under {schedule:?}");
+        }
+        // 2. Order preservation: slot i holds the sequential f(i).
+        for (index, slot) in state.slots.iter().enumerate() {
+            assert_eq!(
+                slot.as_ref(),
+                Some(&job_metrics(index)),
+                "slot {index} wrong under {schedule:?}"
+            );
+        }
+        // 3. Merge algebra: folding the shard partials in worker-id
+        // order (what the engine does after the scope joins) equals the
+        // sequential merge, whatever partition this schedule produced.
+        let merged = state
+            .workers
+            .iter()
+            .filter_map(|w| w.partial.clone())
+            .reduce(RunMetrics::merge)
+            .expect("at least one worker claimed jobs");
+        assert_eq!(merged, sequential_merge(self.len), "merge diverged under {schedule:?}");
+    }
+}
+
+#[test]
+fn dispatcher_sound_under_every_interleaving() {
+    // Worker/len/chunk matrix from the engine's real operating points:
+    // 2–3 workers, more jobs than workers, chunks of 1–2.
+    for (workers, len, chunk) in [(2, 4, 1), (2, 5, 2), (3, 4, 1), (3, 6, 2)] {
+        let stats = explore(&DispatcherModel { workers, len, chunk });
+        assert!(
+            stats.interleavings > 1,
+            "exploration degenerate for {workers}w/{len}j/{chunk}c"
+        );
+        println!(
+            "model ok: {workers} workers, {len} jobs, chunk {chunk}: \
+             {} interleavings, {} steps, depth {}",
+            stats.interleavings, stats.steps, stats.max_depth
+        );
+    }
+}
+
+/// The seeded bug: the claim decomposed into a *read* step and a
+/// *write-back* step, as if the cursor were a plain variable instead of
+/// a `fetch_add`.  Two workers may now read the same cursor value.
+struct BrokenDispatcherModel {
+    inner: DispatcherModel,
+}
+
+impl Model for BrokenDispatcherModel {
+    type State = State;
+
+    fn initial(&self) -> State {
+        self.inner.initial()
+    }
+
+    fn threads(&self) -> usize {
+        self.inner.workers
+    }
+
+    fn runnable(&self, state: &State, t: usize) -> bool {
+        !state.workers[t].done
+    }
+
+    fn step(&self, state: &mut State, t: usize) {
+        if state.workers[t].range.is_some() {
+            self.inner.process_one(state, t);
+        } else if let Some(start) = state.workers[t].staged_read.take() {
+            // Step 2 of the broken claim: publish the advanced cursor.
+            // Another worker may have read the same `start` in between.
+            state.cursor = start + self.inner.chunk;
+            self.inner.finish_claim(state, t, start);
+        } else {
+            // Step 1 of the broken claim: unsynchronized read.
+            state.workers[t].staged_read = Some(state.cursor);
+        }
+    }
+
+    fn check(&self, _state: &State, _schedule: &[usize]) {
+        // Verdicts are taken via `any_schedule` predicates instead.
+    }
+}
+
+#[test]
+fn model_checker_catches_non_atomic_cursor() {
+    let broken = BrokenDispatcherModel {
+        inner: DispatcherModel {
+            workers: 2,
+            len: 3,
+            chunk: 1,
+        },
+    };
+    // The explorer must surface a schedule where some index is
+    // dispatched twice — the lost update the atomic fetch_add rules
+    // out.  If this stops failing, the positive test above is vacuous.
+    assert!(
+        any_schedule(&broken, |s| s.dispatched.iter().any(|&c| c > 1)),
+        "explorer failed to find the duplicate dispatch in the broken model"
+    );
+    // And under the single-threaded schedule everything still works,
+    // so the bug really is an interleaving bug, not a modeling bug.
+    assert!(any_schedule(&broken, |s| s.dispatched.iter().all(|&c| c == 1)));
+}
+
+/// A deliberately order-sensitive fold (first-trigger taken from the
+/// *left* operand instead of the min) must be caught as
+/// schedule-dependent — demonstrating the merge-algebra assertion has
+/// teeth beyond claim uniqueness.
+#[test]
+fn model_checker_catches_order_sensitive_merge() {
+    struct LeftBiasedMerge {
+        inner: DispatcherModel,
+    }
+
+    impl Model for LeftBiasedMerge {
+        type State = State;
+        fn initial(&self) -> State {
+            self.inner.initial()
+        }
+        fn threads(&self) -> usize {
+            self.inner.workers
+        }
+        fn runnable(&self, state: &State, t: usize) -> bool {
+            !state.workers[t].done
+        }
+        fn step(&self, state: &mut State, t: usize) {
+            if state.workers[t].range.is_some() {
+                let worker = &state.workers[t];
+                let (index, end) = worker.range.expect("claimed");
+                state.dispatched[index] += 1;
+                let out = job_metrics(index);
+                let worker = &mut state.workers[t];
+                worker.partial = Some(match worker.partial.take() {
+                    Some(mut acc) => {
+                        // The bug: keep the left first_trigger_act
+                        // unconditionally instead of taking the min.
+                        acc.first_trigger_act = acc.first_trigger_act.or(out.first_trigger_act);
+                        let mut merged = acc.clone().merge(out);
+                        merged.first_trigger_act = acc.first_trigger_act;
+                        merged
+                    }
+                    None => out,
+                });
+                state.workers[t].range = if index + 1 < end {
+                    Some((index + 1, end))
+                } else {
+                    None
+                };
+            } else {
+                let start = state.cursor;
+                state.cursor += self.inner.chunk;
+                self.inner.finish_claim(state, t, start);
+            }
+        }
+        fn check(&self, _state: &State, _schedule: &[usize]) {}
+    }
+
+    let model = LeftBiasedMerge {
+        inner: DispatcherModel {
+            workers: 2,
+            len: 4,
+            chunk: 1,
+        },
+    };
+    let expected = sequential_merge(4);
+    let final_merge = |s: &State| {
+        s.workers
+            .iter()
+            .filter_map(|w| w.partial.clone())
+            .reduce(RunMetrics::merge)
+            .expect("some worker ran")
+    };
+    // Some schedule diverges from the sequential merge…
+    assert!(
+        any_schedule(&model, |s| final_merge(s) != expected),
+        "left-biased merge was not caught as schedule-dependent"
+    );
+    // …while others agree with it, so the divergence is genuinely an
+    // interleaving effect.
+    assert!(any_schedule(&model, |s| final_merge(s) == expected));
+}

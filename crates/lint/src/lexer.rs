@@ -1,0 +1,434 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The linter never needs a full parse: every rule in [`crate::rules`]
+//! is a pattern over identifier/punctuation sequences, so the lexer
+//! only has to be *sound* about what is code and what is not — string
+//! literals, character literals, comments (line and nested block),
+//! raw strings, byte strings and lifetimes must never leak their
+//! contents into the code-token stream, or a doc comment mentioning
+//! `HashMap` would trip rule D1.
+//!
+//! Comments are kept on a separate channel (with line numbers) because
+//! the allow-annotation grammar of [`crate::rules::Annotation`] lives
+//! inside them.
+
+/// What a code token is.  The linter only distinguishes words from
+/// punctuation: literals are opaque (their text is not searched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `for`, ...).
+    Ident,
+    /// A punctuation token; multi-character operators `::`, `->` and
+    /// `=>` are single tokens, everything else is one character.
+    Punct,
+    /// A string/char/byte/numeric literal, kept opaque.
+    Literal,
+    /// A lifetime (`'a`, `'static`), kept distinct from char literals.
+    Lifetime,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+/// Block comments spanning several lines yield one entry per line so
+/// annotations inside them still carry an accurate line number.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexer output: code tokens and comments on separate channels.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The token following `index`, if any.
+    pub fn next_of(&self, index: usize) -> Option<&Token> {
+        self.tokens.get(index + 1)
+    }
+}
+
+/// Lexes `source` into code tokens and comments.
+///
+/// The lexer is total: unexpected bytes become single-character punct
+/// tokens rather than errors, so a half-edited file still lints.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Punct, "::".into(), line);
+                }
+                '-' if self.peek(1) == Some('>') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Punct, "->".into(), line);
+                }
+                '=' if self.peek(1) == Some('>') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Punct, "=>".into(), line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        // Nested block comments, split per line so annotation line
+        // numbers stay exact.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::from("/*");
+        let mut line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                text.push_str("*/");
+                if depth == 0 {
+                    break;
+                }
+            } else if c == '\n' {
+                self.out.comments.push(Comment {
+                    text: std::mem::take(&mut text),
+                    line,
+                });
+                self.bump();
+                line = self.line;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        if !text.is_empty() {
+            self.out.comments.push(Comment { text, line });
+        }
+    }
+
+    /// `"..."` with escapes.
+    fn string(&mut self, line: u32) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, "\"...\"".into(), line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` and raw
+    /// identifiers `r#ident`.  Returns false when the leading `r`/`b`
+    /// is just the start of a plain identifier.
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let is_raw = self.peek(0) == Some('r')
+            || (self.peek(0) == Some('b') && self.peek(1) == Some('r'));
+        let ahead = if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            2
+        } else {
+            1
+        };
+        // Count `#`s after the prefix.
+        let mut hashes = 0;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(ahead + hashes) {
+            Some('"') => {}
+            Some(c) if hashes == 1 && ahead == 1 && self.peek(0) == Some('r') && (c.is_alphabetic() || c == '_') => {
+                // Raw identifier r#ident: skip `r#`, lex the ident.
+                self.bump();
+                self.bump();
+                self.ident(line);
+                return true;
+            }
+            _ => return false,
+        }
+        // Some('"'): consume prefix, hashes and opening quote.
+        for _ in 0..(ahead + hashes + 1) {
+            self.bump();
+        }
+        if hashes == 0 {
+            // Without hashes the literal ends at the next `"`; raw
+            // strings have no escapes, byte strings do.
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' if !is_raw => {
+                        self.bump();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        } else {
+            // Terminated by `"` followed by `hashes` `#`s.
+            loop {
+                match self.bump() {
+                    None => break,
+                    Some('"') => {
+                        let mut n = 0;
+                        while n < hashes && self.peek(0) == Some('#') {
+                            self.bump();
+                            n += 1;
+                        }
+                        if n == hashes {
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        self.push(TokenKind::Literal, "r\"...\"".into(), line);
+        true
+    }
+
+    /// `'a'` / `'\n'` (char literal) vs `'a` / `'static` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, "'...'".into(), line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') && text.chars().count() == 1 {
+                    self.bump();
+                    self.push(TokenKind::Literal, "'...'".into(), line);
+                } else {
+                    self.push(TokenKind::Lifetime, format!("'{text}"), line);
+                }
+            }
+            Some(c) => {
+                // Non-alphanumeric char literal: ' ', '{', ...
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                let _ = c;
+                self.push(TokenKind::Literal, "'...'".into(), line);
+            }
+            None => self.push(TokenKind::Punct, "'".into(), line),
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        // Numeric literals, including suffixes (`1u32`), underscores
+        // and float forms; precision is irrelevant to the rules, the
+        // scan only has to consume the literal atomically so suffixes
+        // do not surface as identifiers.
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let float_dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c.is_alphanumeric() || c == '_' || float_dot {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block */
+            let s = "HashMap";
+            let r = r#"HashMap "quoted""#;
+            let b = b"HashMap";
+            let c = 'H';
+        "##;
+        let names = idents(src);
+        assert!(!names.contains(&"HashMap".to_string()), "{names:?}");
+        assert_eq!(names, vec!["let", "s", "let", "r", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("let a = 1;\n// lint: allow(D4) — reason\nlet b = 2;\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(D4)"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    }
+
+    #[test]
+    fn char_literal_with_escape() {
+        let lexed = lex(r"let nl = '\n'; let q = '\''; let sp = ' ';");
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let lexed = lex("Ordering::Relaxed");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Ordering", "::", "Relaxed"]);
+    }
+
+    #[test]
+    fn numeric_suffixes_stay_inside_the_literal() {
+        let names = idents("let x = 1u32 + 0xffu8 + 1_000i64 + 2.5f64;");
+        assert_eq!(names, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let names = idents("let r#type = 1;");
+        assert_eq!(names, vec!["let", "type"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<_> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

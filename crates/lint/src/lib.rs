@@ -1,0 +1,48 @@
+//! `rh-lint` — the workspace determinism/soundness static analyzer.
+//!
+//! The repo's core contract — sequential ≡ sharded ≡ batched,
+//! bit-identical at 1/2/N workers — is proven by example in the
+//! determinism test suite; this crate proves its *preconditions* at
+//! the source level, so a refactor cannot silently reintroduce a
+//! source of nondeterminism that the sampled tests happen to miss.
+//!
+//! The engine is a hand-rolled token-level scanner ([`lexer`]) feeding
+//! a rule set of five invariants ([`rules`], D1–D5) over a sorted walk
+//! of every workspace source file ([`walk`]), producing a byte-stable
+//! table or JSON report ([`report`]).  See `DESIGN.md` §11 for the
+//! rule catalog and the annotation grammar.
+//!
+//! ```
+//! use rh_lint::{lint_source, FileClass};
+//! let report = lint_source(
+//!     "demo.rs",
+//!     "fn f(m: std::collections::HashMap<u32, u32>) { for v in m.values() { drop(v); } }",
+//!     &FileClass::default(),
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "D1");
+//! ```
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::LintReport;
+pub use rules::{lint_source, Annotation, FileClass, FileReport, Finding, RULE_IDS, RULE_SUMMARIES};
+pub use walk::{classify, relative, workspace_files};
+
+use std::path::Path;
+
+/// Lints every workspace source file under `root` and returns the
+/// aggregated, sorted report.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let files = workspace_files(root)?;
+    let mut results = Vec::with_capacity(files.len());
+    for path in &files {
+        let rel = relative(root, path);
+        let source = std::fs::read_to_string(path)?;
+        results.push(lint_source(&rel, &source, &classify(&rel)));
+    }
+    Ok(LintReport::from_files(results, files.len() as u64))
+}

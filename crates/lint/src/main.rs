@@ -1,0 +1,87 @@
+//! Workspace determinism linter CLI.
+//!
+//! ```text
+//! rh-lint --workspace [--json] [--root PATH]
+//! ```
+//!
+//! Scans every workspace source file for violations of the
+//! determinism/soundness rules D1–D5 (see `DESIGN.md` §11).  Exits 0
+//! when clean, 1 when findings exist, 2 on usage or I/O errors.  With
+//! `--json` the report is printed as JSON after a round-trip
+//! self-check (serialize → parse → compare), mirroring the pattern of
+//! `bin/redteam.rs` and `bin/timeline.rs`.
+
+use rh_lint::{lint_workspace, LintReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rh-lint --workspace [--json] [--root PATH]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if !workspace {
+        return usage();
+    }
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("rh-lint: no Cargo.toml under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("rh-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let encoded = match serde_json::to_string(&report) {
+            Ok(encoded) => encoded,
+            Err(err) => {
+                eprintln!("rh-lint: JSON encoding failed: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        // Round-trip self-check: the machine-readable output must parse
+        // back to the identical report before anyone consumes it.
+        match serde_json::from_str::<LintReport>(&encoded) {
+            Ok(back) if back == report => {}
+            Ok(_) => {
+                eprintln!("rh-lint: JSON round-trip diverged");
+                return ExitCode::from(2);
+            }
+            Err(err) => {
+                eprintln!("rh-lint: JSON round-trip failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+        println!("{encoded}");
+        eprintln!("rh-lint: JSON round-trip ok ({} bytes)", encoded.len());
+    } else {
+        print!("{}", report.render_table());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

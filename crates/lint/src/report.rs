@@ -1,0 +1,162 @@
+//! Aggregated lint report: machine-readable JSON and the human table.
+
+use crate::rules::{Annotation, Finding, RULE_IDS, RULE_SUMMARIES};
+use serde::{Deserialize, Serialize};
+
+/// The whole-workspace lint result.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Report schema version, bumped on incompatible changes.
+    pub schema_version: u32,
+    /// Number of files scanned.
+    pub files_scanned: u64,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every allow annotation in the workspace, sorted, with usage.
+    pub annotations: Vec<Annotation>,
+}
+
+impl LintReport {
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Merges per-file results into one sorted report.
+    pub fn from_files(results: Vec<crate::rules::FileReport>, files_scanned: u64) -> Self {
+        let mut findings = Vec::new();
+        let mut annotations = Vec::new();
+        for r in results {
+            findings.extend(r.findings);
+            annotations.extend(r.annotations);
+        }
+        findings.sort();
+        annotations.sort();
+        LintReport {
+            schema_version: Self::SCHEMA_VERSION,
+            files_scanned,
+            findings,
+            annotations,
+        }
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings per rule id, in catalog order.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        RULE_IDS
+            .iter()
+            .map(|&id| (id, self.findings.iter().filter(|f| f.rule == id).count()))
+            .collect()
+    }
+
+    /// Renders the human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "rh-lint: clean — {} files, 0 findings, {} allow annotations\n",
+                self.files_scanned,
+                self.annotations.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "rh-lint: {} finding(s) across {} files\n\n",
+                self.findings.len(),
+                self.files_scanned
+            ));
+            let width = self
+                .findings
+                .iter()
+                .map(|f| f.file.len() + digits(f.line) + 1)
+                .max()
+                .unwrap_or(0);
+            for f in &self.findings {
+                let loc = format!("{}:{}", f.file, f.line);
+                out.push_str(&format!("  {loc:width$}  {}  {}\n", f.rule, f.message));
+            }
+            out.push('\n');
+            for (rule, count) in self.rule_counts() {
+                if count > 0 {
+                    let idx = RULE_IDS.iter().position(|&r| r == rule).unwrap_or(0);
+                    out.push_str(&format!("  {rule}: {count:3}  {}\n", RULE_SUMMARIES[idx]));
+                }
+            }
+        }
+        if !self.annotations.is_empty() {
+            out.push_str("\nallow-annotation inventory:\n");
+            for a in &self.annotations {
+                let status = if a.used { "used" } else { "UNUSED" };
+                out.push_str(&format!(
+                    "  {}:{}  allow({})  [{status}]  {}\n",
+                    a.file, a.line, a.rule, a.justification
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileReport;
+
+    fn sample() -> LintReport {
+        let file = FileReport {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 10,
+                rule: "D1".into(),
+                message: "iteration over hash-ordered `m`".into(),
+            }],
+            annotations: vec![Annotation {
+                file: "crates/x/src/lib.rs".into(),
+                line: 4,
+                rule: "D4".into(),
+                justification: "claim uniqueness needs only RMW atomicity".into(),
+                used: true,
+            }],
+        };
+        LintReport::from_files(vec![file], 3)
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back: LintReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn json_is_byte_stable() {
+        let a = serde_json::to_string(&sample()).expect("serializes");
+        let b = serde_json::to_string(&sample()).expect("serializes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_mentions_findings_and_inventory() {
+        let table = sample().render_table();
+        assert!(table.contains("crates/x/src/lib.rs:10"));
+        assert!(table.contains("D1"));
+        assert!(table.contains("allow(D4)"));
+        assert!(table.contains("[used]"));
+    }
+
+    #[test]
+    fn clean_report_renders_summary() {
+        let report = LintReport::from_files(vec![], 42);
+        assert!(report.is_clean());
+        assert!(report.render_table().contains("clean — 42 files"));
+    }
+}

@@ -1,0 +1,748 @@
+//! The determinism/soundness rule set (D1–D5) and the allow-annotation
+//! grammar.
+//!
+//! Every rule is a pattern over the code-token stream of
+//! [`crate::lexer::lex`]; none needs a full parse.  The rules encode
+//! the workspace's core contract — sequential ≡ sharded ≡ batched,
+//! bit-identical at every worker count — at the source level:
+//!
+//! * **D1** `hash-iteration`: no iteration over `HashMap`/`HashSet`
+//!   bindings in non-test code.  Hash iteration order is seeded per
+//!   process, so any hash-ordered traversal that feeds `RunMetrics`,
+//!   `merge`, a serialized report or frontier JSON makes output
+//!   byte-order a function of the hash seed.  Iteration is accepted
+//!   when the same statement ends in an order-insensitive reduction
+//!   (`max`/`min`/`sum`/`count`/`all`/`any`/…) or collects into a
+//!   `BTreeMap`/`BTreeSet`; anything else needs `BTreeMap` or an
+//!   explicit sort.
+//! * **D2** `wall-clock`: `Instant::now`/`SystemTime::now` confined to
+//!   the [`PerfCounters`] home module and bench code — wall-clock
+//!   readings near metric paths are the classic way nondeterminism
+//!   sneaks into reports.
+//! * **D3** `unseeded-rng`: no `thread_rng`/`rand::random`/OS-entropy
+//!   anywhere (tests included); all randomness must come from seeded
+//!   generators (`BankRngs`, `StdRng::seed_from_u64`).
+//! * **D4** `unsafe-or-relaxed`: every `unsafe` token and every
+//!   `Ordering::Relaxed` site must carry an allow annotation with a
+//!   justification; the linter inventories them.
+//! * **D5** `narrowing-cast`: no `as` casts to ≤32-bit integer types
+//!   in counter/flip-arithmetic files (use `try_from`/checked ops).
+//!
+//! # Annotation grammar
+//!
+//! ```text
+//! // lint: allow(D4) — one-line justification
+//! ```
+//!
+//! The annotation must sit on the violating line (trailing comment) or
+//! within the two lines above it.  The separator after `allow(RULE)`
+//! may be `—`, `--`, `-` or `:`; the justification is mandatory — an
+//! annotation without one is itself a finding (rule `ANN`).
+//!
+//! [`PerfCounters`]: ../../rh_harness/observe/struct.PerfCounters.html
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+use serde::{Deserialize, Serialize};
+
+/// Rule identifiers, in catalog order.
+pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "ANN"];
+
+/// One-line description per rule, aligned with [`RULE_IDS`].
+pub const RULE_SUMMARIES: [&str; 6] = [
+    "hash-ordered iteration (HashMap/HashSet) in non-test code",
+    "wall-clock read (Instant/SystemTime) outside PerfCounters/bench",
+    "unseeded randomness (thread_rng/rand::random/OS entropy)",
+    "unsafe or Ordering::Relaxed site without allow annotation",
+    "narrowing `as` cast in counter/flip arithmetic",
+    "malformed lint annotation (missing justification)",
+];
+
+/// How many lines above a site an annotation still covers.
+const ANNOTATION_REACH: u32 = 2;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id (`D1`…`D5`, `ANN`).
+    pub rule: String,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+/// One parsed `// lint: allow(RULE) — justification` annotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Annotation {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub justification: String,
+    /// Whether a rule site actually consumed this annotation.
+    pub used: bool,
+}
+
+/// Per-file lint result.
+#[derive(Debug, Default, Clone)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub annotations: Vec<Annotation>,
+}
+
+/// Path-derived rule scoping for one file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Test code: files under a `tests/` directory.  In `src/` files
+    /// the trailing `#[cfg(test)]` module is detected separately.
+    pub is_test: bool,
+    /// Bench code (`crates/bench`, `benches/`): D2 and D5 exempt.
+    pub is_bench: bool,
+    /// The designated wall-clock home (`PerfCounters`): D2 exempt.
+    pub timing_exempt: bool,
+    /// Counter/flip-arithmetic file: D5 applies.
+    pub counter_scope: bool,
+}
+
+const ITER_METHODS: [&str; 10] = [
+    "iter", "iter_mut", "into_iter", "values", "values_mut", "keys", "into_values", "into_keys",
+    "drain", "extract_if",
+];
+
+/// Terminal reductions whose result does not depend on iteration
+/// order, accepted as same-statement consumers of hash iteration.
+const ORDER_INSENSITIVE: [&str; 16] = [
+    "max",
+    "min",
+    "max_by",
+    "max_by_key",
+    "min_by",
+    "min_by_key",
+    "sum",
+    "product",
+    "count",
+    "all",
+    "any",
+    "len",
+    "is_empty",
+    "sort",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Sort calls that restore a structural order in the same statement.
+const SORTS: [&str; 6] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_by_cached_key",
+];
+
+const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Lints one file's source under `class` scoping.  `path` is only
+/// recorded into findings/annotations, never re-classified.
+pub fn lint_source(path: &str, source: &str, class: &FileClass) -> FileReport {
+    let lexed = lex(source);
+    let mut report = FileReport::default();
+    parse_annotations(path, &lexed, &mut report);
+
+    // The trailing-test-module convention: everything at or after the
+    // first `#[cfg(test)]` counts as test code.
+    let test_start = if class.is_test {
+        0
+    } else {
+        cfg_test_line(&lexed).unwrap_or(u32::MAX)
+    };
+
+    // A multi-line annotation comment covers code below the whole
+    // block: precompute each annotation's block end.
+    let coverage: Vec<u32> = report
+        .annotations
+        .iter()
+        .map(|a| comment_block_end(&lexed, a.line))
+        .collect();
+
+    let mut ctx = Ctx {
+        path,
+        report: &mut report,
+        coverage: &coverage,
+    };
+    rule_d1(&lexed, test_start, &mut ctx);
+    if !class.is_bench && !class.timing_exempt {
+        rule_d2(&lexed, test_start, &mut ctx);
+    }
+    rule_d3(&lexed, &mut ctx);
+    rule_d4(&lexed, &mut ctx);
+    if class.counter_scope && !class.is_bench {
+        rule_d5(&lexed, test_start, &mut ctx);
+    }
+
+    report.findings.sort();
+    report
+}
+
+/// Parses every `lint: allow(RULE)` annotation out of the comment
+/// channel; malformed ones (missing justification or unknown rule)
+/// become `ANN` findings.
+fn parse_annotations(path: &str, lexed: &Lexed, report: &mut FileReport) {
+    for comment in &lexed.comments {
+        // Only plain `// lint: …` comments are annotations; doc
+        // comments (`///`, `//!`) merely *talking about* the grammar
+        // are not.
+        let body = comment.text.trim_start_matches('/');
+        if comment.text.starts_with("///") || comment.text.starts_with("//!") {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            report.findings.push(Finding {
+                file: path.to_string(),
+                line: comment.line,
+                rule: "ANN".into(),
+                message: "lint annotation must be `lint: allow(RULE) — justification`".into(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            report.findings.push(Finding {
+                file: path.to_string(),
+                line: comment.line,
+                rule: "ANN".into(),
+                message: "unterminated rule id in lint annotation".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !RULE_IDS.contains(&rule.as_str()) || rule == "ANN" {
+            report.findings.push(Finding {
+                file: path.to_string(),
+                line: comment.line,
+                rule: "ANN".into(),
+                message: format!("unknown rule `{rule}` in lint annotation"),
+            });
+            continue;
+        }
+        let justification = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-', ':'])
+            .trim()
+            .to_string();
+        if justification.is_empty() {
+            report.findings.push(Finding {
+                file: path.to_string(),
+                line: comment.line,
+                rule: "ANN".into(),
+                message: format!("allow({rule}) annotation carries no justification"),
+            });
+            continue;
+        }
+        report.annotations.push(Annotation {
+            file: path.to_string(),
+            line: comment.line,
+            rule,
+            justification,
+            used: false,
+        });
+    }
+}
+
+/// The last line of the contiguous comment block starting at `line`:
+/// a multi-line annotation comment covers code below the whole block,
+/// not just its first line.
+fn comment_block_end(lexed: &Lexed, line: u32) -> u32 {
+    let mut end = line;
+    for c in &lexed.comments {
+        if c.line == end + 1 {
+            end = c.line;
+        }
+    }
+    end
+}
+
+/// Shared rule context: the file path, the report under construction
+/// and the annotation coverage ends.
+struct Ctx<'a> {
+    path: &'a str,
+    report: &'a mut FileReport,
+    coverage: &'a [u32],
+}
+
+impl Ctx<'_> {
+    /// Marks the covering annotation used and reports whether `line`
+    /// is covered for `rule`.
+    fn allowed(&mut self, rule: &str, line: u32) -> bool {
+        let mut hit = false;
+        for (a, &end) in self.report.annotations.iter_mut().zip(self.coverage) {
+            if a.rule == rule && line >= a.line && line <= end + ANNOTATION_REACH {
+                a.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    fn finding(&mut self, rule: &str, line: u32, message: String) {
+        if !self.allowed(rule, line) {
+            self.report.findings.push(Finding {
+                file: self.path.to_string(),
+                line,
+                rule: rule.to_string(),
+                message,
+            });
+        }
+    }
+}
+
+/// Line of the first `#[cfg(test)]` attribute, if any.
+fn cfg_test_line(lexed: &Lexed) -> Option<u32> {
+    let t = &lexed.tokens;
+    for i in 0..t.len().saturating_sub(6) {
+        if t[i].text == "#"
+            && t[i + 1].text == "["
+            && t[i + 2].text == "cfg"
+            && t[i + 3].text == "("
+            && t[i + 4].text == "test"
+            && t[i + 5].text == ")"
+            && t[i + 6].text == "]"
+        {
+            return Some(t[i].line);
+        }
+    }
+    None
+}
+
+fn is_ident(token: &Token, text: &str) -> bool {
+    token.kind == TokenKind::Ident && token.text == text
+}
+
+/// Index of the first token of the statement containing `i`: the token
+/// after the closest preceding `;`, `{` or `}`.
+fn statement_start(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        let text = tokens[j - 1].text.as_str();
+        if text == ";" || text == "{" || text == "}" {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Collects the names of `HashMap`/`HashSet` bindings declared in this
+/// file: type-ascribed `name: HashMap<…>` (lets, struct fields, fn
+/// params) and constructor forms `name = HashMap::new()`; falls back
+/// to the `let` binding of the enclosing statement (covers turbofish
+/// `collect::<HashMap<_, _>>()`).
+fn hash_bindings(lexed: &Lexed) -> Vec<(String, u32)> {
+    let t = &lexed.tokens;
+    let mut out: Vec<(String, u32)> = Vec::new();
+    for i in 0..t.len() {
+        if !(is_ident(&t[i], "HashMap") || is_ident(&t[i], "HashSet")) {
+            continue;
+        }
+        let start = statement_start(t, i);
+        if is_ident(&t[start], "use") {
+            continue; // imports declare no binding
+        }
+        if let Some(name) = binding_name(t, start, i) {
+            out.push((name, t[i].line));
+        }
+    }
+    out
+}
+
+fn binding_name(tokens: &[Token], start: usize, i: usize) -> Option<String> {
+    // Walk backwards over type-ish tokens looking for `name :` or
+    // `name =`.
+    let mut j = i;
+    while j > start {
+        let tok = &tokens[j - 1];
+        match tok.text.as_str() {
+            ":" => {
+                // `name : … HashMap`
+                if j >= 2 && tokens[j - 2].kind == TokenKind::Ident {
+                    return Some(tokens[j - 2].text.clone());
+                }
+                break;
+            }
+            "=" => {
+                // `name = HashMap::new()`
+                if j >= 2
+                    && tokens[j - 2].kind == TokenKind::Ident
+                    && tokens[j - 2].text != "mut"
+                {
+                    return Some(tokens[j - 2].text.clone());
+                }
+                break;
+            }
+            "::" | "<" | ">" | "&" | "," | "(" | ")" | "[" | "]" | "*" => j -= 1,
+            _ if tok.kind == TokenKind::Ident || tok.kind == TokenKind::Lifetime => j -= 1,
+            _ => break,
+        }
+    }
+    // Fallback: the let binding of the enclosing statement.
+    let mut k = start;
+    if k < tokens.len() && is_ident(&tokens[k], "let") {
+        k += 1;
+        if k < tokens.len() && is_ident(&tokens[k], "mut") {
+            k += 1;
+        }
+        if k < tokens.len() && tokens[k].kind == TokenKind::Ident {
+            return Some(tokens[k].text.clone());
+        }
+    }
+    None
+}
+
+/// Scans the rest of the statement after token `i` and reports whether
+/// it contains an order-insensitive reduction, a sort, or a collect
+/// into an ordered container.
+///
+/// Reductions and sorts only count as *method calls* (`.max()`,
+/// `.sort()`) — a local variable that happens to be named `count` or
+/// `min` must not absorb the order.  `BTreeMap`/`BTreeSet` count as
+/// bare type names, since they appear in turbofish collects.
+fn statement_absorbs_order(tokens: &[Token], i: usize) -> bool {
+    let mut depth: i32 = 0;
+    for (offset, tok) in tokens.iter().enumerate().skip(i) {
+        match tok.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            ";" if depth == 0 => return false,
+            "BTreeMap" | "BTreeSet" if tok.kind == TokenKind::Ident => return true,
+            _ if tok.kind == TokenKind::Ident => {
+                let name = tok.text.as_str();
+                let is_method_call = offset > 0
+                    && tokens[offset - 1].text == "."
+                    && tokens.get(offset + 1).is_some_and(|n| n.text == "(");
+                if is_method_call && (ORDER_INSENSITIVE.contains(&name) || SORTS.contains(&name)) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// D1: iteration over hash-ordered bindings in non-test code.
+fn rule_d1(lexed: &Lexed, test_start: u32, ctx: &mut Ctx<'_>) {
+    let bindings = hash_bindings(lexed);
+    if bindings.is_empty() {
+        return;
+    }
+    let names: Vec<&str> = bindings.iter().map(|(n, _)| n.as_str()).collect();
+    let t = &lexed.tokens;
+
+    // Method-call iteration: `name.iter()`, `name.values()`, …
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident || !names.contains(&t[i].text.as_str()) {
+            continue;
+        }
+        if t[i].line >= test_start {
+            continue;
+        }
+        let Some(dot) = t.get(i + 1) else { continue };
+        let Some(method) = t.get(i + 2) else { continue };
+        if dot.text == "." && ITER_METHODS.contains(&method.text.as_str()) {
+            if statement_absorbs_order(t, i + 3) {
+                continue;
+            }
+            ctx.finding(
+                "D1",
+                t[i].line,
+                format!(
+                    "iteration over hash-ordered `{}` via `.{}()`: order is hash-seeded; use \
+                     BTreeMap/BTreeSet, sort in the same statement, or reduce order-insensitively",
+                    t[i].text, method.text
+                ),
+            );
+        }
+    }
+
+    // `for … in <expr-with-binding> {`
+    let mut i = 0;
+    while i < t.len() {
+        if is_ident(&t[i], "for") {
+            // Find `in` before the loop body opens.
+            let mut j = i + 1;
+            let mut found_in = None;
+            while j < t.len() && j < i + 24 {
+                if is_ident(&t[j], "in") {
+                    found_in = Some(j);
+                    break;
+                }
+                if t[j].text == "{" {
+                    break; // `impl Trait for Type {`
+                }
+                j += 1;
+            }
+            if let Some(in_at) = found_in {
+                let mut k = in_at + 1;
+                let mut depth: i32 = 0;
+                while k < t.len() {
+                    match t[k].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => break,
+                        _ => {}
+                    }
+                    if t[k].kind == TokenKind::Ident
+                        && names.contains(&t[k].text.as_str())
+                        && t[k].line < test_start
+                        // A call like `name.len()` inside the iterated
+                        // expression is not iteration of `name`.
+                        && t.get(k + 1).is_none_or(|n| n.text != ".")
+                    {
+                        ctx.finding(
+                            "D1",
+                            t[k].line,
+                            format!(
+                                "for-loop over hash-ordered `{}`: order is hash-seeded; use \
+                                 BTreeMap/BTreeSet or sort before iterating",
+                                t[k].text
+                            ),
+                        );
+                    }
+                    k += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// D2: `Instant::now` / `SystemTime::now` outside the timing home.
+fn rule_d2(lexed: &Lexed, test_start: u32, ctx: &mut Ctx<'_>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len().saturating_sub(2) {
+        if (is_ident(&t[i], "Instant") || is_ident(&t[i], "SystemTime"))
+            && t[i + 1].text == "::"
+            && is_ident(&t[i + 2], "now")
+            && t[i].line < test_start
+        {
+            ctx.finding(
+                "D2",
+                t[i].line,
+                format!(
+                    "`{}::now` outside PerfCounters/bench code: wall-clock readings near metric \
+                     paths break run-to-run determinism",
+                    t[i].text
+                ),
+            );
+        }
+    }
+}
+
+/// D3: unseeded randomness, everywhere (tests included).
+fn rule_d3(lexed: &Lexed, ctx: &mut Ctx<'_>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident {
+            continue;
+        }
+        if ENTROPY_IDENTS.contains(&t[i].text.as_str()) {
+            ctx.finding(
+                "D3",
+                t[i].line,
+                format!(
+                    "`{}` draws OS entropy: all randomness must come from seeded RNGs \
+                     (BankRngs / StdRng::seed_from_u64)",
+                    t[i].text
+                ),
+            );
+        }
+        // `rand::random` (free function).
+        if is_ident(&t[i], "rand")
+            && t.get(i + 1).is_some_and(|n| n.text == "::")
+            && t.get(i + 2).is_some_and(|n| is_ident(n, "random"))
+        {
+            ctx.finding(
+                "D3",
+                t[i].line,
+                "`rand::random` is thread-RNG backed: use a seeded RNG".to_string(),
+            );
+        }
+    }
+}
+
+/// D4: every `unsafe` and `Ordering::Relaxed` site needs an annotation.
+fn rule_d4(lexed: &Lexed, ctx: &mut Ctx<'_>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if is_ident(&t[i], "unsafe") {
+            ctx.finding(
+                "D4",
+                t[i].line,
+                "`unsafe` without `lint: allow(D4)` justification".to_string(),
+            );
+        }
+        if is_ident(&t[i], "Ordering")
+            && t.get(i + 1).is_some_and(|n| n.text == "::")
+            && t.get(i + 2).is_some_and(|n| is_ident(n, "Relaxed"))
+        {
+            ctx.finding(
+                "D4",
+                t[i].line,
+                "`Ordering::Relaxed` without `lint: allow(D4)` memory-ordering argument"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// D5: narrowing `as` casts in counter/flip-arithmetic files.
+fn rule_d5(lexed: &Lexed, test_start: u32, ctx: &mut Ctx<'_>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len().saturating_sub(1) {
+        if is_ident(&t[i], "as")
+            && t[i + 1].kind == TokenKind::Ident
+            && NARROW_INTS.contains(&t[i + 1].text.as_str())
+            && t[i].line < test_start
+        {
+            ctx.finding(
+                "D5",
+                t[i].line,
+                format!(
+                    "`as {}` narrowing cast in counter arithmetic: use try_from/checked ops \
+                     so overflow is loud, not silent",
+                    t[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> FileReport {
+        lint_source("mem.rs", src, &FileClass::default())
+    }
+
+    fn rules_of(report: &FileReport) -> Vec<&str> {
+        report.findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn d1_flags_value_iteration() {
+        let r = lint("fn f() { let mut m: HashMap<u32, u32> = HashMap::new(); for v in m.values() { use_it(v); } }");
+        assert_eq!(rules_of(&r), vec!["D1"]);
+    }
+
+    #[test]
+    fn d1_accepts_order_insensitive_reduction() {
+        let r = lint("fn f(m: HashMap<u32, u32>) -> u32 { m.values().copied().max().unwrap_or(0) }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d1_accepts_same_statement_sort() {
+        let r = lint(
+            "fn f(m: HashMap<u32, u32>) { let mut v: Vec<_> = m.values().collect(); v.sort(); }",
+        );
+        // The collect statement itself is accepted only when the sort
+        // is in the same statement; split statements rely on BTreeMap.
+        assert_eq!(rules_of(&r), vec!["D1"]);
+        let r = lint("fn f(m: HashMap<u32, u32>) -> Vec<u32> { sorted(m.values().copied().collect::<Vec<_>>().sort()) }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d1_ignores_membership_only_usage() {
+        let r = lint("fn f() { let mut s = HashSet::new(); s.insert(3); assert!(s.contains(&3)); }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d1_ignores_test_code() {
+        let r = lint("#[cfg(test)]\nmod tests { fn f(m: HashMap<u32, u32>) { for v in m.values() { drop(v); } } }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d1_flags_collect_turbofish_binding() {
+        let r = lint("fn f(xs: Vec<u32>) { let m = xs.iter().map(|x| (x, x)).collect::<HashMap<_, _>>(); for (k, v) in m.iter() { emit(k, v); } }");
+        assert_eq!(rules_of(&r), vec!["D1"]);
+    }
+
+    #[test]
+    fn d2_flags_instant_now_and_honors_annotation() {
+        let r = lint("fn f() { let t = Instant::now(); }");
+        assert_eq!(rules_of(&r), vec!["D2"]);
+        let r = lint("fn f() {\n    // lint: allow(D2) — drives Observe timing callbacks only\n    let t = Instant::now();\n}");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.annotations[0].used);
+    }
+
+    #[test]
+    fn d3_flags_thread_rng_even_in_tests() {
+        let r = lint("#[cfg(test)]\nmod tests { fn f() { let x = thread_rng(); } }");
+        assert_eq!(rules_of(&r), vec!["D3"]);
+    }
+
+    #[test]
+    fn d4_flags_unsafe_and_relaxed() {
+        let r = lint("fn f(c: &AtomicUsize) { let v = c.fetch_add(1, Ordering::Relaxed); unsafe { hole(v) } }");
+        assert_eq!(rules_of(&r), vec!["D4", "D4"]);
+    }
+
+    #[test]
+    fn d4_annotation_covers_two_lines_below() {
+        let r = lint(
+            "// lint: allow(D4) — claim uniqueness needs only RMW atomicity\nfn f(c: &AtomicUsize) {\n    c.fetch_add(1, Ordering::Relaxed);\n}",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d5_scoped_to_counter_files() {
+        let class = FileClass {
+            counter_scope: true,
+            ..FileClass::default()
+        };
+        let r = lint_source("mem.rs", "fn f(x: u64) -> u32 { x as u32 }", &class);
+        assert_eq!(rules_of(&r), vec!["D5"]);
+        // Out of scope: same source, no counter_scope.
+        let r = lint("fn f(x: u64) -> u32 { x as u32 }");
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn ann_flags_missing_justification_and_unknown_rule() {
+        let r = lint("// lint: allow(D4)\nfn f() {}");
+        assert_eq!(rules_of(&r), vec!["ANN"]);
+        let r = lint("// lint: allow(D9) — bogus\nfn f() {}");
+        assert_eq!(rules_of(&r), vec!["ANN"]);
+    }
+
+    #[test]
+    fn annotations_are_inventoried() {
+        let r = lint("// lint: allow(D4) — justified\nunsafe fn f() {}\n// lint: allow(D2) — never read\nfn g() {}");
+        assert_eq!(r.annotations.len(), 2);
+        assert!(r.annotations.iter().any(|a| a.rule == "D4" && a.used));
+        assert!(r.annotations.iter().any(|a| a.rule == "D2" && !a.used));
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_rules() {
+        let r = lint("// HashMap Instant::now thread_rng unsafe Ordering::Relaxed\nfn f() { let s = \"Instant::now() unsafe\"; }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

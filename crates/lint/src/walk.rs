@@ -1,0 +1,116 @@
+//! Workspace file discovery and path-based rule scoping.
+//!
+//! The walk is *sorted* (lexicographic on the repo-relative path) so
+//! findings, annotations and the JSON report are byte-stable across
+//! runs and platforms — the linter holds itself to the determinism bar
+//! it enforces.
+
+use crate::rules::FileClass;
+use std::path::{Path, PathBuf};
+
+/// Directories scanned relative to the workspace root.
+const ROOTS: [&str; 3] = ["crates", "src", "tests"];
+
+/// Path fragments excluded from the scan: vendored shims are offline
+/// stand-ins for external crates (not workspace code), `target/` is
+/// build output, and the lint fixtures are *known-bad by design*.
+const EXCLUDES: [&str; 3] = ["shims/", "target/", "crates/lint/tests/fixtures/"];
+
+/// Files where D5 (narrowing casts) applies: the counter/flip
+/// arithmetic the run metrics are built from.
+const COUNTER_SCOPE: [&str; 6] = [
+    "crates/dram/src/disturb.rs",
+    "crates/dram/src/device.rs",
+    "crates/harness/src/metrics.rs",
+    "crates/tivapromi/src/counter_table.rs",
+    "crates/tivapromi/src/history.rs",
+    "crates/trace/src/stats.rs",
+];
+
+/// The designated wall-clock home: `PerfCounters` and the other
+/// timing-based observers live here, outside the determinism contract.
+const TIMING_EXEMPT: [&str; 1] = ["crates/harness/src/observe.rs"];
+
+/// Classifies a repo-relative path (forward slashes) into rule scopes.
+pub fn classify(rel: &str) -> FileClass {
+    let is_test = rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.ends_with("/build.rs");
+    let is_bench = rel.contains("crates/bench/") || rel.contains("/benches/");
+    FileClass {
+        is_test,
+        is_bench,
+        timing_exempt: TIMING_EXEMPT.contains(&rel),
+        counter_scope: COUNTER_SCOPE.contains(&rel),
+    }
+}
+
+/// Normalizes `path` (relative to `root`) to forward slashes.
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Every `.rs` file under the workspace lint roots, sorted by
+/// repo-relative path.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in ROOTS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            collect(&dir, &mut files)?;
+        }
+    }
+    files.retain(|p| {
+        let rel = relative(root, p);
+        !EXCLUDES.iter().any(|e| rel.contains(e))
+    });
+    files.sort_by_key(|p| relative(root, p));
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_scopes_tests_benches_and_counters() {
+        assert!(classify("tests/determinism.rs").is_test);
+        assert!(classify("crates/trace/tests/sharding.rs").is_test);
+        assert!(!classify("crates/trace/src/stats.rs").is_test);
+        assert!(classify("crates/bench/benches/throughput.rs").is_bench);
+        assert!(classify("crates/harness/src/observe.rs").timing_exempt);
+        assert!(classify("crates/dram/src/disturb.rs").counter_scope);
+        assert!(!classify("crates/dram/src/geometry.rs").counter_scope);
+    }
+
+    #[test]
+    fn workspace_walk_is_sorted_and_excludes_shims_and_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).expect("walk");
+        assert!(!files.is_empty());
+        let rels: Vec<String> = files.iter().map(|p| relative(&root, p)).collect();
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "walk must be sorted");
+        assert!(rels.iter().all(|r| !r.contains("shims/")));
+        assert!(rels.iter().all(|r| !r.contains("fixtures/")));
+        assert!(rels.iter().any(|r| r == "crates/harness/src/engine.rs"));
+    }
+}

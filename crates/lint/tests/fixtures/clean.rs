@@ -1,0 +1,19 @@
+//! Clean fixture: the well-behaved counterpart of the d*.rs files —
+//! ordered containers, annotated atomics, checked conversions.  Must
+//! produce zero findings even with `counter_scope` set.
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn per_bank_rows(counts: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+    counts.iter().map(|(bank, count)| (*bank, *count)).collect()
+}
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    // lint: allow(D4) — fixture: claim uniqueness needs only RMW
+    // atomicity; mirrors the audited dispatcher cursor.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn fold_counter(total: u64) -> u32 {
+    u32::try_from(total % 65_536).expect("modulo a u32 bound always fits")
+}

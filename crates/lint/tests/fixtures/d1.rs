@@ -1,0 +1,11 @@
+//! D1 fixture: hash-ordered iteration feeding report rows.  Must trip
+//! exactly one D1 finding and nothing else.
+use std::collections::HashMap;
+
+pub fn per_bank_rows(counts: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut rows = Vec::new();
+    for (bank, count) in counts.iter() {
+        rows.push((*bank, *count));
+    }
+    rows
+}

@@ -1,0 +1,8 @@
+//! D2 fixture: wall-clock read outside PerfCounters/bench code.  Must
+//! trip exactly one D2 finding and nothing else.
+use std::time::Instant;
+
+pub fn measure_run() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,7 @@
+//! D3 fixture: OS-entropy randomness.  Must trip exactly one D3
+//! finding and nothing else.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+//! D4 fixture: `Ordering::Relaxed` with no allow annotation.  Must
+//! trip exactly one D4 finding and nothing else.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+//! D5 fixture: narrowing `as` cast in counter arithmetic (linted with
+//! `counter_scope` set).  Must trip exactly one D5 finding and nothing
+//! else.
+
+pub fn fold_counter(total: u64) -> u32 {
+    (total % 65_536) as u32
+}

@@ -1,0 +1,94 @@
+//! Linter self-test: the known-bad fixture corpus must trip exactly
+//! the rule each fixture targets, the clean fixture must pass, and —
+//! the PR gate — the workspace at HEAD must lint clean.
+
+use rh_lint::{lint_source, lint_workspace, FileClass};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Fixtures are linted as production counter-scope code — the widest
+/// rule surface — so "exactly its rule" is a real exclusivity claim.
+fn strict_class() -> FileClass {
+    FileClass {
+        counter_scope: true,
+        ..FileClass::default()
+    }
+}
+
+#[test]
+fn each_bad_fixture_trips_exactly_its_rule() {
+    for (file, rule) in [
+        ("d1.rs", "D1"),
+        ("d2.rs", "D2"),
+        ("d3.rs", "D3"),
+        ("d4.rs", "D4"),
+        ("d5.rs", "D5"),
+    ] {
+        let report = lint_source(file, &fixture(file), &strict_class());
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(
+            rules,
+            vec![rule],
+            "{file} must trip exactly one {rule} finding, got {:#?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = lint_source("clean.rs", &fixture("clean.rs"), &strict_class());
+    assert!(
+        report.findings.is_empty(),
+        "clean.rs tripped: {:#?}",
+        report.findings
+    );
+    // Its annotation is real and consumed, not dead weight.
+    assert!(report.annotations.iter().any(|a| a.rule == "D4" && a.used));
+}
+
+/// The gate: `rh-lint --workspace` exits 0 on HEAD.  Runs the library
+/// entry point directly so `cargo test` enforces it without shelling
+/// out to a second cargo invocation.
+#[test]
+fn workspace_head_lints_clean() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    assert!(root.join("Cargo.toml").is_file(), "workspace root not found");
+    let report = lint_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.render_table()
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously small walk: {} files — did the source roots move?",
+        report.files_scanned
+    );
+    // Annotation hygiene: every allow annotation on HEAD must actually
+    // cover a rule site; an UNUSED one is stale documentation.
+    let stale: Vec<_> = report.annotations.iter().filter(|a| !a.used).collect();
+    assert!(stale.is_empty(), "unused allow annotations: {stale:#?}");
+}
+
+/// The fixture corpus itself must be excluded from the workspace walk
+/// (it is known-bad by construction).
+#[test]
+fn fixtures_are_excluded_from_workspace_walk() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = rh_lint::workspace_files(&root).expect("walk succeeds");
+    assert!(
+        files.iter().all(|f| !f.components().any(|c| c.as_os_str() == "fixtures")),
+        "fixture files leaked into the workspace walk"
+    );
+    // …but the walk does see this very test file.
+    assert!(files
+        .iter()
+        .any(|f| f.ends_with("crates/lint/tests/selftest.rs")));
+}

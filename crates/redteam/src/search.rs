@@ -31,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rh_harness::{parallel, Parallelism, RunConfig, Runner, TechniqueSpec};
 use rh_hwmodel::Technique;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Flip threshold used by the quick red-team configuration: the
 /// weakest-cell scenario (the paper's 139 K threshold scaled to the
@@ -268,7 +268,11 @@ fn achiever_rank(e: &Evaluation) -> (u64, u64, String) {
 
 /// Searches the security frontier of one technique.
 pub fn search_technique(spec: TechniqueSpec, search: &SearchConfig) -> TechniqueFrontier {
-    let mut cache: HashMap<u64, Evaluation> = HashMap::new();
+    // Keyed by content hash in a BTreeMap: every traversal of the
+    // cache is in key order — structural, not hash-seeded — so no
+    // ranking below depends on a sort for correctness of its *input*
+    // order (rule D1).
+    let mut cache: BTreeMap<u64, Evaluation> = BTreeMap::new();
     let mut cache_hits = 0u64;
     // `Display` renders the exact `.name()` bytes, so seeds and cache
     // keys derived from it are stable across the refactor.
@@ -304,7 +308,7 @@ pub fn search_technique(spec: TechniqueSpec, search: &SearchConfig) -> Technique
             cache.insert(key, evaluation);
         }
 
-        // Rank with total orders (HashMap iteration order never leaks
+        // Rank with total orders (cache iteration order never leaks
         // into the outcome).
         let mut achievers: Vec<&Evaluation> = cache.values().filter(|e| e.achieved).collect();
         achievers.sort_by_key(|e| achiever_rank(e));

@@ -135,6 +135,7 @@ impl Mitigation for CaPromi {
         let exponent = self.config.p_base_exponent;
 
         for bank_idx in 0..self.counters.len() {
+            let bank_id = BankId(u32::try_from(bank_idx).expect("bank count fits u32"));
             let entries = self.counters[bank_idx].drain();
             let history = &mut self.histories[bank_idx];
             for entry in entries {
@@ -150,11 +151,11 @@ impl Mitigation for CaPromi {
                 let scaled = u64::from(entry.count) * u64::from(w_log);
                 let draw: u64 = self
                     .rngs
-                    .get(BankId(bank_idx as u32))
+                    .get(bank_id)
                     .random_range(0..(1u64 << exponent));
                 if draw < scaled {
                     self.pending.push(MitigationAction::ActivateNeighbors {
-                        bank: BankId(bank_idx as u32),
+                        bank: bank_id,
                         row: entry.row,
                     });
                     history.record(entry.row, i);

@@ -218,6 +218,9 @@ pub trait Mitigation: Send {
     /// per-event loop, but must preserve the *exact* per-event order of
     /// state updates and RNG draws: the engine's determinism contract
     /// (sequential ≡ sharded, batched ≡ scalar) depends on it.
+    // Hot path: segment event indices are bounded by the batch length,
+    // far below u32::MAX.
+    #[allow(clippy::cast_possible_truncation)]
     fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
         for i in range {
             let (bank, row) = (batch.bank(i), batch.row(i));
@@ -307,11 +310,14 @@ impl<M: Mitigation> WideNeighborhood<M> {
                 MitigationAction::ActivateNeighbors { bank, row } => {
                     for offset in [-2i64, -1, 1, 2] {
                         let target = i64::from(row.0) + offset;
-                        if target >= 0 && (target as u32) < self.rows_per_bank {
-                            widened.push(MitigationAction::RefreshRow {
-                                bank,
-                                row: RowAddr(target as u32),
-                            });
+                        // try_from rejects negatives and overflow in one go.
+                        if let Ok(target) = u32::try_from(target) {
+                            if target < self.rows_per_bank {
+                                widened.push(MitigationAction::RefreshRow {
+                                    bank,
+                                    row: RowAddr(target),
+                                });
+                            }
                         }
                     }
                 }

@@ -173,6 +173,9 @@ impl Mitigation for TimeVarying {
         }
     }
 
+    // Hot path: segment event indices are bounded by the batch length,
+    // far below u32::MAX.
+    #[allow(clippy::cast_possible_truncation)]
     fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
         // The batched fast path: the interval clock, window length, mode
         // and draw bound are constant across a whole segment, so they

@@ -244,7 +244,8 @@ impl Attacker {
                     0 => 0,
                     s => (elapsed / s) % PHASE_SHIFT_SLOTS,
                 };
-                let base = base_row.0 + slot as u32 * 2 * max_aggressors;
+                let slot = u32::try_from(slot).expect("slot index below PHASE_SHIFT_SLOTS");
+                let base = base_row.0 + slot * 2 * max_aggressors;
                 (0..k.max(1)).map(|j| RowAddr(base + 2 * j)).collect()
             }
             AttackKind::RefreshSyncBurst {
@@ -304,7 +305,7 @@ impl Attacker {
             // both ends.
             None => 1 + elapsed * span / (duration - 1),
         };
-        count as u32
+        u32::try_from(count).expect("ramp count is bounded by max_aggressors")
     }
 
     /// All rows that are potential victims of this attack (the physical
@@ -321,7 +322,7 @@ impl Attacker {
                 max_aggressors,
                 shift_intervals,
             } if shift_intervals > 0 => {
-                for slot in 0..PHASE_SHIFT_SLOTS as u32 {
+                for slot in 0..u32::try_from(PHASE_SHIFT_SLOTS).expect("slot count fits u32") {
                     let base = base_row.0 + slot * 2 * max_aggressors;
                     aggressors.extend((0..max_aggressors.max(1)).map(|j| RowAddr(base + 2 * j)));
                 }
@@ -359,7 +360,7 @@ impl TraceSource for Attacker {
         }
         if self.interval >= self.config.start_interval {
             let aggressors = self.aggressors_at(self.interval);
-            let n = aggressors.len() as u32;
+            let n = u32::try_from(aggressors.len()).expect("aggressor count fits u32");
             // An empty set (a burst pattern off-duty) emits nothing and
             // leaves the rotation untouched.
             if n > 0 {

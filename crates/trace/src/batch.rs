@@ -154,6 +154,9 @@ impl EventBatch {
     /// [`EventBatch::end_interval`] (every pushed event must be closed
     /// by a boundary before the batch is consumed).
     #[inline]
+    // Hot path: the tick is the interval ordinal, bounded by the run's
+    // interval count, far below u32::MAX.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn push_event(&mut self, bank: BankId, row: RowAddr, aggressor: bool) {
         self.banks.push(bank);
         self.rows.push(row);
@@ -169,7 +172,7 @@ impl EventBatch {
 
     /// Appends one whole interval's events and closes its boundary.
     pub fn push_interval(&mut self, events: &[TraceEvent]) {
-        let tick = self.boundaries.len() as u32;
+        let tick = u32::try_from(self.boundaries.len()).expect("interval ordinal fits u32");
         self.banks.reserve(events.len());
         for e in events {
             self.banks.push(e.bank);

@@ -85,6 +85,8 @@ impl Cache {
         }
     }
 
+    // Reduced modulo the set count, which itself came from a usize.
+    #[allow(clippy::cast_possible_truncation)]
     fn set_index(&self, line: u64) -> usize {
         (line % u64::from(self.config.sets())) as usize
     }

@@ -179,6 +179,8 @@ impl CpuWorkload {
 
     /// Maps a global line address to `(bank, row)`: lines interleave
     /// across banks, then fill rows.
+    // Both quantities are reduced modulo a u32 bound, so they fit u32.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn decode(&self, line: u64) -> (BankId, RowAddr) {
         let banks = u64::from(self.config.banks);
         let bank = (line % banks) as u32;

@@ -5,7 +5,7 @@
 
 use crate::event::{TraceEvent, TraceSource};
 use dram_sim::{BankId, RowAddr};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Aggregate statistics of a trace.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -20,8 +20,10 @@ pub struct TraceStats {
     pub banks: u32,
     /// Maximum activations observed in any single bank-interval.
     pub max_per_bank_interval: u32,
-    /// Per-(bank,row) activation counts.
-    pub row_counts: HashMap<(BankId, RowAddr), u64>,
+    /// Per-(bank,row) activation counts.  Ordered so that every
+    /// traversal (and anything serialized from it) has structural,
+    /// not hash-seeded, order.
+    pub row_counts: BTreeMap<(BankId, RowAddr), u64>,
 }
 
 impl TraceStats {
@@ -42,8 +44,8 @@ impl TraceStats {
     pub fn collect<S: TraceSource>(mut source: S) -> Self {
         let mut stats = TraceStats::default();
         let mut events: Vec<TraceEvent> = Vec::new();
-        let mut per_bank: HashMap<BankId, u32> = HashMap::new();
-        let mut seen_banks: std::collections::HashSet<BankId> = std::collections::HashSet::new();
+        let mut per_bank: BTreeMap<BankId, u32> = BTreeMap::new();
+        let mut seen_banks: BTreeSet<BankId> = BTreeSet::new();
         loop {
             events.clear();
             if !source.next_interval(&mut events) {
@@ -64,7 +66,7 @@ impl TraceStats {
                 stats.max_per_bank_interval = stats.max_per_bank_interval.max(count);
             }
         }
-        stats.banks = seen_banks.len() as u32;
+        stats.banks = u32::try_from(seen_banks.len()).expect("bank count fits u32");
         stats
     }
 
@@ -93,7 +95,7 @@ impl TraceStats {
         if self.total_activations == 0 {
             return 0.0;
         }
-        let mut per_bank: HashMap<BankId, Vec<u64>> = HashMap::new();
+        let mut per_bank: BTreeMap<BankId, Vec<u64>> = BTreeMap::new();
         for (&(bank, _), &count) in &self.row_counts {
             per_bank.entry(bank).or_default().push(count);
         }

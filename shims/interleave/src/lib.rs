@@ -1,0 +1,321 @@
+//! A loom-style exhaustive interleaving explorer for modeled programs.
+//!
+//! Concurrent code under test is *modeled* as a [`Model`]: shared
+//! memory plus per-thread program counters live in a cloneable
+//! `State`, and each thread advances in discrete **atomic steps**
+//! (one call to [`Model::step`]).  The explorer enumerates, by
+//! depth-first search over scheduling choices, **every** interleaving
+//! of those steps, and invokes [`Model::check`] on each terminal
+//! state — so an invariant assertion inside `check` (or inside
+//! `step`) holds *for all schedules*, not just the ones an OS
+//! scheduler happened to produce.
+//!
+//! The granularity choice is the modeling contract: everything inside
+//! one `step` call is atomic (invisible to other threads), and every
+//! boundary between steps is a preemption point.  To model a relaxed
+//! atomic `fetch_add`, perform the read-modify-write in a single step;
+//! to model a *broken* non-atomic counter, split the read and the
+//! write into two steps and the explorer will find the lost-update
+//! schedules.
+//!
+//! Unlike loom, which instruments real `std::sync` types under real
+//! threads, this vendored shim explores a state machine — no OS
+//! threads, no condvars, fully deterministic, and exhaustive rather
+//! than bounded. That trade fits the workspace's use case: proving
+//! the dispatcher's claim/merge algebra over 2–3 workers and a few
+//! jobs, where the full interleaving space is small enough to
+//! enumerate completely.
+//!
+//! ```
+//! use interleave::{explore, Model};
+//!
+//! /// Two threads each atomically increment a shared counter once.
+//! struct TwoIncrements;
+//!
+//! #[derive(Clone)]
+//! struct St {
+//!     counter: u32,
+//!     done: [bool; 2],
+//! }
+//!
+//! impl Model for TwoIncrements {
+//!     type State = St;
+//!     fn initial(&self) -> St {
+//!         St { counter: 0, done: [false, false] }
+//!     }
+//!     fn threads(&self) -> usize {
+//!         2
+//!     }
+//!     fn runnable(&self, s: &St, t: usize) -> bool {
+//!         !s.done[t]
+//!     }
+//!     fn step(&self, s: &mut St, t: usize) {
+//!         s.counter += 1; // one atomic step
+//!         s.done[t] = true;
+//!     }
+//!     fn check(&self, s: &St, schedule: &[usize]) {
+//!         assert_eq!(s.counter, 2, "schedule {schedule:?}");
+//!     }
+//! }
+//!
+//! let stats = explore(&TwoIncrements);
+//! assert_eq!(stats.interleavings, 2); // [0,1] and [1,0]
+//! ```
+
+/// A modeled concurrent program.
+pub trait Model {
+    /// Shared memory plus every thread's program counter.  Cloned at
+    /// each branch point of the schedule tree.
+    type State: Clone;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Number of modeled threads.
+    fn threads(&self) -> usize;
+
+    /// Whether `thread` has another step to run in `state`.  A thread
+    /// that is not runnable is never scheduled; once every thread is
+    /// non-runnable the state is terminal.
+    fn runnable(&self, state: &Self::State, thread: usize) -> bool;
+
+    /// Advances `thread` by one atomic step.  Only called when
+    /// [`Model::runnable`] returns true.
+    fn step(&self, state: &mut Self::State, thread: usize);
+
+    /// Invoked on every terminal state with the schedule (sequence of
+    /// thread ids) that produced it.  Panic to fail the exploration.
+    fn check(&self, state: &Self::State, schedule: &[usize]);
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of maximal schedules (terminal states) checked.
+    pub interleavings: u64,
+    /// Total steps executed across all schedules.
+    pub steps: u64,
+    /// Length of the longest schedule.
+    pub max_depth: usize,
+}
+
+/// Explosion guard: exploration panics after this many interleavings.
+/// Models are meant to be small (2–3 threads, a handful of steps);
+/// hitting the cap means the model, not the checker, needs shrinking.
+pub const MAX_INTERLEAVINGS: u64 = 5_000_000;
+
+/// Exhaustively explores every interleaving of `model`, returning the
+/// exploration statistics.  Panics (propagating the model's own
+/// assertion) if any schedule violates an invariant checked in
+/// [`Model::step`] or [`Model::check`].
+pub fn explore<M: Model>(model: &M) -> Stats {
+    let mut stats = Stats {
+        interleavings: 0,
+        steps: 0,
+        max_depth: 0,
+    };
+    let mut schedule = Vec::new();
+    dfs(model, model.initial(), &mut schedule, &mut stats);
+    stats
+}
+
+fn dfs<M: Model>(model: &M, state: M::State, schedule: &mut Vec<usize>, stats: &mut Stats) {
+    let runnable: Vec<usize> =
+        (0..model.threads()).filter(|&t| model.runnable(&state, t)).collect();
+    if runnable.is_empty() {
+        stats.interleavings += 1;
+        stats.max_depth = stats.max_depth.max(schedule.len());
+        assert!(
+            stats.interleavings <= MAX_INTERLEAVINGS,
+            "interleaving explosion: more than {MAX_INTERLEAVINGS} schedules — shrink the model"
+        );
+        model.check(&state, schedule);
+        return;
+    }
+    // The last runnable thread reuses the state instead of cloning it.
+    let (tail, rest) = runnable.split_last().expect("nonempty");
+    for &t in rest {
+        let mut next = state.clone();
+        model.step(&mut next, t);
+        stats.steps += 1;
+        schedule.push(t);
+        dfs(model, next, schedule, stats);
+        schedule.pop();
+    }
+    let mut next = state;
+    model.step(&mut next, *tail);
+    stats.steps += 1;
+    schedule.push(*tail);
+    dfs(model, next, schedule, stats);
+    schedule.pop();
+}
+
+/// Runs `check` on every distinct permutation order the explorer
+/// produces and returns whether *any* terminal state satisfied
+/// `predicate` — the "can this happen under some schedule?" query,
+/// used to prove the checker finds seeded bugs.
+pub fn any_schedule<M: Model, P: Fn(&M::State) -> bool>(model: &M, predicate: P) -> bool {
+    struct Witness<'a, M, P> {
+        inner: &'a M,
+        predicate: P,
+        found: std::cell::Cell<bool>,
+    }
+    #[derive(Clone)]
+    struct WState<S>(S);
+    impl<M: Model, P: Fn(&M::State) -> bool> Model for Witness<'_, M, P> {
+        type State = WState<M::State>;
+        fn initial(&self) -> Self::State {
+            WState(self.inner.initial())
+        }
+        fn threads(&self) -> usize {
+            self.inner.threads()
+        }
+        fn runnable(&self, state: &Self::State, thread: usize) -> bool {
+            self.inner.runnable(&state.0, thread)
+        }
+        fn step(&self, state: &mut Self::State, thread: usize) {
+            self.inner.step(&mut state.0, thread);
+        }
+        fn check(&self, state: &Self::State, _schedule: &[usize]) {
+            if (self.predicate)(&state.0) {
+                self.found.set(true);
+            }
+        }
+    }
+    let witness = Witness {
+        inner: model,
+        predicate,
+        found: std::cell::Cell::new(false),
+    };
+    explore(&witness);
+    witness.found.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `threads` workers each run `steps` atomic increments: the final
+    /// counter is schedule-independent and the interleaving count is
+    /// the multinomial coefficient.
+    struct Counters {
+        threads: usize,
+        steps: u32,
+    }
+
+    #[derive(Clone)]
+    struct CState {
+        counter: u64,
+        remaining: Vec<u32>,
+    }
+
+    impl Model for Counters {
+        type State = CState;
+        fn initial(&self) -> CState {
+            CState {
+                counter: 0,
+                remaining: vec![self.steps; self.threads],
+            }
+        }
+        fn threads(&self) -> usize {
+            self.threads
+        }
+        fn runnable(&self, s: &CState, t: usize) -> bool {
+            s.remaining[t] > 0
+        }
+        fn step(&self, s: &mut CState, t: usize) {
+            s.counter += 1;
+            s.remaining[t] -= 1;
+        }
+        fn check(&self, s: &CState, schedule: &[usize]) {
+            assert_eq!(s.counter, (self.threads as u64) * u64::from(self.steps));
+            assert_eq!(schedule.len(), self.threads * self.steps as usize);
+        }
+    }
+
+    #[test]
+    fn counts_interleavings_exactly() {
+        // 2 threads × 2 steps: C(4,2) = 6 interleavings.
+        let stats = explore(&Counters { threads: 2, steps: 2 });
+        assert_eq!(stats.interleavings, 6);
+        assert_eq!(stats.max_depth, 4);
+        // 3 threads × 2 steps: 6!/(2!·2!·2!) = 90.
+        let stats = explore(&Counters { threads: 3, steps: 2 });
+        assert_eq!(stats.interleavings, 90);
+        assert!(stats.steps > 90);
+    }
+
+    /// A classic lost update: read and write as separate steps.
+    struct LostUpdate;
+
+    #[derive(Clone, Default)]
+    struct LState {
+        shared: u32,
+        /// Per-thread: 0 = must read, 1 = must write, 2 = done.
+        pc: [u8; 2],
+        read: [u32; 2],
+    }
+
+    impl Model for LostUpdate {
+        type State = LState;
+        fn initial(&self) -> LState {
+            LState::default()
+        }
+        fn threads(&self) -> usize {
+            2
+        }
+        fn runnable(&self, s: &LState, t: usize) -> bool {
+            s.pc[t] < 2
+        }
+        fn step(&self, s: &mut LState, t: usize) {
+            match s.pc[t] {
+                0 => s.read[t] = s.shared,
+                _ => s.shared = s.read[t] + 1,
+            }
+            s.pc[t] += 1;
+        }
+        fn check(&self, _s: &LState, _schedule: &[usize]) {}
+    }
+
+    #[test]
+    fn finds_the_lost_update() {
+        // Non-atomic read/increment/write CAN lose an update ...
+        assert!(any_schedule(&LostUpdate, |s| s.shared == 1));
+        // ... and can also complete cleanly.
+        assert!(any_schedule(&LostUpdate, |s| s.shared == 2));
+        // But never anything else.
+        assert!(!any_schedule(&LostUpdate, |s| s.shared != 1 && s.shared != 2));
+    }
+
+    #[test]
+    fn single_thread_has_one_schedule() {
+        let stats = explore(&Counters { threads: 1, steps: 5 });
+        assert_eq!(stats.interleavings, 1);
+        assert_eq!(stats.steps, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule-dependent")]
+    fn check_panics_propagate() {
+        struct Bad;
+        impl Model for Bad {
+            type State = u8;
+            fn initial(&self) -> u8 {
+                0
+            }
+            fn threads(&self) -> usize {
+                1
+            }
+            fn runnable(&self, s: &u8, _t: usize) -> bool {
+                *s == 0
+            }
+            fn step(&self, s: &mut u8, _t: usize) {
+                *s = 1;
+            }
+            fn check(&self, _s: &u8, _schedule: &[usize]) {
+                panic!("schedule-dependent failure");
+            }
+        }
+        explore(&Bad);
+    }
+}

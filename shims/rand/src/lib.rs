@@ -76,6 +76,9 @@ macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl StandardUniform for $t {
             #[inline]
+            // Truncation is the sampling semantics: the low bits of the
+            // generator word are the uniform draw for narrower types.
+            #[allow(clippy::cast_possible_truncation)]
             fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
                 rng.next_u64() as $t
             }
@@ -94,6 +97,9 @@ macro_rules! impl_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
             #[inline]
+            // `% span` bounds the value inside the target type's range
+            // before the narrowing cast.
+            #[allow(clippy::cast_possible_truncation)]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
@@ -104,6 +110,10 @@ macro_rules! impl_range_int {
         }
         impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
             #[inline]
+            // Same bound-by-modulo argument as the exclusive range; the
+            // span == 0 branch is the full-width type where truncation
+            // keeps exactly the type's width.
+            #[allow(clippy::cast_possible_truncation)]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample empty range");
@@ -224,6 +234,8 @@ pub mod seq {
     }
 
     impl<T> SliceRandom for [T] {
+        // `% (i + 1)` keeps the index within the slice, which fits usize.
+        #[allow(clippy::cast_possible_truncation)]
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
             for i in (1..self.len()).rev() {
                 let j = (rng.next_u64() % (i as u64 + 1)) as usize;

@@ -351,7 +351,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar (may be multi-byte).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("truncated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -96,6 +96,9 @@ impl Serialize for f32 {
     }
 }
 impl Deserialize for f32 {
+    // JSON numbers are f64; narrowing to the declared field type is the
+    // deserialization semantics.
+    #[allow(clippy::cast_possible_truncation)]
     fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
         Ok(v.as_f64()? as f32)
     }
