@@ -1,0 +1,178 @@
+//! Fleet campaign CLI.
+//!
+//! ```text
+//! fleet [--quick] [--devices N] [--seed S] [--workers W] [--frontier] [output-dir]
+//! ```
+//!
+//! Runs a heterogeneous multi-cohort campaign, prints the per-cohort
+//! population table, and writes the JSON report (with a round-trip
+//! self-check) to `<output-dir>/fleet-report.json` (default
+//! `target/fleet`).  `--quick` runs the CI campaign: 1024 devices
+//! spread over three cohorts at the 1/64 geometry.  `--frontier` also
+//! runs the red-team security-frontier search per cohort.
+
+use rh_fleet::{cohort_frontiers, CampaignSpec, CohortSpec, Fleet, FleetReport, WorkloadKind};
+use rh_hwmodel::Technique;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fleet [--quick] [--devices N] [--seed S] [--workers W] [--frontier] [output-dir]"
+    );
+    ExitCode::FAILURE
+}
+
+/// The standard campaign shape: three cohorts splitting `devices`
+/// — a broad mixed-technique cohort, a weak-cell tail cohort, and a
+/// single-bank CPU-workload cohort.
+fn campaign(seed: u64, devices: u64) -> CampaignSpec {
+    let cpu = devices / 8;
+    let weak = devices / 4;
+    let broad = devices - weak - cpu;
+    CampaignSpec::new(seed)
+        .cohort(
+            CohortSpec::new("broad", broad)
+                .banks(1, 4)
+                .techniques(vec![Technique::LoLiPromi, Technique::Para, Technique::TwiCe]),
+        )
+        .cohort(
+            CohortSpec::new("weak-tail", weak)
+                .banks(1, 2)
+                .flip_threshold(1024, 2048)
+                .attack("flooding"),
+        )
+        .cohort(
+            CohortSpec::new("cpu", cpu)
+                .workload(WorkloadKind::Cpu)
+                .banks(1, 1),
+        )
+}
+
+fn print_report(report: &FleetReport) {
+    println!(
+        "campaign seed {} fingerprint {:#018x}: {} devices, {} cohorts",
+        report.seed,
+        report.fingerprint,
+        report.devices,
+        report.cohorts.len()
+    );
+    for cohort in &report.cohorts {
+        let p99 = cohort
+            .time_to_first_flip
+            .p99
+            .map_or("-".to_string(), |v| format!("{v:.0}"));
+        println!(
+            "  {:<10} {:>6} devices  {:>6} flipped  ttff p99 {:>8} acts  \
+             flips/Mact p99 {:>10}",
+            cohort.name,
+            cohort.devices,
+            cohort.flip_devices,
+            p99,
+            cohort
+                .flips_per_mega_act
+                .p99
+                .map_or("-".to_string(), |v| format!("{v:.2}")),
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut seed = 7u64;
+    let mut devices = 64u64;
+    let mut workers = 0usize;
+    let mut frontier = false;
+    let mut out_dir = PathBuf::from("target/fleet");
+    let mut args = std::env::args().skip(1);
+    let mut positional = 0;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| eprintln!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" | "quick" => devices = 1024,
+            "--frontier" => frontier = true,
+            "--devices" => match value("--devices").map(|v| v.parse()) {
+                Ok(Ok(n)) => devices = n,
+                _ => return usage(),
+            },
+            "--seed" => match value("--seed").map(|v| v.parse()) {
+                Ok(Ok(s)) => seed = s,
+                _ => return usage(),
+            },
+            "--workers" => match value("--workers").map(|v| v.parse()) {
+                Ok(Ok(w)) => workers = w,
+                _ => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other => {
+                positional += 1;
+                if positional > 1 {
+                    return usage();
+                }
+                out_dir = PathBuf::from(other);
+            }
+        }
+    }
+
+    let spec = campaign(seed, devices);
+    println!(
+        "fleet campaign: seed {seed}, {} devices over {} cohorts, {} worker(s)",
+        spec.total_devices(),
+        spec.cohorts.len(),
+        if workers == 0 {
+            "auto".to_string()
+        } else {
+            workers.to_string()
+        }
+    );
+    let report = match Fleet::new(spec.clone()).workers(workers).run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_report(&report);
+
+    let json = report.to_json();
+    match FleetReport::from_json(&json) {
+        Ok(back) if back == report => {}
+        Ok(_) => {
+            eprintln!("self-check failed: JSON round-trip changed the report");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("self-check failed: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join("fleet-report.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} bytes, round-trip checked)", path.display(), json.len());
+
+    if frontier {
+        println!("per-cohort security frontiers (quick search):");
+        for cohort in cohort_frontiers(&spec) {
+            for technique in &cohort.techniques {
+                let budget = technique
+                    .frontier
+                    .as_ref()
+                    .map_or("unbroken".to_string(), |e| format!("budget {}", e.budget));
+                println!(
+                    "  {:<10} @ threshold {:>6}  {:<10} {}",
+                    cohort.name, cohort.flip_threshold, technique.technique, budget
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,172 @@
+//! Checkpoint/resume: the serde snapshot a million-device campaign
+//! survives interruption with.
+//!
+//! The fleet coordinator folds finished devices into per-cohort
+//! partials strictly in global device order, so the whole mutable state
+//! of a campaign at any cut point is: the *frontier* (devices
+//! `[0, frontier)` are folded in) plus the per-cohort partials.  A
+//! [`Checkpoint`] is exactly that, pinned to the campaign spec's
+//! [`crate::CampaignSpec::fingerprint`] so it can never be resumed
+//! against a different campaign.  Resuming re-runs only devices
+//! `[frontier, n)` and continues the same in-order fold — byte-identical
+//! to the uninterrupted run by construction.
+//!
+//! ```text
+//! Checkpoint JSON layout:
+//! {
+//!   "fingerprint": <u64>,      // FNV-1a of the campaign spec JSON
+//!   "frontier":    <u64>,      // devices [0, frontier) folded in
+//!   "cohorts": [               // one partial per cohort, spec order
+//!     { "devices_done": …, "metrics": …, "flip_devices": …,
+//!       "no_flip_devices": …, "ttff": <sketch>,
+//!       "flips_per_mega_act": <sketch> }, …
+//!   ]
+//! }
+//! ```
+
+use crate::sketch::QuantileSketch;
+use rh_harness::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Streaming aggregation state of one cohort.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortPartial {
+    /// Devices of this cohort folded in so far.
+    pub devices_done: u64,
+    /// Population merge of the finished devices' metrics
+    /// ([`RunMetrics::merge_population`]); `None` before the first.
+    pub metrics: Option<RunMetrics>,
+    /// Devices with at least one bit flip.
+    pub flip_devices: u64,
+    /// Devices that finished without any flip (excluded from the
+    /// time-to-first-flip sketch, counted here instead).
+    pub no_flip_devices: u64,
+    /// Time-to-first-flip distribution (bank-local activations), over
+    /// flipping devices only.
+    pub ttff: QuantileSketch,
+    /// Flips-per-mega-activation distribution, over all devices.
+    pub flips_per_mega_act: QuantileSketch,
+}
+
+impl CohortPartial {
+    /// An empty partial.
+    pub fn new() -> Self {
+        CohortPartial {
+            devices_done: 0,
+            metrics: None,
+            flip_devices: 0,
+            no_flip_devices: 0,
+            ttff: QuantileSketch::new(),
+            flips_per_mega_act: QuantileSketch::new(),
+        }
+    }
+
+    /// Folds one finished device into the partial.
+    ///
+    /// Callers must invoke this in global device order — the population
+    /// merge is commutative, but in-order folding is what makes the
+    /// checkpoint frontier a single number.
+    pub fn absorb(&mut self, metrics: &RunMetrics) {
+        self.devices_done += 1;
+        if metrics.flips > 0 {
+            self.flip_devices += 1;
+        }
+        match metrics.time_to_first_flip {
+            Some(acts) => self.ttff.insert(acts as f64),
+            None => self.no_flip_devices += 1,
+        }
+        self.flips_per_mega_act.insert(metrics.flips_per_mega_act());
+        let merged = match self.metrics.take() {
+            Some(acc) => acc.merge_population(metrics.clone()),
+            None => metrics.clone().without_timeseries(),
+        };
+        self.metrics = Some(merged);
+    }
+}
+
+impl Default for CohortPartial {
+    fn default() -> Self {
+        CohortPartial::new()
+    }
+}
+
+/// A resumable snapshot of a partially-run campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// [`crate::CampaignSpec::fingerprint`] of the campaign this
+    /// snapshot belongs to.
+    pub fingerprint: u64,
+    /// Devices `[0, frontier)` are folded into the partials.
+    pub frontier: u64,
+    /// Per-cohort aggregation state, in spec order.
+    pub cohorts: Vec<CohortPartial>,
+}
+
+impl Checkpoint {
+    /// Serializes to JSON (deterministic byte-for-byte).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serializes")
+    }
+
+    /// Parses a checkpoint back from [`Checkpoint::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device_metrics(i: u64) -> RunMetrics {
+        RunMetrics {
+            technique: "PARA".into(),
+            workload_activations: 1000 + i,
+            aggressor_activations: 100,
+            mitigation_activations: 10,
+            trigger_events: 5,
+            false_positive_events: 1,
+            flips: usize::try_from(i % 2).expect("small"),
+            max_disturbance: 40,
+            flip_threshold: 2000,
+            first_trigger_act: Some(30 + i),
+            time_to_first_flip: (i % 2 == 1).then_some(500 + i),
+            storage_bytes_per_bank: 64.0,
+            intervals: 128,
+            timeseries: None,
+        }
+    }
+
+    #[test]
+    fn absorb_tracks_flip_populations() {
+        let mut partial = CohortPartial::new();
+        for i in 0..6 {
+            partial.absorb(&device_metrics(i));
+        }
+        assert_eq!(partial.devices_done, 6);
+        assert_eq!(partial.flip_devices, 3);
+        assert_eq!(partial.no_flip_devices, 3);
+        assert_eq!(partial.ttff.count(), 3);
+        assert_eq!(partial.flips_per_mega_act.count(), 6);
+        let merged = partial.metrics.expect("absorbed");
+        assert_eq!(merged.technique, "PARA");
+        assert_eq!(merged.flips, 3);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let mut partial = CohortPartial::new();
+        partial.absorb(&device_metrics(1));
+        let checkpoint = Checkpoint {
+            fingerprint: 0xDEAD_BEEF,
+            frontier: 1,
+            cohorts: vec![partial, CohortPartial::new()],
+        };
+        let back = Checkpoint::from_json(&checkpoint.to_json()).expect("parses");
+        assert_eq!(checkpoint, back);
+    }
+}

@@ -1,0 +1,82 @@
+//! Security-frontier search over cohorts: the red-team's adaptive
+//! attack synthesis ([`rh_redteam::search_technique`]) pointed at each
+//! cohort's weak-cell tail.
+//!
+//! A fleet report says how a population fares under its *specified*
+//! attacks; the frontier says how cheap the best discovered attack is
+//! against each cohort's weakest configuration (its lowest flip
+//! threshold, its technique mix).  Deterministic: each cohort's search
+//! seed derives from the campaign seed via [`crate::device_seed`] keyed
+//! by cohort index, so the whole sweep is a pure function of the spec.
+
+use crate::cohort::CampaignSpec;
+use crate::seeding::device_seed;
+use rh_redteam::{search_technique, SearchConfig, TechniqueFrontier};
+use serde::{Deserialize, Serialize};
+
+/// The frontier of one cohort: one searched result per technique in its
+/// mix, at the cohort's weakest flip threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortFrontier {
+    /// Cohort label.
+    pub name: String,
+    /// The flip threshold the search attacked (the cohort's range
+    /// minimum — its weakest device).
+    pub flip_threshold: u32,
+    /// Per-technique search results, in the cohort's mix order.
+    pub techniques: Vec<TechniqueFrontier>,
+}
+
+/// Runs the quick-scale frontier search over every cohort of `spec`.
+///
+/// Cohort `i` searches with seed `device_seed(spec.seed, i)` — stable
+/// under edits to *other* cohorts' device counts, unlike any scheme
+/// keyed by global device indices.
+pub fn cohort_frontiers(spec: &CampaignSpec) -> Vec<CohortFrontier> {
+    spec.cohorts
+        .iter()
+        .enumerate()
+        .map(|(index, cohort)| {
+            let cohort_key = u64::try_from(index).expect("cohort count fits u64");
+            let search = SearchConfig::quick(device_seed(spec.seed, cohort_key))
+                .with_flip_threshold(cohort.flip_threshold.0);
+            let techniques = cohort
+                .techniques
+                .iter()
+                .map(|&technique| search_technique(technique.into(), &search))
+                .collect();
+            CohortFrontier {
+                name: cohort.name.clone(),
+                flip_threshold: cohort.flip_threshold.0,
+                techniques,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::CohortSpec;
+    use rh_hwmodel::Technique;
+
+    #[test]
+    fn frontiers_cover_each_cohorts_mix_at_its_weakest_threshold() {
+        let spec = CampaignSpec::new(13)
+            .cohort(
+                CohortSpec::new("weak", 4)
+                    .flip_threshold(1500, 3000)
+                    .techniques(vec![Technique::Para, Technique::LoLiPromi]),
+            )
+            .cohort(CohortSpec::new("strong", 4).flip_threshold(4000, 8000));
+        let frontiers = cohort_frontiers(&spec);
+        assert_eq!(frontiers.len(), 2);
+        assert_eq!(frontiers[0].flip_threshold, 1500);
+        assert_eq!(frontiers[0].techniques.len(), 2);
+        assert_eq!(frontiers[0].techniques[0].technique, "PARA");
+        assert_eq!(frontiers[1].techniques.len(), 1);
+        // Pure function of the spec.
+        let again = cohort_frontiers(&spec);
+        assert_eq!(frontiers, again);
+    }
+}

@@ -1,0 +1,149 @@
+//! The campaign's deliverable: per-cohort population statistics.
+
+use crate::checkpoint::CohortPartial;
+use crate::cohort::CampaignSpec;
+use crate::sketch::QuantileSketch;
+use rh_harness::RunMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Headline quantiles of one sketched population distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchSummary {
+    /// Samples in the distribution.
+    pub count: u64,
+    /// Median (`None` when empty).
+    pub p50: Option<f64>,
+    /// 90th percentile.
+    pub p90: Option<f64>,
+    /// 99th percentile — the weak tail the fleet exists to measure.
+    pub p99: Option<f64>,
+}
+
+impl SketchSummary {
+    /// Summarizes a sketch (quantiles are the sketch's upper-bracket
+    /// estimates, within its relative-accuracy guarantee).
+    pub fn of(sketch: &QuantileSketch) -> Self {
+        SketchSummary {
+            count: sketch.count(),
+            p50: sketch.quantile(0.5),
+            p90: sketch.quantile(0.9),
+            p99: sketch.quantile(0.99),
+        }
+    }
+}
+
+/// One cohort's population report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortReport {
+    /// Cohort label from the spec.
+    pub name: String,
+    /// Devices run.
+    pub devices: u64,
+    /// Devices with at least one bit flip.
+    pub flip_devices: u64,
+    /// Devices that never flipped.
+    pub no_flip_devices: u64,
+    /// Population merge of the cohort's per-device metrics
+    /// ([`RunMetrics::merge_population`]); `None` for an empty cohort.
+    pub metrics: Option<RunMetrics>,
+    /// Time-to-first-flip distribution over flipping devices
+    /// (bank-local activations).
+    pub time_to_first_flip: SketchSummary,
+    /// Flips-per-mega-activation distribution over all devices.
+    pub flips_per_mega_act: SketchSummary,
+}
+
+/// The final report of a campaign: a pure function of the
+/// [`CampaignSpec`], byte-identical across worker counts, schedules,
+/// and checkpoint cuts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// The spec fingerprint ([`CampaignSpec::fingerprint`]).
+    pub fingerprint: u64,
+    /// Total devices run.
+    pub devices: u64,
+    /// Per-cohort reports, in spec order.
+    pub cohorts: Vec<CohortReport>,
+}
+
+impl FleetReport {
+    /// Builds the report from the finished per-cohort partials.
+    pub fn new(spec: &CampaignSpec, partials: &[CohortPartial]) -> Self {
+        assert_eq!(
+            spec.cohorts.len(),
+            partials.len(),
+            "one partial per cohort"
+        );
+        let cohorts = spec
+            .cohorts
+            .iter()
+            .zip(partials)
+            .map(|(cohort, partial)| CohortReport {
+                name: cohort.name.clone(),
+                devices: partial.devices_done,
+                flip_devices: partial.flip_devices,
+                no_flip_devices: partial.no_flip_devices,
+                metrics: partial.metrics.clone(),
+                time_to_first_flip: SketchSummary::of(&partial.ttff),
+                flips_per_mega_act: SketchSummary::of(&partial.flips_per_mega_act),
+            })
+            .collect();
+        FleetReport {
+            seed: spec.seed,
+            fingerprint: spec.fingerprint(),
+            devices: partials.iter().map(|p| p.devices_done).sum(),
+            cohorts,
+        }
+    }
+
+    /// Serializes to JSON — the canonical byte-comparable form the
+    /// determinism suite asserts on.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Parses a report back from [`FleetReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::CohortSpec;
+
+    #[test]
+    fn report_summarizes_partials_in_cohort_order() {
+        let spec = CampaignSpec::new(2)
+            .cohort(CohortSpec::new("a", 1))
+            .cohort(CohortSpec::new("b", 1));
+        let mut partial = CohortPartial::new();
+        partial.devices_done = 1;
+        partial.flip_devices = 1;
+        partial.ttff.insert(100.0);
+        partial.flips_per_mega_act.insert(2.0);
+        let report = FleetReport::new(&spec, &[partial, CohortPartial::new()]);
+        assert_eq!(report.devices, 1);
+        assert_eq!(report.cohorts.len(), 2);
+        assert_eq!(report.cohorts[0].name, "a");
+        assert_eq!(report.cohorts[0].time_to_first_flip.count, 1);
+        assert!(report.cohorts[0].time_to_first_flip.p50.expect("sampled") >= 100.0);
+        assert_eq!(report.cohorts[1].devices, 0);
+        assert_eq!(report.cohorts[1].time_to_first_flip.p50, None);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let spec = CampaignSpec::new(2).cohort(CohortSpec::new("a", 1));
+        let report = FleetReport::new(&spec, &[CohortPartial::new()]);
+        let back = FleetReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(report, back);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the fleet's mergeable quantile sketch: the
+//! algebraic laws the streaming aggregation relies on (merge
+//! associativity/commutativity, partition independence) and the rank
+//! guarantee against exactly-computed quantiles.
+
+use proptest::prelude::*;
+use rh_fleet::QuantileSketch;
+
+/// Samples in the ranges the fleet actually sketches: zeros (no-flip
+/// rates), small counts, and activation-scale values.
+fn sample() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        (1u32..100).prop_map(f64::from),
+        1.0f64..1e7,
+        1e-3f64..1.0,
+    ]
+}
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::new();
+    for &v in values {
+        sketch.insert(v);
+    }
+    sketch
+}
+
+/// Exact target rank the sketch promises to bracket: `max(1, ⌈q·n⌉)`.
+fn exact_rank(q: f64, n: usize) -> usize {
+    let r = (q * n as f64).ceil() as usize;
+    r.clamp(1, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging is commutative: A∪B == B∪A, down to serialized bytes.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(sample(), 0..40),
+        b in proptest::collection::vec(sample(), 0..40),
+    ) {
+        let mut ab = sketch_of(&a);
+        ab.merge(&sketch_of(&b));
+        let mut ba = sketch_of(&b);
+        ba.merge(&sketch_of(&a));
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(
+            serde_json::to_string(&ab).expect("serializes"),
+            serde_json::to_string(&ba).expect("serializes")
+        );
+    }
+
+    /// Merging is associative: (A∪B)∪C == A∪(B∪C).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(sample(), 0..30),
+        b in proptest::collection::vec(sample(), 0..30),
+        c in proptest::collection::vec(sample(), 0..30),
+    ) {
+        let mut left = sketch_of(&a);
+        left.merge(&sketch_of(&b));
+        left.merge(&sketch_of(&c));
+        let mut bc = sketch_of(&b);
+        bc.merge(&sketch_of(&c));
+        let mut right = sketch_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Any partition of a sample multiset merges to the sketch of the
+    /// whole — the property that makes per-shard sketching sound.
+    #[test]
+    fn partitions_merge_to_the_whole(
+        values in proptest::collection::vec(sample(), 1..80),
+        cut_seed in 0usize..80,
+    ) {
+        let cut = cut_seed % values.len();
+        let mut merged = sketch_of(&values[..cut]);
+        merged.merge(&sketch_of(&values[cut..]));
+        prop_assert_eq!(merged, sketch_of(&values));
+    }
+
+    /// The rank guarantee, checked against exact order statistics: for
+    /// every quantile, the bracket `(lo, hi]` contains the true
+    /// rank-`r` sample, strictly more than `lo` and at most `hi`.
+    #[test]
+    fn brackets_contain_exact_quantiles(
+        values in proptest::collection::vec(sample(), 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).expect("no NaN samples"));
+        let sketch = sketch_of(&values);
+        for q in [q, 0.0, 0.5, 0.9, 0.99, 1.0] {
+            let r = exact_rank(q, sorted.len());
+            let exact = sorted[r - 1];
+            let (lo, hi) = sketch.quantile_bracket(q).expect("non-empty");
+            prop_assert!(
+                exact > lo && exact <= hi,
+                "q={q} rank={r} exact={exact} bracket=({lo}, {hi}]"
+            );
+        }
+    }
+
+    /// The bracket is tight: relative width stays within the
+    /// construction accuracy γ for positive samples.
+    #[test]
+    fn brackets_are_gamma_tight(
+        values in proptest::collection::vec(1.0f64..1e7, 1..60),
+        q in 0.0f64..=1.0,
+    ) {
+        let sketch = sketch_of(&values);
+        let (lo, hi) = sketch.quantile_bracket(q).expect("non-empty");
+        prop_assert!(lo > 0.0, "positive samples have positive brackets");
+        prop_assert!(hi / lo <= sketch.gamma() * (1.0 + 1e-12), "width {}", hi / lo);
+    }
+
+    /// Empty and singleton edges: empty sketches answer `None`,
+    /// singletons bracket their one sample at every quantile, and
+    /// merging with an empty sketch is the identity.
+    #[test]
+    fn empty_and_singleton_edges(x in sample(), q in 0.0f64..=1.0) {
+        let empty = QuantileSketch::new();
+        prop_assert_eq!(empty.count(), 0);
+        prop_assert_eq!(empty.quantile_bracket(q), None);
+
+        let single = sketch_of(&[x]);
+        let (lo, hi) = single.quantile_bracket(q).expect("one sample");
+        prop_assert!(x > lo && x <= hi, "x={x} bracket=({lo}, {hi}]");
+
+        let mut merged = single.clone();
+        merged.merge(&QuantileSketch::new());
+        prop_assert_eq!(&merged, &single);
+        let mut other = QuantileSketch::new();
+        other.merge(&single);
+        prop_assert_eq!(&other, &single);
+    }
+}

@@ -285,6 +285,45 @@ impl RunMetrics {
         }
     }
 
+    /// Combines the metrics of two *different devices* of a fleet
+    /// population — the second level of the metrics merge tree, above
+    /// the per-run shard [`RunMetrics::merge`].
+    ///
+    /// Unlike shard merging, the devices may be heterogeneous: their
+    /// techniques, flip thresholds and storage figures can all differ.
+    /// Counters still sum and extrema still combine, but the kept
+    /// fields are resolved symmetrically instead of taken from `self`:
+    /// `flip_threshold` takes the **minimum** (the population's weakest
+    /// device bounds its security), `storage_bytes_per_bank` the
+    /// maximum (provisioning is worst-case), and the `technique` label
+    /// is kept only when both sides agree (mixed populations get the
+    /// empty string — callers label cohorts themselves).  Per-device
+    /// `timeseries` sections are dropped: their strides need not agree
+    /// across devices, and population trajectories are the quantile
+    /// sketches' job.
+    ///
+    /// The operation is associative **and** commutative for arbitrary
+    /// operands — no agreement precondition — so a fleet can fold
+    /// device results in any grouping.  `first_trigger_act` and
+    /// `time_to_first_flip` become population minima: the earliest
+    /// (bank-local) occurrence on any device.
+    #[must_use]
+    pub fn merge_population(self, other: RunMetrics) -> RunMetrics {
+        let technique = if self.technique == other.technique {
+            self.technique.clone()
+        } else {
+            String::new()
+        };
+        let flip_threshold = self.flip_threshold.min(other.flip_threshold);
+        let storage = self.storage_bytes_per_bank.max(other.storage_bytes_per_bank);
+        let mut merged = self.merge(other);
+        merged.technique = technique;
+        merged.flip_threshold = flip_threshold;
+        merged.storage_bytes_per_bank = storage;
+        merged.timeseries = None;
+        merged
+    }
+
     /// Returns a copy without the optional observability sections, for
     /// comparing the core counters of runs recorded with different
     /// observers attached.
@@ -472,6 +511,63 @@ mod tests {
         let mut c = metrics();
         c.first_trigger_act = None;
         assert_eq!(a.merge(c).first_trigger_act, None);
+    }
+
+    #[test]
+    fn merge_population_resolves_heterogeneous_kept_fields() {
+        let mut a = metrics();
+        a.technique = "PARA".into();
+        a.flip_threshold = 90;
+        a.storage_bytes_per_bank = 64.0;
+        let mut b = metrics();
+        b.technique = "TWiCe".into();
+        b.flip_threshold = 140;
+        b.storage_bytes_per_bank = 512.0;
+        let m = a.clone().merge_population(b.clone());
+        // Mixed techniques blank the label; weakest threshold and
+        // largest storage footprint win.
+        assert_eq!(m.technique, "");
+        assert_eq!(m.flip_threshold, 90);
+        assert_eq!(m.storage_bytes_per_bank, 512.0);
+        // Counters still sum, like the shard merge.
+        assert_eq!(m.workload_activations, 2000);
+        // Homogeneous devices keep their shared label.
+        let same = a.clone().merge_population(a.clone());
+        assert_eq!(same.technique, "PARA");
+    }
+
+    #[test]
+    fn merge_population_is_commutative_and_associative_across_devices() {
+        let mut a = metrics();
+        a.technique = "PARA".into();
+        a.flip_threshold = 90;
+        let mut b = metrics();
+        b.technique = "TWiCe".into();
+        b.storage_bytes_per_bank = 512.0;
+        b.time_to_first_flip = Some(700);
+        let mut c = metrics();
+        c.technique = "PARA".into();
+        c.flip_threshold = 75;
+        c.first_trigger_act = Some(5);
+        assert_eq!(
+            a.clone().merge_population(b.clone()),
+            b.clone().merge_population(a.clone())
+        );
+        assert_eq!(
+            a.clone().merge_population(b.clone()).merge_population(c.clone()),
+            a.merge_population(b.merge_population(c))
+        );
+    }
+
+    #[test]
+    fn merge_population_drops_timeseries() {
+        let mut a = metrics();
+        a.timeseries = Some(TimeSeries {
+            stride: 4,
+            points: vec![point(3, 100, 10)],
+        });
+        let m = a.clone().merge_population(a);
+        assert_eq!(m.timeseries, None);
     }
 
     fn point(interval: u64, acts: u64, dist: u32) -> TimePoint {

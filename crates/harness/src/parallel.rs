@@ -128,6 +128,127 @@ impl<T> Slots<T> {
     }
 }
 
+/// Worker-local cursor state for [`TwoLevelDispatcher`]: the device the
+/// worker currently owns, if any.
+///
+/// Keeping the affinity worker-local (instead of inside the dispatcher)
+/// means claiming from the owned device is a single inner `fetch_add`
+/// with no shared scheduler state beyond the cursors themselves.
+#[derive(Debug, Default)]
+pub struct WorkerCursor {
+    device: Option<usize>,
+}
+
+impl WorkerCursor {
+    /// A fresh cursor owning no device.
+    pub fn new() -> Self {
+        WorkerCursor::default()
+    }
+
+    /// The device this worker currently claims jobs from, if any.
+    pub fn device(&self) -> Option<usize> {
+        self.device
+    }
+}
+
+/// The two-level work-stealing scheduler behind fleet campaigns: an
+/// outer FIFO cursor hands whole *devices* to workers, and each device
+/// has an inner cursor handing out its *jobs* (bank shards, or the one
+/// whole-device job of an unshardable trace).
+///
+/// Claim protocol, per [`TwoLevelDispatcher::claim`] call:
+///
+/// 1. **Own device first** — if the worker owns a device, claim its
+///    next job with one inner `fetch_add` (device affinity keeps a
+///    device's bank shards on one worker while the fleet is wide).
+/// 2. **Fresh device next** — otherwise claim the next unclaimed
+///    device from the outer cursor (`fetch_add`, FIFO in device
+///    order), so at most one worker ever *owns* a given device.
+/// 3. **Steal last** — when the outer cursor is exhausted, scan the
+///    devices in ascending order and steal leftover jobs directly
+///    from their inner cursors, so the tail of a campaign (a few big
+///    devices still in flight) is finished by every idle worker
+///    instead of serialising on the owners.
+///
+/// Every job index is handed out by exactly one inner `fetch_add`, so
+/// — exactly as for [`Dispatcher`] — claim uniqueness needs only RMW
+/// atomicity, at any memory ordering, whether the claimer is the
+/// device's owner or a thief.  The two-level model check in
+/// `tests/model_check.rs` verifies the protocol (device-claim
+/// uniqueness, job exclusivity, merge independence) under every
+/// interleaving of 2–3 workers, including the steal phase.
+#[derive(Debug)]
+pub struct TwoLevelDispatcher {
+    /// Outer cursor: next unowned device.
+    device_cursor: AtomicUsize,
+    /// Inner cursor per device: next unclaimed job of that device.
+    job_cursors: Vec<AtomicUsize>,
+    /// Job count per device.
+    job_counts: Vec<usize>,
+}
+
+impl TwoLevelDispatcher {
+    /// A dispatcher over `job_counts.len()` devices, device `d` having
+    /// `job_counts[d]` jobs.
+    pub fn new(job_counts: Vec<usize>) -> Self {
+        TwoLevelDispatcher {
+            device_cursor: AtomicUsize::new(0),
+            job_cursors: job_counts.iter().map(|_| AtomicUsize::new(0)).collect(),
+            job_counts,
+        }
+    }
+
+    /// Total jobs across all devices.
+    pub fn total_jobs(&self) -> usize {
+        self.job_counts.iter().sum()
+    }
+
+    /// Claims one job of `device`, or `None` when its jobs are gone.
+    ///
+    /// Memory-ordering audit: as in [`Dispatcher::claim`], uniqueness
+    /// rides on the RMW total modification order alone; job inputs are
+    /// published before `thread::scope` spawns the workers and results
+    /// are read after it joins them, so those edges carry the data.
+    fn claim_job(&self, device: usize) -> Option<(usize, usize)> {
+        // lint: allow(D4) — atomic RMW total order alone guarantees
+        // each (device, job) index is handed out exactly once.
+        let job = self.job_cursors[device].fetch_add(1, Ordering::Relaxed);
+        (job < self.job_counts[device]).then_some((device, job))
+    }
+
+    /// Claims the next `(device, job)` pair for a worker, or `None`
+    /// when the whole fleet is drained.
+    pub fn claim(&self, cursor: &mut WorkerCursor) -> Option<(usize, usize)> {
+        loop {
+            // Level 1a: the worker's own device.
+            if let Some(device) = cursor.device {
+                if let Some(claim) = self.claim_job(device) {
+                    return Some(claim);
+                }
+                cursor.device = None;
+            }
+            // Level 1b: own a fresh device (FIFO in device order).
+            // lint: allow(D4) — same RMW-atomicity argument as above:
+            // each device index is owned by at most one worker.
+            let device = self.device_cursor.fetch_add(1, Ordering::Relaxed);
+            if device < self.job_counts.len() {
+                cursor.device = Some(device);
+                continue;
+            }
+            // Level 2: steal leftover jobs from in-flight devices, in
+            // ascending device order.  The inner fetch_add makes the
+            // steal race-free against the owner: whichever side claims
+            // a job index first owns it exclusively.
+            for device in 0..self.job_counts.len() {
+                if let Some(claim) = self.claim_job(device) {
+                    return Some(claim);
+                }
+            }
+            return None;
+        }
+    }
+}
+
 /// Maps `f` over `inputs` on up to `workers` threads, preserving input
 /// order in the output.  Jobs are dispatched in FIFO (input) order.
 ///
@@ -280,6 +401,79 @@ mod tests {
             let out = map_workers((0..57).collect(), workers, |x: i64| x * x - 3);
             assert_eq!(out, expected, "workers {workers}");
         }
+    }
+
+    #[test]
+    fn two_level_single_worker_drains_in_device_order() {
+        let d = TwoLevelDispatcher::new(vec![2, 3, 1]);
+        assert_eq!(d.total_jobs(), 6);
+        let mut cursor = WorkerCursor::new();
+        let mut claimed = Vec::new();
+        while let Some(claim) = d.claim(&mut cursor) {
+            claimed.push(claim);
+        }
+        // One worker owns each device in turn and drains it fully.
+        assert_eq!(
+            claimed,
+            vec![(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 0)]
+        );
+        assert_eq!(d.claim(&mut cursor), None);
+    }
+
+    #[test]
+    fn two_level_covers_every_job_exactly_once_across_threads() {
+        let counts = vec![3usize, 1, 4, 2, 5];
+        let d = TwoLevelDispatcher::new(counts.clone());
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut cursor = WorkerCursor::new();
+                    while let Some(claim) = d.claim(&mut cursor) {
+                        seen.lock().expect("collector lock").push(claim);
+                    }
+                });
+            }
+        });
+        let mut seen = seen.into_inner().expect("collector lock");
+        seen.sort_unstable();
+        let expected: Vec<(usize, usize)> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(device, &jobs)| (0..jobs).map(move |job| (device, job)))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn two_level_steals_from_in_flight_devices() {
+        // Worker A owns device 0 but stalls after one job; worker B
+        // exhausts the outer cursor and must steal device 0's leftovers.
+        let d = TwoLevelDispatcher::new(vec![3, 1]);
+        let mut a = WorkerCursor::new();
+        let mut b = WorkerCursor::new();
+        assert_eq!(d.claim(&mut a), Some((0, 0)));
+        assert_eq!(a.device(), Some(0));
+        assert_eq!(d.claim(&mut b), Some((1, 0)));
+        // B's own device is drained; the outer cursor is exhausted, so
+        // the next claims are steals from device 0.
+        assert_eq!(d.claim(&mut b), Some((0, 1)));
+        assert_eq!(d.claim(&mut b), Some((0, 2)));
+        assert_eq!(d.claim(&mut b), None);
+        // The stalled owner finds its device empty and exits cleanly.
+        assert_eq!(d.claim(&mut a), None);
+    }
+
+    #[test]
+    fn two_level_handles_empty_devices_and_empty_fleet() {
+        let d = TwoLevelDispatcher::new(vec![0, 2, 0]);
+        let mut cursor = WorkerCursor::new();
+        assert_eq!(d.claim(&mut cursor), Some((1, 0)));
+        assert_eq!(d.claim(&mut cursor), Some((1, 1)));
+        assert_eq!(d.claim(&mut cursor), None);
+        let empty = TwoLevelDispatcher::new(Vec::new());
+        assert_eq!(empty.total_jobs(), 0);
+        assert_eq!(empty.claim(&mut WorkerCursor::new()), None);
     }
 
     #[test]

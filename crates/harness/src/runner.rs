@@ -26,7 +26,7 @@ use crate::engine;
 use crate::metrics::RunMetrics;
 use crate::observe::{Observe, RunSummary, ShardInfo};
 use crate::techniques::{self, TechniqueSpec};
-use mem_trace::{TraceSource, TraceSplit};
+use mem_trace::{ShardError, TraceSource, TraceSplit};
 use rh_hwmodel::Technique;
 use std::time::Instant;
 
@@ -120,6 +120,39 @@ impl Runner {
         }
     }
 
+    /// Drives a [`TraceSource`] that may or may not support bank
+    /// sharding, surfacing the mismatch as a typed error.
+    ///
+    /// When the parallelism policy asks for a sharded run (`shard_by_bank`
+    /// over more than one bank) but the source's
+    /// [`TraceSource::shard_support`] refuses — for example
+    /// [`mem_trace::CpuWorkload`], whose cores share one RNG and whose
+    /// cache hierarchies span every bank — this returns the source's
+    /// [`ShardError`] instead of silently running a schedule-dependent
+    /// computation.  Callers that accept sequential execution for such
+    /// sources should request it explicitly
+    /// ([`Parallelism::sequential`], or a single-bank geometry) before
+    /// calling.
+    ///
+    /// # Errors
+    ///
+    /// The source's [`ShardError`] when a sharded run was requested but
+    /// the source cannot be split by bank.
+    pub fn run_source<S: TraceSource>(&self, trace: S) -> Result<RunMetrics, ShardError> {
+        let sharding_requested = self.config.parallelism.shard_by_bank
+            && self.config.geometry.banks() > 1;
+        if sharding_requested {
+            trace.shard_support()?;
+            // The source says sharding would be sound, but a bare
+            // `TraceSource` offers no `bank_shard`; that is the
+            // `run::<TraceSplit>` path.  This entrypoint exists for
+            // sources that *cannot* shard, so a shardable source here
+            // still runs sequentially — which the contract guarantees
+            // is bit-identical to the sharded run.
+        }
+        Ok(self.run_sequential(trace))
+    }
+
     /// Drives an unshardable trace ([`TraceSource`] only, e.g. one that
     /// is not `Send`) sequentially, still honouring observers: the
     /// whole run is reported as a single shard.
@@ -211,6 +244,48 @@ mod tests {
         let series = metrics.timeseries.expect("recorder attached");
         assert_eq!(series.stride, 16);
         assert!(!series.points.is_empty());
+    }
+
+    #[test]
+    fn run_source_rejects_unshardable_trace_under_sharded_policy() {
+        use mem_trace::cpu::{CpuWorkload, CpuWorkloadConfig};
+        let mut config = config();
+        config.geometry = config.geometry.with_banks(4);
+        config.parallelism = Parallelism::with_workers(2);
+        let cpu = CpuWorkload::new(CpuWorkloadConfig::paper(&config.geometry, 4), 7);
+        let err = Runner::new(config)
+            .run_source(cpu)
+            .expect_err("sharded policy over an unshardable source must fail");
+        assert_eq!(err.source, "CpuWorkload");
+        assert!(err.to_string().contains("cannot be sharded by bank"));
+    }
+
+    #[test]
+    fn run_source_accepts_unshardable_trace_sequentially() {
+        use mem_trace::cpu::{CpuWorkload, CpuWorkloadConfig};
+        let mut config = config();
+        config.parallelism = Parallelism::sequential();
+        let build = |seed| CpuWorkload::new(CpuWorkloadConfig::paper(&config.geometry, 4), seed);
+        let metrics = Runner::new(config.clone())
+            .run_source(build(7))
+            .expect("sequential policy accepts any source");
+        assert_eq!(metrics, Runner::new(config.clone()).run_sequential(build(7)));
+        assert!(metrics.workload_activations > 0);
+    }
+
+    #[test]
+    fn run_source_runs_shardable_traces_like_run_sequential() {
+        let config = config();
+        let metrics = Runner::new(config.clone())
+            .technique(Technique::Para)
+            .seed(3)
+            .run_source(scenario::paper_mix(&config, 3))
+            .expect("shardable sources always pass the policy check");
+        let sequential = Runner::new(config.clone())
+            .technique(Technique::Para)
+            .seed(3)
+            .run_sequential(scenario::paper_mix(&config, 3));
+        assert_eq!(metrics, sequential);
     }
 
     #[test]

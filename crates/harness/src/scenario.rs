@@ -61,11 +61,16 @@ pub fn named_attack(config: &RunConfig, name: &str) -> Option<AttackConfig> {
     };
     let kind = match name {
         "ramp" => {
-            return Some(AttackConfig::paper_ramp(
-                config.geometry.banks(),
-                intervals,
-                ipw,
-            ))
+            let mut attack = AttackConfig::paper_ramp(config.geometry.banks(), intervals, ipw);
+            // `paper_ramp` pins its aggressor block at the full
+            // geometry's row 30 000; re-base it proportionally so
+            // scaled-down geometries stay in range (exactly row 30 000
+            // again at full scale, where 65 536 rows divide evenly).
+            if let AttackKind::MultiAggressorRamp { base_row, .. } = &mut attack.kind {
+                let scaled = u64::from(config.geometry.rows_per_bank()) * 30_000 / 65_536;
+                *base_row = RowAddr(u32::try_from(scaled).expect("scaled row fits its bank"));
+            }
+            return Some(attack);
         }
         "flooding" => return Some(AttackConfig::flooding(RowAddr(base_row), intervals)),
         "double-sided" => AttackKind::DoubleSided {

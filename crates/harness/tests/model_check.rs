@@ -20,9 +20,22 @@
 //! non-atomic read step and write step — and asserts the explorer
 //! *finds* the duplicate dispatch, so the green runs above are
 //! evidence and not vacuity.
+//!
+//! The second half extends the check to the fleet's **two-level**
+//! scheduler ([`rh_harness::parallel::TwoLevelDispatcher`]): 2–3
+//! workers over 2–3 devices × 1–2 bank jobs, asserting device-claim
+//! uniqueness (the outer FIFO hands each device to exactly one owner),
+//! job exclusivity across owners *and* thieves, no cross-device slot
+//! leakage, and that the fleet coordinator's reorder-buffer fold (merge
+//! shards in bank order, fold devices in index order) matches the
+//! sequential reference under every completion order.  Its negative
+//! model seeds a stale device cursor — the outer claim split into read
+//! and write-back — and proves the explorer catches a device owned by
+//! two workers.
 
 use interleave::{any_schedule, explore, Model};
 use rh_harness::metrics::RunMetrics;
+use std::collections::BTreeMap;
 
 /// Per-job metrics fixture: distinct counters per index plus staggered
 /// `Option` firsts so the min-over-`Option` legs of the merge algebra
@@ -335,4 +348,316 @@ fn model_checker_catches_order_sensitive_merge() {
     // …while others agree with it, so the divergence is genuinely an
     // interleaving effect.
     assert!(any_schedule(&model, |s| final_merge(s) == expected));
+}
+
+// ---------------------------------------------------------------------------
+// Two-level (fleet) scheduler model
+// ---------------------------------------------------------------------------
+
+/// Per-(device, job) metrics fixture.  The `device * 10` stride keeps
+/// every device's jobs disjoint from every other's, so a claim leaking
+/// across devices produces a *different* `RunMetrics` and is caught by
+/// the slot assertion, not just by counters.
+fn device_job_metrics(device: usize, job: usize) -> RunMetrics {
+    job_metrics(device * 10 + job)
+}
+
+/// The sequential fleet reference: each device's jobs merged in job
+/// (bank) order, devices folded in index order with the population
+/// merge — exactly what the fleet coordinator must reproduce under
+/// every schedule.
+fn fleet_sequential(counts: &[usize]) -> RunMetrics {
+    counts
+        .iter()
+        .enumerate()
+        .map(|(d, &c)| {
+            (0..c)
+                .map(|j| device_job_metrics(d, j))
+                .reduce(RunMetrics::merge)
+                .expect("every device has at least one job")
+        })
+        .reduce(RunMetrics::merge_population)
+        .expect("at least one device")
+}
+
+/// Replays the fleet coordinator over one completion order: assemble
+/// shards per device, merge a completed device's shards in job order,
+/// release devices through a reorder buffer in index order, fold with
+/// the population merge.  Mirrors `Fleet::execute`'s receive loop.
+fn coordinator_fold(counts: &[usize], arrivals: &[(usize, usize)]) -> RunMetrics {
+    let mut parts: Vec<Vec<Option<RunMetrics>>> =
+        counts.iter().map(|&c| vec![None; c]).collect();
+    let mut remaining = counts.to_vec();
+    let mut reorder: BTreeMap<usize, RunMetrics> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut folded: Option<RunMetrics> = None;
+    for &(d, j) in arrivals {
+        assert!(parts[d][j].is_none(), "job ({d}, {j}) arrived twice");
+        parts[d][j] = Some(device_job_metrics(d, j));
+        remaining[d] -= 1;
+        if remaining[d] == 0 {
+            let merged = parts[d]
+                .iter()
+                .flatten()
+                .cloned()
+                .reduce(RunMetrics::merge)
+                .expect("complete device");
+            reorder.insert(d, merged);
+            while let Some(done) = reorder.remove(&next) {
+                folded = Some(match folded.take() {
+                    Some(acc) => acc.merge_population(done),
+                    None => done,
+                });
+                next += 1;
+            }
+        }
+    }
+    assert_eq!(next, counts.len(), "every device released in order");
+    folded.expect("at least one device")
+}
+
+#[derive(Clone)]
+struct FleetWorker {
+    /// Owned device (`WorkerCursor::device`).
+    device: Option<usize>,
+    /// Broken-variant staging: an outer cursor value read but not yet
+    /// written back.  Always `None` in the sound model.
+    staged_outer: Option<usize>,
+    done: bool,
+}
+
+#[derive(Clone)]
+struct FleetState {
+    /// Outer device cursor (`device_cursor`).
+    outer: usize,
+    /// Inner job cursor per device (`job_cursors`).
+    inner: Vec<usize>,
+    /// Times each device was handed out by the outer claim; the sound
+    /// model must end with every entry exactly 1.
+    owners: Vec<u32>,
+    /// Dispatch count per (device, job).
+    dispatched: Vec<Vec<u32>>,
+    /// Claim order — the completion order the coordinator replays.
+    arrivals: Vec<(usize, usize)>,
+    workers: Vec<FleetWorker>,
+}
+
+/// Models `TwoLevelDispatcher::claim` at atomic-operation granularity:
+/// the own-device inner `fetch_add`, the outer `fetch_add`, and the
+/// steal sweep are separate steps, so claims by owners and thieves
+/// interleave freely.  The sweep's consecutive inner `fetch_add`s are
+/// coalesced into one step — every modeled schedule is still a real
+/// schedule (the sweep run without interruption), it only trims the
+/// state space under the explorer's interleaving guard.
+struct TwoLevelModel {
+    workers: usize,
+    counts: Vec<usize>,
+}
+
+impl TwoLevelModel {
+    fn record_claim(&self, state: &mut FleetState, device: usize, job: usize) {
+        state.dispatched[device][job] += 1;
+        state.arrivals.push((device, job));
+    }
+
+    /// One inner `fetch_add` on `device`: returns the claimed job, or
+    /// `None` with the cursor advanced past the end.
+    fn claim_job(&self, state: &mut FleetState, device: usize) -> Option<usize> {
+        let job = state.inner[device];
+        state.inner[device] += 1;
+        (job < self.counts[device]).then_some(job)
+    }
+
+    /// The steal sweep plus termination, entered once the outer cursor
+    /// is exhausted.
+    fn sweep(&self, state: &mut FleetState, t: usize) {
+        for device in 0..self.counts.len() {
+            if let Some(job) = self.claim_job(state, device) {
+                self.record_claim(state, device, job);
+                return;
+            }
+        }
+        state.workers[t].done = true;
+    }
+}
+
+impl Model for TwoLevelModel {
+    type State = FleetState;
+
+    fn initial(&self) -> FleetState {
+        FleetState {
+            outer: 0,
+            inner: vec![0; self.counts.len()],
+            owners: vec![0; self.counts.len()],
+            dispatched: self.counts.iter().map(|&c| vec![0; c]).collect(),
+            arrivals: Vec::new(),
+            workers: vec![
+                FleetWorker {
+                    device: None,
+                    staged_outer: None,
+                    done: false,
+                };
+                self.workers
+            ],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.workers
+    }
+
+    fn runnable(&self, state: &FleetState, t: usize) -> bool {
+        !state.workers[t].done
+    }
+
+    fn step(&self, state: &mut FleetState, t: usize) {
+        if let Some(device) = state.workers[t].device {
+            // Level 1a: one inner fetch_add on the owned device.
+            match self.claim_job(state, device) {
+                Some(job) => self.record_claim(state, device, job),
+                None => state.workers[t].device = None,
+            }
+        } else {
+            // Level 1b: one outer fetch_add; exhausted, fall through to
+            // the steal sweep (level 2) in the same claim call.
+            let device = state.outer;
+            state.outer += 1;
+            if device < self.counts.len() {
+                state.owners[device] += 1;
+                state.workers[t].device = Some(device);
+            } else {
+                self.sweep(state, t);
+            }
+        }
+    }
+
+    fn check(&self, state: &FleetState, schedule: &[usize]) {
+        // 1. Device-claim uniqueness: the outer FIFO handed every
+        // device to exactly one owner.
+        for (device, &owners) in state.owners.iter().enumerate() {
+            assert_eq!(owners, 1, "device {device} owned {owners}× under {schedule:?}");
+        }
+        // 2. Job exclusivity across owners and thieves: every
+        // (device, job) dispatched exactly once.
+        for (device, jobs) in state.dispatched.iter().enumerate() {
+            for (job, &count) in jobs.iter().enumerate() {
+                assert_eq!(
+                    count, 1,
+                    "job ({device}, {job}) dispatched {count}× under {schedule:?}"
+                );
+            }
+        }
+        // 3. No cross-device leakage + partition-independent merge: the
+        // coordinator replay over this schedule's completion order
+        // (slot identity checked inside) equals the sequential fleet
+        // reference.
+        assert_eq!(
+            coordinator_fold(&self.counts, &state.arrivals),
+            fleet_sequential(&self.counts),
+            "fleet merge diverged under {schedule:?}"
+        );
+    }
+}
+
+#[test]
+fn two_level_scheduler_sound_under_every_interleaving() {
+    // Device shapes from the fleet's real operating points: uneven
+    // shard counts so owners drain at different times and the steal
+    // phase genuinely fires.
+    for (workers, counts) in [
+        (2, vec![2, 2]),
+        (2, vec![3, 1]),
+        (2, vec![1, 2, 1]),
+        (3, vec![1, 2]),
+        (3, vec![2, 1, 1]),
+    ] {
+        let stats = explore(&TwoLevelModel {
+            workers,
+            counts: counts.clone(),
+        });
+        assert!(
+            stats.interleavings > 1,
+            "exploration degenerate for {workers}w/{counts:?}"
+        );
+        println!(
+            "two-level model ok: {workers} workers, devices {counts:?}: \
+             {} interleavings, {} steps, depth {}",
+            stats.interleavings, stats.steps, stats.max_depth
+        );
+    }
+}
+
+/// The seeded bug: a stale device cursor.  The outer claim is split
+/// into an unsynchronized *read* step and a *write-back* step, as if
+/// `device_cursor` were a plain variable instead of a `fetch_add` —
+/// two workers can read the same cursor value and both take ownership
+/// of that device.
+struct StaleDeviceCursorModel {
+    inner: TwoLevelModel,
+}
+
+impl Model for StaleDeviceCursorModel {
+    type State = FleetState;
+
+    fn initial(&self) -> FleetState {
+        self.inner.initial()
+    }
+
+    fn threads(&self) -> usize {
+        self.inner.workers
+    }
+
+    fn runnable(&self, state: &FleetState, t: usize) -> bool {
+        !state.workers[t].done
+    }
+
+    fn step(&self, state: &mut FleetState, t: usize) {
+        if let Some(device) = state.workers[t].device {
+            match self.inner.claim_job(state, device) {
+                Some(job) => self.inner.record_claim(state, device, job),
+                None => state.workers[t].device = None,
+            }
+        } else if let Some(device) = state.workers[t].staged_outer.take() {
+            // Step 2 of the broken claim: write back the advanced
+            // cursor.  Another worker may have staged the same value.
+            state.outer = device + 1;
+            if device < self.inner.counts.len() {
+                state.owners[device] += 1;
+                state.workers[t].device = Some(device);
+            } else {
+                self.inner.sweep(state, t);
+            }
+        } else {
+            // Step 1 of the broken claim: unsynchronized read.
+            state.workers[t].staged_outer = Some(state.outer);
+        }
+    }
+
+    fn check(&self, _state: &FleetState, _schedule: &[usize]) {
+        // Verdicts are taken via `any_schedule` predicates instead.
+    }
+}
+
+#[test]
+fn model_checker_catches_stale_device_cursor() {
+    let broken = StaleDeviceCursorModel {
+        inner: TwoLevelModel {
+            workers: 2,
+            counts: vec![2, 2],
+        },
+    };
+    // The explorer must surface a schedule where some device is owned
+    // by two workers — the device-claim uniqueness violation the outer
+    // fetch_add rules out.  If this stops failing, the positive
+    // two-level test above is vacuous.
+    assert!(
+        any_schedule(&broken, |s| s.owners.iter().any(|&c| c > 1)),
+        "explorer failed to find the duplicate device owner in the broken model"
+    );
+    // Under the single-threaded schedule the broken model still works,
+    // so the defect really is an interleaving bug, not a modeling bug.
+    assert!(any_schedule(&broken, |s| {
+        s.owners.iter().all(|&c| c == 1)
+            && s.dispatched.iter().flatten().all(|&c| c == 1)
+    }));
 }

@@ -18,9 +18,11 @@ const EXCLUDES: [&str; 3] = ["shims/", "target/", "crates/lint/tests/fixtures/"]
 
 /// Files where D5 (narrowing casts) applies: the counter/flip
 /// arithmetic the run metrics are built from.
-const COUNTER_SCOPE: [&str; 6] = [
+const COUNTER_SCOPE: [&str; 8] = [
     "crates/dram/src/disturb.rs",
     "crates/dram/src/device.rs",
+    "crates/fleet/src/campaign.rs",
+    "crates/fleet/src/sketch.rs",
     "crates/harness/src/metrics.rs",
     "crates/tivapromi/src/counter_table.rs",
     "crates/tivapromi/src/history.rs",
@@ -97,6 +99,8 @@ mod tests {
         assert!(classify("crates/bench/benches/throughput.rs").is_bench);
         assert!(classify("crates/harness/src/observe.rs").timing_exempt);
         assert!(classify("crates/dram/src/disturb.rs").counter_scope);
+        assert!(classify("crates/fleet/src/sketch.rs").counter_scope);
+        assert!(classify("crates/fleet/src/campaign.rs").counter_scope);
         assert!(!classify("crates/dram/src/geometry.rs").counter_scope);
     }
 

@@ -92,6 +92,13 @@ impl SearchConfig {
         self.workers = workers;
         self
     }
+
+    /// Returns a copy searching at a different flip threshold — the
+    /// fleet layer probes each cohort's weak-cell tail this way.
+    pub fn with_flip_threshold(mut self, flip_threshold: u32) -> Self {
+        self.base.flip_threshold = flip_threshold;
+        self
+    }
 }
 
 /// FNV-1a over `bytes` (content-addressing for the result cache).

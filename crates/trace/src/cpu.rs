@@ -14,7 +14,7 @@
 //! cache-thrashing working sets), plus full-rate aggressor rows.
 
 use crate::cache::CacheHierarchy;
-use crate::event::{TraceEvent, TraceSource};
+use crate::event::{ShardError, TraceEvent, TraceSource};
 use crate::zipf::Zipf;
 use dram_sim::{BankId, Geometry, RowAddr};
 use rand::rngs::StdRng;
@@ -221,6 +221,19 @@ impl CpuWorkload {
 }
 
 impl TraceSource for CpuWorkload {
+    /// `CpuWorkload` is *not* bank-shardable: the cores draw from one
+    /// shared RNG, and each core's cache hierarchy filters accesses that
+    /// interleave across every bank, so a per-bank sub-stream is not a
+    /// pure function of the configuration and the bank id.  Multi-bank
+    /// runs of this source must execute sequentially.
+    fn shard_support(&self) -> Result<(), ShardError> {
+        Err(ShardError::new(
+            "CpuWorkload",
+            "cores share one RNG and per-core cache hierarchies span all \
+             banks, so per-bank sub-streams are not independent",
+        ))
+    }
+
     fn next_interval(&mut self, out: &mut Vec<TraceEvent>) -> bool {
         if self.interval >= self.config.intervals {
             return false;

@@ -39,6 +39,46 @@ impl TraceEvent {
     }
 }
 
+/// Why a trace source cannot be split into per-bank sub-streams.
+///
+/// Sharding by bank is only sound when banks are *independent* in the
+/// generator: each bank's sub-stream must be a pure function of the
+/// configuration and the bank id.  Sources whose banks share mutable
+/// state (one RNG, one cache hierarchy, a feedback loop) cannot honour
+/// that contract, and must say so through this typed error instead of a
+/// doc-only caveat, so the harness and the fleet layer can refuse a
+/// sharded run loudly rather than produce schedule-dependent results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// The source type that refused to shard, e.g. `"CpuWorkload"`.
+    pub source: String,
+    /// Why per-bank sub-streams would be unsound for this source.
+    pub reason: String,
+}
+
+impl ShardError {
+    /// A new error naming the refusing source and the coupling that
+    /// makes per-bank sharding unsound for it.
+    pub fn new(source: impl Into<String>, reason: impl Into<String>) -> Self {
+        ShardError {
+            source: source.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cannot be sharded by bank: {}",
+            self.source, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ShardError {}
+
 /// A source of activations, delivered one refresh interval at a time.
 ///
 /// The driving harness alternates `next_interval` (activations) with the
@@ -54,6 +94,20 @@ pub trait TraceSource {
     /// bounded.
     fn intervals_hint(&self) -> Option<u64> {
         None
+    }
+
+    /// Whether this source may be split into per-bank sub-streams.
+    ///
+    /// Returns `Ok(())` for sources whose banks are independent (the
+    /// default — it covers every [`TraceSplit`] implementor and every
+    /// single-bank source, where the question never arises).  Sources
+    /// whose banks share mutable state override this to return a
+    /// [`ShardError`] naming the coupling, so callers that want to
+    /// shard — [`crate::TraceSplit`] users, the harness engine, the
+    /// fleet layer — can fail with a typed error *before* running
+    /// instead of silently producing schedule-dependent results.
+    fn shard_support(&self) -> Result<(), ShardError> {
+        Ok(())
     }
 
     /// The most intervals this source may deliver in one batch.
@@ -109,6 +163,10 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
         (**self).intervals_hint()
     }
 
+    fn shard_support(&self) -> Result<(), ShardError> {
+        (**self).shard_support()
+    }
+
     fn max_batch_intervals(&self) -> u64 {
         (**self).max_batch_intervals()
     }
@@ -125,6 +183,10 @@ impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
 
     fn intervals_hint(&self) -> Option<u64> {
         (**self).intervals_hint()
+    }
+
+    fn shard_support(&self) -> Result<(), ShardError> {
+        (**self).shard_support()
     }
 
     fn max_batch_intervals(&self) -> u64 {

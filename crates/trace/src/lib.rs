@@ -48,7 +48,7 @@ pub use attack::{AttackConfig, AttackKind, Attacker, PHASE_SHIFT_SLOTS};
 pub use batch::{EventBatch, DEFAULT_BATCH_EVENTS};
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use cpu::{CoreBehavior, CpuWorkload, CpuWorkloadConfig};
-pub use event::{IdleTrace, ReplayTrace, TraceEvent, TraceSource, TraceSplit};
+pub use event::{IdleTrace, ReplayTrace, ShardError, TraceEvent, TraceSource, TraceSplit};
 pub use mix::MixedTrace;
 pub use serial::{read_jsonl, write_jsonl};
 pub use stats::TraceStats;

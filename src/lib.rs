@@ -13,10 +13,14 @@
 //! * [`harness`] — the experiment engine reproducing each table/figure.
 //! * [`redteam`] — adaptive attack synthesis and the security-frontier
 //!   search engine.
+//! * [`fleet`] — fleet-scale campaigns: heterogeneous device
+//!   populations, two-level scheduling, mergeable population
+//!   statistics, checkpoint/resume.
 
 pub use dram_sim as dram;
 pub use mem_trace as trace;
 pub use rh_baselines as baselines;
+pub use rh_fleet as fleet;
 pub use rh_harness as harness;
 pub use rh_hwmodel as hwmodel;
 pub use rh_redteam as redteam;

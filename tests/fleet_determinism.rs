@@ -1,0 +1,136 @@
+//! Fleet-grade determinism: the campaign layer's three headline
+//! properties, pinned on a 64-device heterogeneous campaign.
+//!
+//! 1. **Worker-count independence** — the fleet report is byte-identical
+//!    at 1, 2, and `available_parallelism` workers, device sinks
+//!    included (same devices, same order, same metrics).
+//! 2. **Checkpoint/kill/resume** — interrupting the campaign at *any*
+//!    device frontier (including 0 and past-the-end), serializing the
+//!    checkpoint to JSON, parsing it back and resuming yields the
+//!    byte-identical final report.
+//! 3. **Per-device replay** — every device, re-run in isolation through
+//!    the plain [`Runner`] with its derived seed
+//!    ([`fleet::device_seed`]), reproduces the fleet's per-device
+//!    metrics exactly; the fleet adds scheduling, never arithmetic.
+//!
+//! The campaign is deliberately heterogeneous: three cohorts mixing
+//! bank counts 1–4 (so two-level stealing really fires), three
+//! techniques, two attacks, weak-cell thresholds spanning a 4× band,
+//! and one single-bank CPU-model cohort exercising the unshardable
+//! path.
+
+use tivapromi_suite::fleet::{
+    device_seed, CampaignSpec, CohortSpec, DeviceSpec, Fleet, WorkloadKind,
+};
+use tivapromi_suite::harness::{RunMetrics, Runner};
+use tivapromi_suite::hwmodel::Technique;
+
+/// The 64-device heterogeneous reference campaign.
+fn campaign() -> CampaignSpec {
+    CampaignSpec::new(0xF1EE7)
+        .cohort(
+            CohortSpec::new("broad", 32)
+                .banks(1, 4)
+                .flip_threshold(2048, 8192)
+                .techniques(vec![Technique::LoLiPromi, Technique::Para, Technique::TwiCe]),
+        )
+        .cohort(
+            CohortSpec::new("weak-tail", 24)
+                .banks(2, 3)
+                .flip_threshold(1024, 2048)
+                .attack("flooding")
+                .techniques(vec![Technique::Para, Technique::LoLiPromi]),
+        )
+        .cohort(
+            CohortSpec::new("cpu", 8)
+                .workload(WorkloadKind::Cpu)
+                .banks(1, 1)
+                .flip_threshold(1536, 3072),
+        )
+}
+
+fn run_with_devices(workers: usize) -> (String, Vec<(DeviceSpec, RunMetrics)>) {
+    let mut devices = Vec::new();
+    let report = Fleet::new(campaign())
+        .workers(workers)
+        .run_with_sink(|device, metrics| devices.push((device.clone(), metrics.clone())))
+        .expect("reference campaign is valid");
+    (report.to_json(), devices)
+}
+
+#[test]
+fn fleet_report_is_byte_identical_at_every_worker_count() {
+    let (one, devices_one) = run_with_devices(1);
+    let (two, devices_two) = run_with_devices(2);
+    let available = std::thread::available_parallelism().map_or(4, usize::from);
+    let (many, devices_many) = run_with_devices(available);
+
+    assert_eq!(one, two, "1-worker and 2-worker reports diverge");
+    assert_eq!(one, many, "1-worker and {available}-worker reports diverge");
+    assert_eq!(devices_one.len(), 64);
+    assert_eq!(devices_one, devices_two, "sink streams diverge at 2 workers");
+    assert_eq!(devices_one, devices_many, "sink streams diverge at {available} workers");
+    // The sink sees the fleet in global device order at any width.
+    let order: Vec<u64> = devices_one.iter().map(|(d, _)| d.index).collect();
+    assert_eq!(order, (0..64).collect::<Vec<u64>>());
+}
+
+#[test]
+fn checkpoint_kill_resume_is_byte_identical_at_arbitrary_cuts() {
+    let (uninterrupted, _) = run_with_devices(2);
+    // Cuts at the start, mid-cohort, at cohort boundaries, one short of
+    // the end, and past the fleet (clamped).
+    for cut in [0u64, 1, 17, 32, 55, 63, 64, 1000] {
+        let checkpoint = Fleet::new(campaign())
+            .workers(3)
+            .run_until(cut)
+            .expect("valid campaign");
+        assert_eq!(checkpoint.frontier, cut.min(64));
+        // The kill: everything the resumed fleet knows travels through
+        // the serialized snapshot.
+        let json = checkpoint.to_json();
+        let restored = tivapromi_suite::fleet::Checkpoint::from_json(&json)
+            .expect("checkpoint JSON round-trips");
+        assert_eq!(restored, checkpoint);
+        let resumed = Fleet::new(campaign())
+            .workers(2)
+            .resume(restored)
+            .expect("same campaign")
+            .to_json();
+        assert_eq!(uninterrupted, resumed, "divergence after resume from cut {cut}");
+    }
+}
+
+#[test]
+fn every_fleet_device_replays_exactly_through_the_runner() {
+    let (_, devices) = run_with_devices(3);
+    let spec = campaign();
+    let mut multi_bank = 0;
+    for (device, fleet_metrics) in &devices {
+        // The device spec itself re-derives from the campaign seed.
+        assert_eq!(device.seed, device_seed(spec.seed, device.index));
+        assert_eq!(spec.device(device.index).as_ref(), Some(device));
+        let config = device.run_config();
+        let runner = Runner::new(config.clone())
+            .technique(device.technique)
+            .seed(device.seed);
+        let replay = match device.workload {
+            WorkloadKind::SpecLike => runner.run(device.spec_trace(&config)),
+            WorkloadKind::Cpu => runner
+                .run_source(device.cpu_trace(&config))
+                .expect("single-bank CPU devices always run"),
+        };
+        assert_eq!(
+            &replay, fleet_metrics,
+            "device {} (cohort {}, {} banks) replay diverged",
+            device.index, device.cohort, device.banks
+        );
+        if device.banks > 1 {
+            multi_bank += 1;
+        }
+    }
+    assert!(
+        multi_bank >= 32,
+        "campaign too homogeneous to exercise sharded replay ({multi_bank} multi-bank devices)"
+    );
+}
