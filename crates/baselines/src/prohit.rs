@@ -150,7 +150,11 @@ impl Mitigation for ProHit {
     }
 
     fn on_activate(&mut self, bank: BankId, row: RowAddr, _actions: &mut Vec<MitigationAction>) {
-        if !self.rngs.get(bank).random_bool(self.config.select_probability) {
+        if !self
+            .rngs
+            .get(bank)
+            .random_bool(self.config.select_probability)
+        {
             return;
         }
         if row.0 > 0 {

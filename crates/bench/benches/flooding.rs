@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rh_bench::{bench_scale, print_scale};
 use rh_harness::experiments::flooding;
-use rh_harness::{engine, scenario, techniques, RunConfig};
+use rh_harness::{engine, scenario, techniques, NullObserver, RunConfig};
 use rh_hwmodel::Technique;
 use std::hint::black_box;
 
@@ -21,7 +21,12 @@ fn regenerate_and_bench(c: &mut Criterion) {
             b.iter(|| {
                 let trace = scenario::flooding(&config, flooding::FLOODED_ROW);
                 let mut mitigation = techniques::build(technique, &config, 1);
-                black_box(engine::run(trace, mitigation.as_mut(), &config))
+                black_box(engine::run_observed(
+                    trace,
+                    mitigation.as_mut(),
+                    &config,
+                    &mut NullObserver,
+                ))
             })
         });
     }

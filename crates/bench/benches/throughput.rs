@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dram_sim::{BankId, RowAddr};
 use rand::{RngExt, SeedableRng};
 use rh_bench::bench_scale;
-use rh_harness::{engine, scenario, techniques, ExperimentScale, Parallelism, RunConfig};
+use rh_harness::{
+    engine, scenario, techniques, ExperimentScale, NullObserver, Parallelism, RunConfig,
+};
 use rh_hwmodel::Technique;
 use std::hint::black_box;
 use std::time::Instant;
@@ -21,7 +23,7 @@ use std::time::Instant;
 /// ([`engine::run_scalar`]).  The batched arm is the current production
 /// path: chunked trace delivery into an [`mem_trace::EventBatch`] and
 /// one [`rh_baselines::AnyMitigation`] dispatch per interval segment
-/// ([`engine::run`]).  Both compute bit-identical metrics
+/// ([`engine::run_observed`]).  Both compute bit-identical metrics
 /// (`tests/batch_pipeline.rs`), so the delta is pure dispatch and
 /// delivery overhead.
 ///
@@ -61,7 +63,13 @@ fn batched_vs_scalar(_c: &mut Criterion) {
         let (batched_s, _) = min_secs(&mut || {
             let trace = scenario::paper_mix(&config, 1);
             let mut mitigation = techniques::build_any(technique, &config, 1);
-            black_box(engine::run(trace, &mut mitigation, &config)).workload_activations
+            black_box(engine::run_observed(
+                trace,
+                &mut mitigation,
+                &config,
+                &mut NullObserver,
+            ))
+            .workload_activations
         });
         let speedup = (scalar_s / batched_s - 1.0) * 100.0;
         println!(
@@ -143,14 +151,14 @@ fn sharded_run_scaling(c: &mut Criterion) {
             b.iter(|| {
                 let trace = scenario::paper_mix(&config, 1);
                 let metrics = if parallelism.shard_by_bank {
-                    engine::run_with(
+                    engine::run_sharded(
                         trace,
                         &|| techniques::build(technique, &config, 1),
                         &config,
                     )
                 } else {
                     let mut mitigation = techniques::build(technique, &config, 1);
-                    engine::run(trace, mitigation.as_mut(), &config)
+                    engine::run_observed(trace, mitigation.as_mut(), &config, &mut NullObserver)
                 };
                 black_box(metrics)
             })
@@ -210,5 +218,10 @@ fn per_activation_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, per_activation_cost, sharded_run_scaling, batched_vs_scalar);
+criterion_group!(
+    benches,
+    per_activation_cost,
+    sharded_run_scaling,
+    batched_vs_scalar
+);
 criterion_main!(benches);

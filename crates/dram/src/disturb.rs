@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// kept in sixteenths of an activation so that fractional distance-2
 /// coupling (the blast-radius extension) composes with the integer
 /// distance-1 model without floating point on the hot path.
-pub(crate) const DISTURB_SCALE: u32 = 16;
+pub const DISTURB_SCALE: u32 = 16;
 
 /// Disturbance state of one bank.
 ///

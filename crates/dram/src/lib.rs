@@ -26,6 +26,11 @@
 //!   fully random, and counter-with-mask.
 //! * [`DramDevice`] — the device itself: feed it [`Command`]s, read back
 //!   flips and activity statistics.
+//! * [`DisturbanceBackend`] — pluggable fidelity tiers over the same
+//!   command stream: the exact device (default), a batch-accumulating
+//!   [`FastBackend`] for fleet-scale sweeps, and a [`CycleBackend`]
+//!   adding row-buffer state and per-command cycle costs; selected by
+//!   [`BackendSpec`].
 //!
 //! ## Example
 //!
@@ -48,11 +53,14 @@
 //! ```
 
 pub mod addr;
+pub mod backend;
 pub mod command;
 pub mod controller;
+pub mod cycle;
 pub mod device;
 pub mod disturb;
 pub mod error;
+pub mod fast;
 pub mod geometry;
 pub mod mapping;
 pub mod refresh;
@@ -60,10 +68,13 @@ pub mod seeding;
 pub mod timing;
 
 pub use addr::{BankId, RowAddr};
+pub use backend::{BackendSpec, CycleStats, DisturbanceBackend};
 pub use command::Command;
+pub use cycle::CycleBackend;
 pub use device::{DeviceStats, DramDevice, FlipEvent};
-pub use disturb::DisturbState;
+pub use disturb::{DisturbState, DISTURB_SCALE};
 pub use error::ConfigError;
+pub use fast::FastBackend;
 pub use geometry::Geometry;
 pub use mapping::{IdentityMapping, RemappedMapping, RowMapping};
 pub use refresh::{RefreshOrder, RefreshSchedule};

@@ -29,9 +29,10 @@ use crate::addr::BankId;
 pub fn bank_seed(run_seed: u64, bank: BankId) -> u64 {
     // Offset the state by (bank + 1) golden-ratio increments, then run
     // two splitmix64 rounds to decorrelate neighbouring banks.
-    let mut state = run_seed ^ u64::from(bank.0)
-        .wrapping_add(1)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut state = run_seed
+        ^ u64::from(bank.0)
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let _ = rand::splitmix64(&mut state);
     rand::splitmix64(&mut state)
 }

@@ -1,7 +1,8 @@
 //! Fleet campaign CLI.
 //!
 //! ```text
-//! fleet [--quick] [--devices N] [--seed S] [--workers W] [--frontier] [output-dir]
+//! fleet [--quick] [--devices N] [--seed S] [--workers W] [--backend TIER]
+//!       [--frontier] [output-dir]
 //! ```
 //!
 //! Runs a heterogeneous multi-cohort campaign, prints the per-cohort
@@ -9,8 +10,12 @@
 //! self-check) to `<output-dir>/fleet-report.json` (default
 //! `target/fleet`).  `--quick` runs the CI campaign: 1024 devices
 //! spread over three cohorts at the 1/64 geometry.  `--frontier` also
-//! runs the red-team security-frontier search per cohort.
+//! runs the red-team security-frontier search per cohort.  `--backend`
+//! selects the disturbance fidelity tier (`exact`, `fast` or `cycle`)
+//! for every cohort; per-cohort overrides are available through
+//! [`CohortSpec::backend`] when building specs programmatically.
 
+use dram_sim::BackendSpec;
 use rh_fleet::{cohort_frontiers, CampaignSpec, CohortSpec, Fleet, FleetReport, WorkloadKind};
 use rh_hwmodel::Technique;
 use std::path::PathBuf;
@@ -18,7 +23,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fleet [--quick] [--devices N] [--seed S] [--workers W] [--frontier] [output-dir]"
+        "usage: fleet [--quick] [--devices N] [--seed S] [--workers W] \\
+         [--backend exact|fast|cycle] [--frontier] [output-dir]"
     );
     ExitCode::FAILURE
 }
@@ -31,11 +37,11 @@ fn campaign(seed: u64, devices: u64) -> CampaignSpec {
     let weak = devices / 4;
     let broad = devices - weak - cpu;
     CampaignSpec::new(seed)
-        .cohort(
-            CohortSpec::new("broad", broad)
-                .banks(1, 4)
-                .techniques(vec![Technique::LoLiPromi, Technique::Para, Technique::TwiCe]),
-        )
+        .cohort(CohortSpec::new("broad", broad).banks(1, 4).techniques(vec![
+            Technique::LoLiPromi,
+            Technique::Para,
+            Technique::TwiCe,
+        ]))
         .cohort(
             CohortSpec::new("weak-tail", weak)
                 .banks(1, 2)
@@ -81,15 +87,13 @@ fn main() -> ExitCode {
     let mut seed = 7u64;
     let mut devices = 64u64;
     let mut workers = 0usize;
+    let mut backend = BackendSpec::Exact;
     let mut frontier = false;
     let mut out_dir = PathBuf::from("target/fleet");
     let mut args = std::env::args().skip(1);
     let mut positional = 0;
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .ok_or_else(|| eprintln!("{name} needs a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| eprintln!("{name} needs a value"));
         match arg.as_str() {
             "--quick" | "quick" => devices = 1024,
             "--frontier" => frontier = true,
@@ -105,6 +109,14 @@ fn main() -> ExitCode {
                 Ok(Ok(w)) => workers = w,
                 _ => return usage(),
             },
+            "--backend" => match value("--backend").map(|v| v.parse()) {
+                Ok(Ok(b)) => backend = b,
+                Ok(Err(e)) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+                Err(()) => return usage(),
+            },
             "--help" | "-h" => return usage(),
             other => {
                 positional += 1;
@@ -116,9 +128,12 @@ fn main() -> ExitCode {
         }
     }
 
-    let spec = campaign(seed, devices);
+    let mut spec = campaign(seed, devices);
+    for cohort in &mut spec.cohorts {
+        cohort.backend = backend;
+    }
     println!(
-        "fleet campaign: seed {seed}, {} devices over {} cohorts, {} worker(s)",
+        "fleet campaign: seed {seed}, {} devices over {} cohorts, {backend} tier, {} worker(s)",
         spec.total_devices(),
         spec.cohorts.len(),
         if workers == 0 {
@@ -157,7 +172,11 @@ fn main() -> ExitCode {
         eprintln!("cannot write {}: {e}", path.display());
         return ExitCode::FAILURE;
     }
-    println!("wrote {} ({} bytes, round-trip checked)", path.display(), json.len());
+    println!(
+        "wrote {} ({} bytes, round-trip checked)",
+        path.display(),
+        json.len()
+    );
 
     if frontier {
         println!("per-cohort security frontiers (quick search):");

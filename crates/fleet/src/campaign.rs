@@ -12,7 +12,7 @@
 //! Determinism: workers race, the *fold* does not.  Every job is a pure
 //! function of its device spec (seeded via [`crate::device_seed`]), a
 //! device's shards merge in bank order exactly as
-//! [`rh_harness::engine::run_with`] would, and the coordinator absorbs
+//! [`rh_harness::engine::run_sharded`] would, and the coordinator absorbs
 //! finished devices into per-cohort partials strictly in global device
 //! order through a reorder buffer.  The final report is therefore
 //! byte-identical at every worker count and schedule — and equal to
@@ -26,7 +26,7 @@ use dram_sim::{BankId, Geometry};
 use mem_trace::cpu::{CpuWorkload, CpuWorkloadConfig};
 use mem_trace::{ShardError, TraceSource, TraceSplit};
 use rh_harness::parallel::{TwoLevelDispatcher, WorkerCursor};
-use rh_harness::{engine, scenario, techniques};
+use rh_harness::{engine, scenario, techniques, NullObserver};
 use rh_harness::{ExperimentScale, Parallelism, RunConfig, RunMetrics, Runner};
 use std::collections::BTreeMap;
 use std::sync::mpsc;
@@ -283,7 +283,11 @@ impl Fleet {
     }
 
     fn fresh_partials(&self) -> Vec<CohortPartial> {
-        self.spec.cohorts.iter().map(|_| CohortPartial::new()).collect()
+        self.spec
+            .cohorts
+            .iter()
+            .map(|_| CohortPartial::new())
+            .collect()
     }
 
     fn effective_workers(&self) -> usize {
@@ -304,7 +308,11 @@ impl Fleet {
             return;
         }
         let devices: Vec<DeviceSpec> = (start..end)
-            .map(|i| self.spec.device(i).expect("range checked against the fleet"))
+            .map(|i| {
+                self.spec
+                    .device(i)
+                    .expect("range checked against the fleet")
+            })
             .collect();
         let job_counts: Vec<usize> = devices.iter().map(device_jobs).collect();
         let total_jobs: usize = job_counts.iter().sum();
@@ -320,14 +328,15 @@ impl Fleet {
                     let mut cursor = WorkerCursor::new();
                     while let Some((d, j)) = dispatcher.claim(&mut cursor) {
                         let metrics = run_device_job(&devices[d], j);
-                        tx.send((d, j, metrics)).expect("coordinator outlives workers");
+                        tx.send((d, j, metrics))
+                            .expect("coordinator outlives workers");
                     }
                 });
             }
             drop(tx);
             // The coordinator: collect shard metrics per device, merge
             // a completed device's shards in bank order (mirroring
-            // `engine::run_with`), then release devices to the fold
+            // `engine::run_sharded`), then release devices to the fold
             // strictly in device order.
             let mut parts: Vec<Vec<Option<RunMetrics>>> =
                 job_counts.iter().map(|&c| vec![None; c]).collect();
@@ -372,7 +381,7 @@ fn device_jobs(device: &DeviceSpec) -> usize {
 /// Runs one job of one device — a pure function of `(device, job)`.
 ///
 /// Multi-bank SPEC-like devices run one bank shard per job, built
-/// exactly as [`engine::run_with`] builds them, so the in-order merge
+/// exactly as [`engine::run_sharded`] builds them, so the in-order merge
 /// of a device's jobs equals the [`Runner`] replay of that device.
 fn run_device_job(device: &DeviceSpec, job: usize) -> RunMetrics {
     let config = device.run_config();
@@ -390,9 +399,14 @@ fn run_device_job(device: &DeviceSpec, job: usize) -> RunMetrics {
             if device.banks > 1 {
                 let bank = BankId(u32::try_from(job).expect("job index is a bank index"));
                 let shard = device.spec_trace(&config).bank_shard(bank);
-                engine::run(shard, &mut mitigation, &config)
+                engine::run_observed(shard, &mut mitigation, &config, &mut NullObserver)
             } else {
-                engine::run(device.spec_trace(&config), &mut mitigation, &config)
+                engine::run_observed(
+                    device.spec_trace(&config),
+                    &mut mitigation,
+                    &config,
+                    &mut NullObserver,
+                )
             }
         }
     }
@@ -411,7 +425,11 @@ mod tests {
                     .banks(1, 3)
                     .techniques(vec![Technique::Para, Technique::LoLiPromi]),
             )
-            .cohort(CohortSpec::new("cpu", 2).workload(WorkloadKind::Cpu).banks(1, 1))
+            .cohort(
+                CohortSpec::new("cpu", 2)
+                    .workload(WorkloadKind::Cpu)
+                    .banks(1, 1),
+            )
     }
 
     #[test]
@@ -475,17 +493,18 @@ mod tests {
     #[test]
     fn validation_rejects_degenerate_campaigns() {
         assert_eq!(
-            Fleet::new(CampaignSpec::new(1)).run().expect_err("no devices"),
+            Fleet::new(CampaignSpec::new(1))
+                .run()
+                .expect_err("no devices"),
             FleetError::EmptyCampaign
         );
-        let empty_mix = CampaignSpec::new(1)
-            .cohort(CohortSpec::new("bad", 1).techniques(Vec::new()));
+        let empty_mix =
+            CampaignSpec::new(1).cohort(CohortSpec::new("bad", 1).techniques(Vec::new()));
         assert!(matches!(
             Fleet::new(empty_mix).run().expect_err("empty mix"),
             FleetError::InvalidCohort { .. }
         ));
-        let bad_attack =
-            CampaignSpec::new(1).cohort(CohortSpec::new("bad", 1).attack("meltdown"));
+        let bad_attack = CampaignSpec::new(1).cohort(CohortSpec::new("bad", 1).attack("meltdown"));
         assert!(matches!(
             Fleet::new(bad_attack).run().expect_err("unknown attack"),
             FleetError::UnknownAttack { .. }
@@ -494,9 +513,14 @@ mod tests {
 
     #[test]
     fn validation_surfaces_unshardable_cpu_cohorts_as_typed_error() {
-        let spec = CampaignSpec::new(1)
-            .cohort(CohortSpec::new("cpu-wide", 4).workload(WorkloadKind::Cpu).banks(1, 4));
-        let err = Fleet::new(spec).run().expect_err("CPU cohorts cannot shard");
+        let spec = CampaignSpec::new(1).cohort(
+            CohortSpec::new("cpu-wide", 4)
+                .workload(WorkloadKind::Cpu)
+                .banks(1, 4),
+        );
+        let err = Fleet::new(spec)
+            .run()
+            .expect_err("CPU cohorts cannot shard");
         match err {
             FleetError::Unshardable { cohort, error } => {
                 assert_eq!(cohort, "cpu-wide");

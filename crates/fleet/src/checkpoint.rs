@@ -138,6 +138,7 @@ mod tests {
             storage_bytes_per_bank: 64.0,
             intervals: 128,
             timeseries: None,
+            cycle: None,
         }
     }
 

@@ -11,7 +11,7 @@
 //! [`rh_harness::Runner`].
 
 use crate::seeding::device_seed;
-use dram_sim::Geometry;
+use dram_sim::{BackendSpec, Geometry};
 use mem_trace::cpu::{CpuWorkload, CpuWorkloadConfig};
 use mem_trace::MixedTrace;
 use rand::rngs::StdRng;
@@ -55,6 +55,9 @@ pub struct CohortSpec {
     pub attack: String,
     /// Trace generator.
     pub workload: WorkloadKind,
+    /// Disturbance backend fidelity tier every device in the cohort
+    /// runs under (absent in pre-tier campaign files ⇒ exact).
+    pub backend: BackendSpec,
 }
 
 impl CohortSpec {
@@ -67,11 +70,15 @@ impl CohortSpec {
             name: name.into(),
             devices,
             banks: (1, 2),
-            flip_threshold: (rh_redteam::QUICK_FLIP_THRESHOLD, 2 * rh_redteam::QUICK_FLIP_THRESHOLD),
+            flip_threshold: (
+                rh_redteam::QUICK_FLIP_THRESHOLD,
+                2 * rh_redteam::QUICK_FLIP_THRESHOLD,
+            ),
             techniques: vec![Technique::LoLiPromi],
             windows: 1,
             attack: "ramp".into(),
             workload: WorkloadKind::SpecLike,
+            backend: BackendSpec::Exact,
         }
     }
 
@@ -114,6 +121,14 @@ impl CohortSpec {
     #[must_use]
     pub fn workload(mut self, workload: WorkloadKind) -> Self {
         self.workload = workload;
+        self
+    }
+
+    /// Sets the disturbance backend tier ([`BackendSpec`]) the cohort's
+    /// devices run under.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -196,6 +211,11 @@ impl CampaignSpec {
                     windows: cohort.windows,
                     attack: cohort.attack.clone(),
                     workload: cohort.workload,
+                    // Copied, never sampled: the tier must not consume
+                    // RNG draws, so banks/threshold/technique sampling
+                    // is identical across tiers (the draw order above
+                    // is a stable campaign contract).
+                    backend: cohort.backend,
                 });
             }
             first += cohort.devices;
@@ -226,6 +246,8 @@ pub struct DeviceSpec {
     pub attack: String,
     /// Trace generator.
     pub workload: WorkloadKind,
+    /// Disturbance backend fidelity tier (from the cohort).
+    pub backend: BackendSpec,
 }
 
 impl DeviceSpec {
@@ -244,6 +266,7 @@ impl DeviceSpec {
         });
         config.geometry = Geometry::scaled_down(64).with_banks(self.banks);
         config.flip_threshold = self.flip_threshold;
+        config.backend = self.backend;
         config
     }
 
@@ -280,7 +303,11 @@ mod tests {
                     .flip_threshold(1000, 4000)
                     .techniques(vec![Technique::Para, Technique::TwiCe]),
             )
-            .cohort(CohortSpec::new("beta", 2).workload(WorkloadKind::Cpu).banks(1, 1))
+            .cohort(
+                CohortSpec::new("beta", 2)
+                    .workload(WorkloadKind::Cpu)
+                    .banks(1, 1),
+            )
     }
 
     #[test]
@@ -320,10 +347,13 @@ mod tests {
             CohortSpec::new("wide", 32)
                 .banks(1, 4)
                 .flip_threshold(1000, 100_000)
-                .techniques(vec![Technique::Para, Technique::TwiCe, Technique::LoLiPromi]),
+                .techniques(vec![
+                    Technique::Para,
+                    Technique::TwiCe,
+                    Technique::LoLiPromi,
+                ]),
         );
-        let devices: Vec<DeviceSpec> =
-            (0..32).map(|i| spec.device(i).expect("in range")).collect();
+        let devices: Vec<DeviceSpec> = (0..32).map(|i| spec.device(i).expect("in range")).collect();
         let distinct_banks: std::collections::HashSet<u32> =
             devices.iter().map(|d| d.banks).collect();
         let distinct_thresholds: std::collections::HashSet<u32> =
@@ -331,7 +361,10 @@ mod tests {
         let distinct_techniques: std::collections::HashSet<String> =
             devices.iter().map(|d| d.technique.to_string()).collect();
         assert!(distinct_banks.len() > 1, "bank sampling degenerate");
-        assert!(distinct_thresholds.len() > 8, "threshold sampling degenerate");
+        assert!(
+            distinct_thresholds.len() > 8,
+            "threshold sampling degenerate"
+        );
         assert_eq!(distinct_techniques.len(), 3, "technique mix not covered");
     }
 
@@ -345,6 +378,41 @@ mod tests {
         let mut renamed = two_cohorts();
         renamed.cohorts[0].name = "gamma".into();
         assert_ne!(spec.fingerprint(), renamed.fingerprint());
+    }
+
+    #[test]
+    fn backend_tier_is_copied_not_sampled() {
+        // The tier must not consume RNG draws: the same campaign with a
+        // different tier samples identical banks/threshold/technique.
+        let exact = two_cohorts();
+        let mut fast = two_cohorts();
+        for cohort in &mut fast.cohorts {
+            cohort.backend = BackendSpec::Fast;
+        }
+        for i in 0..5 {
+            let a = exact.device(i).expect("in range");
+            let b = fast.device(i).expect("in range");
+            assert_eq!(a.backend, BackendSpec::Exact);
+            assert_eq!(b.backend, BackendSpec::Fast);
+            assert_eq!(b.run_config().backend, BackendSpec::Fast);
+            assert_eq!(
+                (a.banks, a.flip_threshold, a.technique),
+                (b.banks, b.flip_threshold, b.technique),
+                "device {i}: backend tier perturbed sampling"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_tier_campaign_json_parses_as_exact() {
+        // Campaign files written before the backend field existed carry
+        // no "backend" key; they must keep meaning the exact tier.
+        let spec = two_cohorts();
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let stripped = json.replace(",\"backend\":\"exact\"", "");
+        assert_ne!(json, stripped, "test must actually strip the field");
+        let back: CampaignSpec = serde_json::from_str(&stripped).expect("parses");
+        assert_eq!(spec, back);
     }
 
     #[test]

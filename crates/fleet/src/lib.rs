@@ -51,8 +51,8 @@ pub mod sketch;
 
 pub use campaign::{Fleet, FleetError};
 pub use checkpoint::{Checkpoint, CohortPartial};
-pub use frontier::{cohort_frontiers, CohortFrontier};
 pub use cohort::{CampaignSpec, CohortSpec, DeviceSpec, WorkloadKind};
+pub use frontier::{cohort_frontiers, CohortFrontier};
 pub use report::{CohortReport, FleetReport, SketchSummary};
 pub use seeding::device_seed;
 pub use sketch::QuantileSketch;

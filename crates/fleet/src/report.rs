@@ -71,11 +71,7 @@ pub struct FleetReport {
 impl FleetReport {
     /// Builds the report from the finished per-cohort partials.
     pub fn new(spec: &CampaignSpec, partials: &[CohortPartial]) -> Self {
-        assert_eq!(
-            spec.cohorts.len(),
-            partials.len(),
-            "one partial per cohort"
-        );
+        assert_eq!(spec.cohorts.len(), partials.len(), "one partial per cohort");
         let cohorts = spec
             .cohorts
             .iter()

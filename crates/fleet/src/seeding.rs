@@ -42,7 +42,8 @@ pub fn device_seed(campaign_seed: u64, device: u64) -> u64 {
     // tweak constant so a device's seed never collides with the bank
     // seeds derived *from* it.
     let mut state = campaign_seed
-        ^ 0xF1EE_7000_0000_0000u64.wrapping_add(device)
+        ^ 0xF1EE_7000_0000_0000u64
+            .wrapping_add(device)
             .wrapping_add(1)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let _ = rand::splitmix64(&mut state);
@@ -55,15 +56,13 @@ mod tests {
 
     #[test]
     fn devices_get_distinct_streams() {
-        let seeds: std::collections::HashSet<u64> =
-            (0..1024).map(|d| device_seed(7, d)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..1024).map(|d| device_seed(7, d)).collect();
         assert_eq!(seeds.len(), 1024);
     }
 
     #[test]
     fn campaign_seeds_get_distinct_streams() {
-        let seeds: std::collections::HashSet<u64> =
-            (0..64).map(|s| device_seed(s, 3)).collect();
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|s| device_seed(s, 3)).collect();
         assert_eq!(seeds.len(), 64);
     }
 
@@ -82,7 +81,10 @@ mod tests {
         for device in 0..16 {
             let run_seed = device_seed(9, device);
             for bank in 0..8 {
-                assert_ne!(run_seed, dram_sim::bank_seed(run_seed, dram_sim::BankId(bank)));
+                assert_ne!(
+                    run_seed,
+                    dram_sim::bank_seed(run_seed, dram_sim::BankId(bank))
+                );
             }
         }
     }

@@ -208,7 +208,10 @@ impl QuantileSketch {
     ///
     /// Panics when `q` is outside `[0, 1]` or NaN.
     pub fn quantile_bracket(&self, q: f64) -> Option<(f64, f64)> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
         if self.total == 0 {
             return None;
         }

@@ -4,18 +4,21 @@
 //! `results/`.
 //!
 //! Usage: `timeline [quick|paper|full] [technique] [stride] [output-dir]
-//! [--attack <name>]` (defaults: paper, LoLiPRoMi, 64, `./results`,
-//! and the paper's ramping attack).  `--attack` selects any attack
-//! pattern from the scenario catalog (`ramp`, `flooding`,
-//! `double-sided`, `decoy`, `shifted-ramp`, `burst`), mixed with the
-//! benign workload.
+//! [--attack <name>] [--backend <tier>]` (defaults: paper, LoLiPRoMi,
+//! 64, `./results`, the paper's ramping attack, and the exact backend).
+//! `--attack` selects any attack pattern from the scenario catalog
+//! (`ramp`, `flooding`, `double-sided`, `decoy`, `shifted-ramp`,
+//! `burst`), mixed with the benign workload.  `--backend` selects the
+//! disturbance fidelity tier (`exact`, `fast` or `cycle`); the cycle
+//! tier also reports command-timing metrics.
 //!
 //! The JSON is read back and compared against the in-memory metrics
 //! before the process exits; a round-trip mismatch is a hard failure
 //! (CI runs this at quick scale).
 
 use rh_harness::{
-    report, scenario, ExperimentScale, RunConfig, RunMetrics, Runner, TimeSeriesRecorder,
+    report, scenario, BackendSpec, ExperimentScale, RunConfig, RunMetrics, Runner,
+    TimeSeriesRecorder,
 };
 use rh_hwmodel::Technique;
 use std::fs::File;
@@ -33,13 +36,37 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args = Vec::new();
     let mut attack_name: Option<String> = None;
+    let mut backend = BackendSpec::Exact;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
-        if arg == "--attack" {
+        if arg == "--backend" {
+            match iter.next().map(|v| v.parse()) {
+                Some(Ok(b)) => backend = b,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--backend needs a tier: exact, fast or cycle");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(tier) = arg.strip_prefix("--backend=") {
+            match tier.parse() {
+                Ok(b) => backend = b,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if arg == "--attack" {
             match iter.next() {
                 Some(name) => attack_name = Some(name),
                 None => {
-                    eprintln!("--attack needs a name: {}", scenario::named_attacks().join(", "));
+                    eprintln!(
+                        "--attack needs a name: {}",
+                        scenario::named_attacks().join(", ")
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -84,6 +111,7 @@ fn main() -> ExitCode {
     let metrics = Runner::new(config)
         .technique(technique)
         .seed(1)
+        .backend(backend)
         .observer(TimeSeriesRecorder::new(stride))
         .run(trace);
 
@@ -100,6 +128,15 @@ fn main() -> ExitCode {
         metrics.false_positive_events,
         series.points.len(),
     );
+    if let Some(cycle) = &metrics.cycle {
+        println!(
+            "cycle model: {} mitigation cycles ({:.2}% bandwidth overhead), \
+             row-buffer hit rate {:.1}%",
+            cycle.mitigation_cycles,
+            cycle.bandwidth_overhead_percent(),
+            100.0 * cycle.row_buffer_hit_rate(),
+        );
+    }
 
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("cannot create {}: {e}", dir.display());

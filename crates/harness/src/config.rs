@@ -1,7 +1,7 @@
 //! Experiment configuration: the simulated system (Table I) and the
 //! scale knobs that trade fidelity for runtime.
 
-use dram_sim::{DramTiming, Geometry, RefreshOrder, RowAddr};
+use dram_sim::{BackendSpec, DramTiming, Geometry, RefreshOrder, RowAddr};
 use serde::{Deserialize, Serialize};
 
 /// How large an experiment run is.
@@ -73,7 +73,7 @@ impl Default for ExperimentScale {
 ///
 /// Banks are independent in the disturbance model and every mitigation
 /// keeps per-bank state, so the engine can split a run into per-bank
-/// shards (see [`crate::engine::run_with`]) and merge the metrics with
+/// shards (see [`crate::engine::run_sharded`]) and merge the metrics with
 /// bit-identical results.  Worker count and scheduling never change the
 /// outcome — only the wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -140,7 +140,7 @@ pub struct RunConfig {
     pub distance2_sixteenths: u32,
     /// Refresh windows to simulate.
     pub windows: u64,
-    /// How [`crate::engine::run_with`] parallelises this run.
+    /// How [`crate::engine::run_sharded`] parallelises this run.
     pub parallelism: Parallelism,
     /// Soft size of the engine's event batches, in activations (the
     /// chunk granularity of trace delivery and mitigation dispatch —
@@ -148,6 +148,10 @@ pub struct RunConfig {
     /// bit-identical results; the default amortises per-batch dispatch
     /// while keeping the buffer cache-resident.
     pub batch_events: usize,
+    /// Which disturbance backend the engine drives (fidelity tier).
+    /// Absent in configs written before backends existed, which parse
+    /// as [`BackendSpec::Exact`] — the event-accurate default.
+    pub backend: BackendSpec,
 }
 
 impl RunConfig {
@@ -163,6 +167,7 @@ impl RunConfig {
             windows: scale.windows,
             parallelism: Parallelism::default(),
             batch_events: mem_trace::DEFAULT_BATCH_EVENTS,
+            backend: BackendSpec::Exact,
         }
     }
 
@@ -176,6 +181,13 @@ impl RunConfig {
     /// least 1 by the batch buffer; results are identical at any size).
     pub fn with_batch_events(mut self, batch_events: usize) -> Self {
         self.batch_events = batch_events;
+        self
+    }
+
+    /// Returns a copy running a different disturbance backend (see
+    /// [`BackendSpec`] for what each tier guarantees).
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -215,6 +227,25 @@ impl RunConfig {
         device.set_flip_threshold(self.flip_threshold);
         device.set_distance2_coupling(self.distance2_sixteenths);
         device
+    }
+
+    /// Builds the fast-tier backend for this configuration (same
+    /// mapping, refresh order, threshold and coupling as
+    /// [`RunConfig::build_device`]; timing does not enter the fast
+    /// model).
+    pub fn build_fast_backend(&self) -> dram_sim::FastBackend {
+        let mapping: Box<dyn dram_sim::RowMapping> = if self.remapping.is_empty() {
+            Box::new(dram_sim::IdentityMapping)
+        } else {
+            Box::new(dram_sim::RemappedMapping::new(
+                self.remapping.iter().copied(),
+            ))
+        };
+        let mut backend =
+            dram_sim::FastBackend::with_policies(self.geometry, mapping, &self.refresh_order);
+        backend.set_flip_threshold(self.flip_threshold);
+        backend.set_distance2_coupling(self.distance2_sixteenths);
+        backend
     }
 }
 

@@ -39,13 +39,26 @@
 //! is a generic parameter: built as [`rh_baselines::AnyMitigation`]
 //! (see [`crate::techniques::build_any`]) the per-event inner loop is a
 //! `match`, not a vtable call — one dynamic-free dispatch per interval
-//! segment.  Prefer the [`crate::Runner`] builder over calling these
-//! functions directly.
+//! segment.
+//!
+//! The *device* side is equally generic: the loop drives any
+//! [`DisturbanceBackend`] (see [`dram_sim::backend`]), and the
+//! entrypoints pick the tier `config.backend` names exactly once before
+//! entering it — exact (the event-accurate [`DramDevice`], the
+//! default), fast (interval-level accumulation), or cycle (row-buffer
+//! and command-timing accounting in [`RunMetrics::cycle`]).  Because
+//! mitigations never read the device, the mitigation decision stream —
+//! triggers, false positives, first-trigger time — is identical on
+//! every tier; only flip-side metrics inherit the tier's fidelity.
+//! Prefer the [`crate::Runner`] builder over calling these functions
+//! directly.
 
 use crate::config::RunConfig;
 use crate::metrics::RunMetrics;
 use crate::observe::{IntervalSnapshot, NullObserver, Observe, Observer, RunSummary, ShardInfo};
-use dram_sim::{BankId, Command, DramDevice, RowAddr};
+use dram_sim::{
+    BackendSpec, BankId, Command, CycleBackend, DisturbanceBackend, DramDevice, FlipEvent, RowAddr,
+};
 use mem_trace::{EventBatch, TraceEvent, TraceSource, TraceSplit};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -113,12 +126,18 @@ struct TriggerLedger {
 }
 
 impl TriggerLedger {
-    /// Records the bank-local activation count of the first flip in
-    /// `bank`, if the device's flip count advanced.
-    fn note_flips(&mut self, device: &DramDevice, bank: usize) {
-        let now = device.flips().len();
-        if now > self.flips_seen {
-            self.flips_seen = now;
+    /// Walks the backend's flip log past the ledger's cursor and
+    /// records, per flipping bank, the bank-local activation count of
+    /// its first flip.
+    ///
+    /// Each flip carries its own bank (disturbance never couples banks,
+    /// so on the exact tier new flips always land in the bank of the
+    /// command that caused them — this is the historical attribution,
+    /// generalized to backends that resolve flips at interval ends).
+    fn note_flips(&mut self, flips: &[FlipEvent]) {
+        while self.flips_seen < flips.len() {
+            let bank = flips[self.flips_seen].bank.index();
+            self.flips_seen += 1;
             if bank >= self.bank_first_flip.len() {
                 self.bank_first_flip.resize(bank + 1, None);
             }
@@ -130,9 +149,9 @@ impl TriggerLedger {
 }
 
 #[inline]
-fn apply_action<O: Observer + ?Sized>(
+fn apply_action<B: DisturbanceBackend + ?Sized, O: Observer + ?Sized>(
     action: MitigationAction,
-    device: &mut DramDevice,
+    backend: &mut B,
     ledger: &AggressorLedger,
     triggers: &mut TriggerLedger,
     observer: &mut O,
@@ -150,31 +169,33 @@ fn apply_action<O: Observer + ?Sized>(
     if triggers.bank_first[bank].is_none() {
         triggers.bank_first[bank] = Some(triggers.bank_acts.get(bank).copied().unwrap_or(0));
     }
-    device.apply(action.to_command());
+    backend.apply(action.to_command());
     // ActivateNeighbors disturbs the neighbors' neighbors and can
     // itself cross the flip threshold.
-    triggers.note_flips(device, bank);
+    triggers.note_flips(backend.flips());
 }
 
-fn apply_actions<O: Observer + ?Sized>(
+fn apply_actions<B: DisturbanceBackend + ?Sized, O: Observer + ?Sized>(
     actions: &mut Vec<MitigationAction>,
-    device: &mut DramDevice,
+    backend: &mut B,
     ledger: &AggressorLedger,
     triggers: &mut TriggerLedger,
     observer: &mut O,
 ) {
     for action in actions.drain(..) {
-        apply_action(action, device, ledger, triggers, observer);
+        apply_action(action, backend, ledger, triggers, observer);
     }
 }
 
 /// Runs `trace` through `mitigation` on a device built from `config`.
 ///
-/// A thin unobserved shim over [`run_observed`]; prefer the
-/// [`crate::Runner`] builder as the documented entrypoint.
+/// Deprecated shim kept for downstream callers migrating to the
+/// [`crate::Runner`] builder (or [`run_observed`] with a
+/// [`NullObserver`] where the builder does not fit).
 ///
 /// The trace is consumed until it is exhausted or `config.intervals()`
 /// refresh intervals have elapsed, whichever comes first.
+#[deprecated(note = "use the `Runner` builder, or `run_observed` with a `NullObserver`")]
 pub fn run<S: TraceSource, M: Mitigation + ?Sized>(
     trace: S,
     mitigation: &mut M,
@@ -183,33 +204,52 @@ pub fn run<S: TraceSource, M: Mitigation + ?Sized>(
     run_observed(trace, mitigation, config, &mut NullObserver)
 }
 
-/// Like [`run`], with an [`Observer`] receiving callbacks from inside
-/// the loop.
+/// Runs `trace` through `mitigation` with an [`Observer`] receiving
+/// callbacks from inside the loop, on the backend tier `config.backend`
+/// selects.
 ///
-/// The observer type is a generic parameter, so passing
-/// [`NullObserver`] monomorphises to exactly the unobserved loop.
+/// The backend is chosen **once** here, then the loop monomorphises
+/// over its concrete type — the per-event hot path carries no enum or
+/// vtable dispatch, and with [`BackendSpec::Exact`] it compiles to
+/// exactly the historical device loop.  The observer type is also a
+/// generic parameter, so passing [`NullObserver`] monomorphises to the
+/// unobserved loop.
 pub fn run_observed<S: TraceSource, M: Mitigation + ?Sized, O: Observer + ?Sized>(
     mut trace: S,
     mitigation: &mut M,
     config: &RunConfig,
     observer: &mut O,
 ) -> RunMetrics {
-    let mut device = config.build_device();
-    run_on_device_observed(&mut trace, mitigation, config, &mut device, observer)
+    match config.backend {
+        BackendSpec::Exact => {
+            let mut device = config.build_device();
+            run_on_backend_observed(&mut trace, mitigation, config, &mut device, observer)
+        }
+        BackendSpec::Fast => {
+            let mut backend = config.build_fast_backend();
+            run_on_backend_observed(&mut trace, mitigation, config, &mut backend, observer)
+        }
+        BackendSpec::Cycle => {
+            let mut backend = CycleBackend::new(config.build_device());
+            run_on_backend_observed(&mut trace, mitigation, config, &mut backend, observer)
+        }
+    }
 }
 
-/// Like [`run`], but on a caller-provided device (lets callers inspect
-/// device state afterwards).
+/// Like [`run_observed`] without an observer, but on a caller-provided
+/// device (lets callers inspect device state afterwards).  Always runs
+/// the event-accurate model, regardless of `config.backend`.
 pub fn run_on_device<S: TraceSource, M: Mitigation + ?Sized>(
     trace: &mut S,
     mitigation: &mut M,
     config: &RunConfig,
     device: &mut DramDevice,
 ) -> RunMetrics {
-    run_on_device_observed(trace, mitigation, config, device, &mut NullObserver)
+    run_on_backend_observed(trace, mitigation, config, device, &mut NullObserver)
 }
 
-/// The full engine loop — batched: caller-provided device and observer.
+/// The batched engine loop on a caller-provided device — the exact-tier
+/// special case of [`run_on_backend_observed`].
 pub fn run_on_device_observed<S, M, O>(
     trace: &mut S,
     mitigation: &mut M,
@@ -220,6 +260,31 @@ pub fn run_on_device_observed<S, M, O>(
 where
     S: TraceSource,
     M: Mitigation + ?Sized,
+    O: Observer + ?Sized,
+{
+    run_on_backend_observed(trace, mitigation, config, device, observer)
+}
+
+/// The full engine loop — batched, generic over the disturbance
+/// backend: caller-provided backend and observer.
+///
+/// Every fidelity tier shares this one loop; the backend parameter is
+/// monomorphised, so each tier compiles to its own straight-line code.
+/// The mitigation decision stream is backend-independent (mitigations
+/// never read the device), so trigger/false-positive accounting is
+/// bit-identical across tiers — only the flip-side metrics inherit the
+/// backend's fidelity.
+pub fn run_on_backend_observed<S, M, B, O>(
+    trace: &mut S,
+    mitigation: &mut M,
+    config: &RunConfig,
+    backend: &mut B,
+    observer: &mut O,
+) -> RunMetrics
+where
+    S: TraceSource,
+    M: Mitigation + ?Sized,
+    B: DisturbanceBackend + ?Sized,
     O: Observer + ?Sized,
 {
     let banks = config.geometry.banks() as usize;
@@ -255,43 +320,117 @@ where
             // carries no per-event bounds checks.
             let (banks_col, rows_col, aggrs_col) = batch.columns();
             let start = range.start;
-            let events = banks_col[range.clone()]
-                .iter()
-                .zip(&rows_col[range.clone()])
-                .zip(&aggrs_col[range]);
-            for (offset, ((&bank_id, &row), &aggressor)) in events.enumerate() {
-                let i = start + offset;
-                ledger.record_parts(bank_id, row, aggressor);
-                let bank = bank_id.index();
-                if bank >= triggers.bank_acts.len() {
-                    triggers.bank_acts.resize(bank + 1, 0);
+            if backend.defers_flips() {
+                // Flip-deferring tier: flips cannot appear before the
+                // `Refresh`, so per-event flip polling is dead and the
+                // replay only has to stop at *action* points (an
+                // action's trigger accounting reads the counters as of
+                // its causing event, and its true-positive check reads
+                // the ledger as of that event).  Everything between two
+                // action points collapses into column scans plus one
+                // batched device call — counters are per-chunk sums no
+                // mid-chunk code reads, so aggregation order cannot be
+                // observed.
+                let mut cur = range.start;
+                while cur < range.end {
+                    // Process up to and including the next event that
+                    // carries actions (or the whole rest of the segment).
+                    let stop = sink.peek_tag().map_or(range.end, |tag| {
+                        let tag = usize::try_from(tag).expect("event tag fits usize");
+                        (tag + 1).min(range.end)
+                    });
+                    let chunk = cur..stop;
+                    // One pass in runs of equal bank (a bank-sharded or
+                    // single-bank column is one run): per-bank totals
+                    // add per run, and the ledger — a set — collapses
+                    // a hammering run's consecutive duplicates to one
+                    // insert.
+                    let chunk_banks = &banks_col[chunk.clone()];
+                    let chunk_rows = &rows_col[chunk.clone()];
+                    let chunk_aggrs = &aggrs_col[chunk.clone()];
+                    let mut i = 0;
+                    while i < chunk_banks.len() {
+                        let bank_id = chunk_banks[i];
+                        let mut j = i + 1;
+                        while j < chunk_banks.len() && chunk_banks[j] == bank_id {
+                            j += 1;
+                        }
+                        let bank = bank_id.index();
+                        if bank >= triggers.bank_acts.len() {
+                            triggers.bank_acts.resize(bank + 1, 0);
+                        }
+                        triggers.bank_acts[bank] +=
+                            u64::try_from(j - i).expect("run length fits u64");
+                        let mut last = None;
+                        for (&row, &aggressor) in chunk_rows[i..j].iter().zip(&chunk_aggrs[i..j]) {
+                            if aggressor {
+                                aggressor_acts += 1;
+                                if last != Some(row) {
+                                    ledger.record_parts(bank_id, row, true);
+                                    last = Some(row);
+                                }
+                            }
+                        }
+                        i = j;
+                    }
+                    total_acts += u64::try_from(chunk.len()).expect("segment length fits u64");
+                    backend.apply_activations(chunk_banks, chunk_rows);
+                    cur = stop;
+                    // Drain the actions of the chunk's last event, if it
+                    // had any (tags ascend, so equal tags drain together).
+                    if let Some(tag) = sink.peek_tag() {
+                        if usize::try_from(tag).expect("event tag fits usize") < cur {
+                            while let Some(action) = sink.next_for(tag) {
+                                apply_action(action, backend, &ledger, &mut triggers, observer);
+                            }
+                        }
+                    }
                 }
-                triggers.bank_acts[bank] += 1;
-                total_acts += 1;
-                if aggressor {
-                    aggressor_acts += 1;
-                }
-                device.apply(Command::Activate { bank: bank_id, row });
-                triggers.note_flips(device, bank);
-                // Hot path: segment event index bounded by batch length,
-                // far below u32::MAX.
-                #[allow(clippy::cast_possible_truncation)]
-                while let Some(action) = sink.next_for(i as u32) {
-                    apply_action(action, device, &ledger, &mut triggers, observer);
+            } else {
+                let events = banks_col[range.clone()]
+                    .iter()
+                    .zip(&rows_col[range.clone()])
+                    .zip(&aggrs_col[range]);
+                for (offset, ((&bank_id, &row), &aggressor)) in events.enumerate() {
+                    let i = start + offset;
+                    ledger.record_parts(bank_id, row, aggressor);
+                    let bank = bank_id.index();
+                    if bank >= triggers.bank_acts.len() {
+                        triggers.bank_acts.resize(bank + 1, 0);
+                    }
+                    triggers.bank_acts[bank] += 1;
+                    total_acts += 1;
+                    if aggressor {
+                        aggressor_acts += 1;
+                    }
+                    backend.apply(Command::Activate { bank: bank_id, row });
+                    triggers.note_flips(backend.flips());
+                    // Hot path: segment event index bounded by batch
+                    // length, far below u32::MAX.
+                    #[allow(clippy::cast_possible_truncation)]
+                    while let Some(action) = sink.next_for(i as u32) {
+                        apply_action(action, backend, &ledger, &mut triggers, observer);
+                    }
                 }
             }
             debug_assert!(sink.fully_drained(), "sink tags must cover the segment");
-            device.apply(Command::Refresh);
+            backend.apply(Command::Refresh);
+            // Backends may resolve deferred disturbance at the interval
+            // boundary (the fast tier); on the exact tier refresh only
+            // restores, so this is a cursor comparison and nothing else.
+            triggers.note_flips(backend.flips());
             mitigation.on_refresh_interval(&mut actions);
             if !actions.is_empty() {
-                apply_actions(&mut actions, device, &ledger, &mut triggers, observer);
+                apply_actions(&mut actions, backend, &ledger, &mut triggers, observer);
             }
             observer.on_interval_end(&IntervalSnapshot {
                 interval,
                 activations: total_acts,
                 triggers: triggers.trigger_events,
                 false_positives: triggers.false_positive_events,
-                device,
+                stats: backend.stats(),
+                max_disturbance: backend.max_disturbance_seen(),
+                device: backend.device(),
             });
             interval += 1;
         }
@@ -300,7 +439,7 @@ where
     finish_metrics(
         mitigation,
         config,
-        device,
+        backend,
         &triggers,
         aggressor_acts,
         observer,
@@ -323,6 +462,9 @@ pub fn run_scalar<S: TraceSource, M: Mitigation + ?Sized>(
 }
 
 /// [`run_scalar`] with an observer — the reference for observed runs.
+///
+/// Dispatches on `config.backend` exactly like [`run_observed`], so the
+/// scalar reference pins every tier, not just the exact one.
 pub fn run_scalar_observed<S, M, O>(
     mut trace: S,
     mitigation: &mut M,
@@ -334,8 +476,36 @@ where
     M: Mitigation + ?Sized,
     O: Observer + ?Sized,
 {
-    let mut device = config.build_device();
-    let device = &mut device;
+    match config.backend {
+        BackendSpec::Exact => {
+            let mut device = config.build_device();
+            run_scalar_on_backend(&mut trace, mitigation, config, &mut device, observer)
+        }
+        BackendSpec::Fast => {
+            let mut backend = config.build_fast_backend();
+            run_scalar_on_backend(&mut trace, mitigation, config, &mut backend, observer)
+        }
+        BackendSpec::Cycle => {
+            let mut backend = CycleBackend::new(config.build_device());
+            run_scalar_on_backend(&mut trace, mitigation, config, &mut backend, observer)
+        }
+    }
+}
+
+/// The scalar loop body, generic over the backend tier.
+fn run_scalar_on_backend<S, M, B, O>(
+    trace: &mut S,
+    mitigation: &mut M,
+    config: &RunConfig,
+    backend: &mut B,
+    observer: &mut O,
+) -> RunMetrics
+where
+    S: TraceSource,
+    M: Mitigation + ?Sized,
+    B: DisturbanceBackend + ?Sized,
+    O: Observer + ?Sized,
+{
     let mut events: Vec<TraceEvent> = Vec::new();
     let mut actions: Vec<MitigationAction> = Vec::new();
     let mut ledger = AggressorLedger::default();
@@ -367,50 +537,53 @@ where
             if event.aggressor {
                 aggressor_acts += 1;
             }
-            device.apply(Command::Activate {
+            backend.apply(Command::Activate {
                 bank: event.bank,
                 row: event.row,
             });
-            triggers.note_flips(device, bank);
+            triggers.note_flips(backend.flips());
             observer.on_activation(event.bank, event.row, event.aggressor);
             mitigation.on_activate(event.bank, event.row, &mut actions);
             if !actions.is_empty() {
-                apply_actions(&mut actions, device, &ledger, &mut triggers, observer);
+                apply_actions(&mut actions, backend, &ledger, &mut triggers, observer);
             }
         }
-        device.apply(Command::Refresh);
+        backend.apply(Command::Refresh);
+        triggers.note_flips(backend.flips());
         mitigation.on_refresh_interval(&mut actions);
         if !actions.is_empty() {
-            apply_actions(&mut actions, device, &ledger, &mut triggers, observer);
+            apply_actions(&mut actions, backend, &ledger, &mut triggers, observer);
         }
         observer.on_interval_end(&IntervalSnapshot {
             interval,
             activations: total_acts,
             triggers: triggers.trigger_events,
             false_positives: triggers.false_positive_events,
-            device,
+            stats: backend.stats(),
+            max_disturbance: backend.max_disturbance_seen(),
+            device: backend.device(),
         });
     }
 
     finish_metrics(
         mitigation,
         config,
-        device,
+        backend,
         &triggers,
         aggressor_acts,
         observer,
     )
 }
 
-fn finish_metrics<M: Mitigation + ?Sized, O: Observer + ?Sized>(
+fn finish_metrics<M: Mitigation + ?Sized, B: DisturbanceBackend + ?Sized, O: Observer + ?Sized>(
     mitigation: &mut M,
     config: &RunConfig,
-    device: &mut DramDevice,
+    backend: &mut B,
     triggers: &TriggerLedger,
     aggressor_acts: u64,
     observer: &mut O,
 ) -> RunMetrics {
-    let stats = device.stats();
+    let stats = backend.stats();
     let mut metrics = RunMetrics {
         technique: mitigation.name().to_string(),
         workload_activations: stats.workload_activations,
@@ -418,14 +591,15 @@ fn finish_metrics<M: Mitigation + ?Sized, O: Observer + ?Sized>(
         mitigation_activations: stats.mitigation_activations,
         trigger_events: triggers.trigger_events,
         false_positive_events: triggers.false_positive_events,
-        flips: device.flips().len(),
-        max_disturbance: device.max_disturbance_seen(),
+        flips: backend.flips().len(),
+        max_disturbance: backend.max_disturbance_seen(),
         flip_threshold: config.flip_threshold,
         first_trigger_act: triggers.bank_first.iter().flatten().copied().min(),
         time_to_first_flip: triggers.bank_first_flip.iter().flatten().copied().min(),
         storage_bytes_per_bank: mitigation.storage_bytes_per_bank(),
         intervals: stats.refresh_intervals,
         timeseries: None,
+        cycle: backend.cycle_stats(),
     };
     observer.on_run_end(&mut metrics);
     metrics
@@ -434,24 +608,24 @@ fn finish_metrics<M: Mitigation + ?Sized, O: Observer + ?Sized>(
 /// Runs `trace` through the mitigation that `build` constructs, sharded
 /// by bank when `config.parallelism` allows it.
 ///
-/// A thin unobserved shim over [`run_with_observed`]; prefer the
-/// [`crate::Runner`] builder as the documented entrypoint.  This path
-/// keeps the engine loop monomorphised over [`NullObserver`], so it is
-/// exactly as fast as an engine without observability hooks.
+/// This is the unobserved sharded entrypoint ([`crate::Runner::run`]
+/// lands here when no observers are attached): the engine loop stays
+/// monomorphised over [`NullObserver`], so it is exactly as fast as an
+/// engine without observability hooks.
 ///
 /// With `shard_by_bank` (and more than one bank) each bank's sub-stream
 /// ([`TraceSplit::bank_shard`]) is driven through its *own* mitigation
-/// instance and device on a worker pool, and the per-shard
+/// instance and backend on a worker pool, and the per-shard
 /// [`RunMetrics`] are combined with [`RunMetrics::merge`].  Because
-/// banks are independent — disturbance never couples them and every
-/// mitigation derives per-bank decision streams via
-/// [`dram_sim::bank_seed`] — the merged result is bit-identical to the
-/// sequential run, for every worker count and schedule.
+/// banks are independent — disturbance never couples them on any
+/// backend tier and every mitigation derives per-bank decision streams
+/// via [`dram_sim::bank_seed`] — the merged result is bit-identical to
+/// the sequential run, for every worker count and schedule.
 ///
 /// `build` must construct the mitigation identically on every call
 /// (same technique, same seed); it is called once per bank shard, plus
 /// once for the sequential fallback.
-pub fn run_with<S, M, F>(trace: S, build: &F, config: &RunConfig) -> RunMetrics
+pub fn run_sharded<S, M, F>(trace: S, build: &F, config: &RunConfig) -> RunMetrics
 where
     S: TraceSplit,
     M: Mitigation,
@@ -460,19 +634,31 @@ where
     let banks = config.geometry.banks();
     if !config.parallelism.shard_by_bank || banks <= 1 {
         let mut mitigation = build();
-        return run(trace, &mut mitigation, config);
+        return run_observed(trace, &mut mitigation, config, &mut NullObserver);
     }
     let shards: Vec<Box<dyn TraceSplit>> =
         (0..banks).map(|b| trace.bank_shard(BankId(b))).collect();
     let workers = config.parallelism.effective_workers();
     let results = crate::parallel::map_workers(shards, workers, |shard| {
         let mut mitigation = build();
-        run(shard, &mut mitigation, config)
+        run_observed(shard, &mut mitigation, config, &mut NullObserver)
     });
     results
         .into_iter()
         .reduce(RunMetrics::merge)
         .expect("geometry has at least one bank")
+}
+
+/// Deprecated alias of [`run_sharded`], kept for downstream callers
+/// migrating to the [`crate::Runner`] builder.
+#[deprecated(note = "use the `Runner` builder, or `run_sharded`")]
+pub fn run_with<S, M, F>(trace: S, build: &F, config: &RunConfig) -> RunMetrics
+where
+    S: TraceSplit,
+    M: Mitigation,
+    F: Fn() -> M + Sync,
+{
+    run_sharded(trace, build, config)
 }
 
 /// Like [`run_with`], with an [`Observe`] strategy attached: one
@@ -579,7 +765,7 @@ mod tests {
         // A null mitigation: the attack must succeed.
         let config = quick_config();
         let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
-        let metrics = run(attack, &mut Null, &config);
+        let metrics = run_observed(attack, &mut Null, &config, &mut NullObserver);
         assert!(metrics.flips > 0, "{metrics:?}");
         assert_eq!(metrics.mitigation_activations, 0);
         assert_eq!(metrics.first_trigger_act, None);
@@ -590,7 +776,7 @@ mod tests {
         let config = quick_config();
         let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
         let mut twice = techniques::build(Technique::TwiCe, &config, 1);
-        let metrics = run(attack, twice.as_mut(), &config);
+        let metrics = run_observed(attack, twice.as_mut(), &config, &mut NullObserver);
         assert_eq!(metrics.flips, 0, "{metrics:?}");
         assert!(metrics.trigger_events > 0);
         // Pure attack trace → no false positives.
@@ -603,7 +789,7 @@ mod tests {
         // Benign-only trace with PARA: every trigger is a false positive.
         let trace = scenario::workload_only(&config, 3);
         let mut para = techniques::build(Technique::Para, &config, 3);
-        let metrics = run(trace, para.as_mut(), &config);
+        let metrics = run_observed(trace, para.as_mut(), &config, &mut NullObserver);
         assert!(metrics.trigger_events > 0);
         assert_eq!(metrics.false_positive_events, metrics.trigger_events);
     }
@@ -613,7 +799,7 @@ mod tests {
         let config = quick_config();
         let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
         let mut twice = techniques::build(Technique::TwiCe, &config, 1);
-        let metrics = run(attack, twice.as_mut(), &config);
+        let metrics = run_observed(attack, twice.as_mut(), &config, &mut NullObserver);
         // TWiCe triggers deterministically at 34 750 activations.
         assert_eq!(metrics.first_trigger_act, Some(34_750));
     }
@@ -623,7 +809,7 @@ mod tests {
         let config = quick_config();
         // An endless trace is clipped at config.intervals().
         let long = ReplayTrace::new(vec![vec![]; 10 * config.intervals() as usize]);
-        let metrics = run(long, &mut Null, &config);
+        let metrics = run_observed(long, &mut Null, &config, &mut NullObserver);
         assert_eq!(metrics.intervals, config.intervals());
     }
 
@@ -688,7 +874,12 @@ mod tests {
         let config = quick_config();
         let unobserved = {
             let mut m = techniques::build(Technique::LoLiPromi, &config, 2);
-            run(scenario::paper_mix(&config, 2), m.as_mut(), &config)
+            run_observed(
+                scenario::paper_mix(&config, 2),
+                m.as_mut(),
+                &config,
+                &mut NullObserver,
+            )
         };
         let observed = {
             let mut m = techniques::build(Technique::LoLiPromi, &config, 2);
@@ -707,8 +898,7 @@ mod tests {
     fn timeseries_final_point_matches_run_totals() {
         let config = quick_config();
         let trace = scenario::paper_mix(&config, 3);
-        let build =
-            |seed: u64| move || techniques::build(Technique::Para, &quick_config(), seed);
+        let build = |seed: u64| move || techniques::build(Technique::Para, &quick_config(), seed);
         let metrics = run_with_observed(trace, &build(3), &config, &TimeSeriesRecorder::new(64));
         let series = metrics.timeseries.as_ref().expect("recorder attached");
         assert_eq!(series.stride, 64);

@@ -10,9 +10,9 @@
 
 use crate::config::{ExperimentScale, RunConfig};
 use crate::metrics::MeanStd;
+use crate::parallel;
 use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::parallel;
 use dram_sim::{BankId, RowAddr};
 use mem_trace::{AttackConfig, AttackKind, Attacker, MixedTrace, SpecLikeWorkload, WorkloadConfig};
 use rh_hwmodel::Technique;
@@ -168,8 +168,7 @@ mod tests {
             aggressor_rows.extend(out.iter().filter(|e| e.aggressor).map(|e| e.row.0));
         }
         // Aggressor rows 30000, 30002, 30004, 30006 — and nothing else.
-        let expected: std::collections::BTreeSet<u32> =
-            (0..4u32).map(|j| 30_000 + 2 * j).collect();
+        let expected: std::collections::BTreeSet<u32> = (0..4u32).map(|j| 30_000 + 2 * j).collect();
         assert_eq!(aggressor_rows, expected);
     }
 }

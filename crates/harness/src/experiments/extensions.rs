@@ -17,9 +17,9 @@
 use crate::config::{ExperimentScale, RunConfig};
 use crate::experiments::fig4::Fig4Point;
 use crate::metrics::MeanStd;
+use crate::parallel;
 use crate::runner::Runner;
 use crate::table::TextTable;
-use crate::parallel;
 use mem_trace::cpu::{CpuWorkload, CpuWorkloadConfig};
 use rh_hwmodel::Technique;
 

@@ -10,8 +10,8 @@ pub mod blast_radius;
 pub mod extensions;
 pub mod fig4;
 pub mod flooding;
-pub mod redteam;
 pub mod latency;
+pub mod redteam;
 pub mod refresh_policies;
 pub mod reliability;
 pub mod table1;

@@ -165,9 +165,7 @@ mod tests {
         // At the weakened threshold, the synchronized burst flips bits
         // under at least one technique — the grid is not vacuous.
         assert!(
-            results
-                .iter()
-                .any(|r| r.attack == "burst" && r.flips > 0),
+            results.iter().any(|r| r.attack == "burst" && r.flips > 0),
             "burst should breach some technique at threshold {REDTEAM_FLIP_THRESHOLD}"
         );
         let text = render(&results);

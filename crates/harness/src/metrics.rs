@@ -1,5 +1,6 @@
 //! Run metrics, time-series trajectories, and multi-seed statistics.
 
+use dram_sim::CycleStats;
 use serde::{Deserialize, Serialize};
 
 /// One sampled point of a run's per-interval trajectory.
@@ -162,6 +163,9 @@ pub struct RunMetrics {
     /// Per-interval trajectory, present when a
     /// [`crate::observe::TimeSeriesRecorder`] was attached to the run.
     pub timeseries: Option<TimeSeries>,
+    /// Cycle-level accounting, present when the run used the `cycle`
+    /// backend tier ([`dram_sim::CycleBackend`]).
+    pub cycle: Option<CycleStats>,
 }
 
 impl RunMetrics {
@@ -242,8 +246,28 @@ impl RunMetrics {
         }
     }
 
+    /// Cycles spent on mitigation-issued commands (0 unless the run
+    /// used the `cycle` backend tier).
+    pub fn mitigation_cycles(&self) -> u64 {
+        self.cycle.map_or(0, |c| c.mitigation_cycles)
+    }
+
+    /// Share of workload activations served from the open row, in
+    /// `[0, 1]` (0 unless the run used the `cycle` backend tier).
+    pub fn row_buffer_hit_rate(&self) -> f64 {
+        self.cycle.map_or(0.0, |c| c.row_buffer_hit_rate())
+    }
+
+    /// Mitigation cycles in percent of workload cycles — the measured
+    /// bandwidth cost of the defense, as opposed to the activation-count
+    /// proxy [`RunMetrics::overhead_percent`] (0 unless the run used the
+    /// `cycle` backend tier).
+    pub fn bandwidth_overhead_percent(&self) -> f64 {
+        self.cycle.map_or(0.0, |c| c.bandwidth_overhead_percent())
+    }
+
     /// Combines the metrics of two disjoint shards of one run (the
-    /// per-bank shards of [`crate::engine::run_with`]).
+    /// per-bank shards of [`crate::engine::run_sharded`]).
     ///
     /// Counters sum; `max_disturbance` and `intervals` take the maximum;
     /// `first_trigger_act` and `time_to_first_flip` take the earliest
@@ -282,6 +306,10 @@ impl RunMetrics {
                 (Some(a), Some(b)) => Some(a.merge(b)),
                 (a, b) => a.or(b),
             },
+            cycle: match (self.cycle, other.cycle) {
+                (Some(a), Some(b)) => Some(a.merge(b)),
+                (a, b) => a.or(b),
+            },
         }
     }
 
@@ -315,7 +343,9 @@ impl RunMetrics {
             String::new()
         };
         let flip_threshold = self.flip_threshold.min(other.flip_threshold);
-        let storage = self.storage_bytes_per_bank.max(other.storage_bytes_per_bank);
+        let storage = self
+            .storage_bytes_per_bank
+            .max(other.storage_bytes_per_bank);
         let mut merged = self.merge(other);
         merged.technique = technique;
         merged.flip_threshold = flip_threshold;
@@ -399,6 +429,7 @@ mod tests {
             storage_bytes_per_bank: 120.0,
             intervals: 16,
             timeseries: None,
+            cycle: None,
         }
     }
 
@@ -554,7 +585,9 @@ mod tests {
             b.clone().merge_population(a.clone())
         );
         assert_eq!(
-            a.clone().merge_population(b.clone()).merge_population(c.clone()),
+            a.clone()
+                .merge_population(b.clone())
+                .merge_population(c.clone()),
             a.merge_population(b.merge_population(c))
         );
     }

@@ -24,11 +24,10 @@
 //!   utilization of the parallel engine, rendered as a
 //!   [`crate::TextTable`].
 //!
-//! The no-observer path stays zero-cost: [`crate::engine::run`] and
-//! [`crate::engine::run_with`] monomorphise the engine loop over
-//! [`NullObserver`], whose empty inline callbacks compile away.
-//! Observers only pay dynamic dispatch when one is actually attached
-//! (via [`crate::Runner::observer`] or
+//! The no-observer path stays zero-cost: [`crate::engine::run_sharded`]
+//! monomorphises the engine loop over [`NullObserver`], whose empty
+//! inline callbacks compile away.  Observers only pay dynamic dispatch
+//! when one is actually attached (via [`crate::Runner::observer`] or
 //! [`crate::engine::run_with_observed`]).
 
 use crate::metrics::{RunMetrics, TimePoint, TimeSeries};
@@ -66,9 +65,12 @@ impl ShardInfo {
 /// The engine's state at a refresh-interval boundary, passed to
 /// [`Observer::on_interval_end`].
 ///
-/// Counters are cumulative over the observed run (shard); the borrowed
-/// device allows deeper inspection — per-row disturbance, flip events —
-/// at the boundary.
+/// Counters are cumulative over the observed run (shard).  The backend's
+/// aggregate state (`stats`, `max_disturbance`) is available on every
+/// fidelity tier; the borrowed device — for deeper inspection such as
+/// per-row disturbance — only when the tier keeps an event-accurate
+/// device (`exact` and `cycle`; the fast tier resolves per-row state
+/// only at interval boundaries and exposes aggregates alone).
 #[derive(Debug)]
 pub struct IntervalSnapshot<'a> {
     /// 0-based index of the refresh interval that just completed.
@@ -79,8 +81,13 @@ pub struct IntervalSnapshot<'a> {
     pub triggers: u64,
     /// Cumulative ground-truth false-positive trigger events.
     pub false_positives: u64,
-    /// The DRAM device, for disturbance/flip inspection.
-    pub device: &'a DramDevice,
+    /// The backend's aggregate activity counters so far.
+    pub stats: dram_sim::DeviceStats,
+    /// Highest disturbance counter seen so far (attack margin), in
+    /// whole activations.
+    pub max_disturbance: u32,
+    /// The event-accurate device, when the backend tier keeps one.
+    pub device: Option<&'a DramDevice>,
 }
 
 /// Callbacks from inside one engine run (one shard of a parallel run,
@@ -342,14 +349,13 @@ struct TimeSeriesObserver {
 
 impl Observer for TimeSeriesObserver {
     fn on_interval_end(&mut self, snapshot: &IntervalSnapshot<'_>) {
-        let stats = snapshot.device.stats();
         let point = TimePoint {
             interval: snapshot.interval,
             activations: snapshot.activations,
-            mitigation_activations: stats.mitigation_activations,
+            mitigation_activations: snapshot.stats.mitigation_activations,
             triggers: snapshot.triggers,
             false_positives: snapshot.false_positives,
-            max_disturbance: snapshot.device.max_disturbance_seen(),
+            max_disturbance: snapshot.max_disturbance,
         };
         self.last = Some(point);
         if (snapshot.interval + 1).is_multiple_of(self.series.stride) {
@@ -479,15 +485,22 @@ impl HistogramObserver {
 
 impl Observer for HistogramObserver {
     fn on_interval_end(&mut self, snapshot: &IntervalSnapshot<'_>) {
-        let per_window = u64::from(snapshot.device.geometry().intervals_per_window());
+        // Per-row sampling needs the event-accurate device; on the fast
+        // tier (no device) the histogram records nothing — documented
+        // behavior, since the fast tier's per-row counters are only
+        // meaningful at its own resolution points.
+        let Some(device) = snapshot.device else {
+            return;
+        };
+        let per_window = u64::from(device.geometry().intervals_per_window());
         if !(snapshot.interval + 1).is_multiple_of(per_window) {
             return;
         }
         match self.bank {
-            Some(bank) => self.sample_bank(snapshot.device, bank),
+            Some(bank) => self.sample_bank(device, bank),
             None => {
-                for bank in 0..snapshot.device.geometry().banks() {
-                    self.sample_bank(snapshot.device, BankId(bank));
+                for bank in 0..device.geometry().banks() {
+                    self.sample_bank(device, BankId(bank));
                 }
             }
         }
@@ -617,13 +630,7 @@ impl PerfCounters {
     /// Renders the per-shard table plus the run totals.
     pub fn render(&self) -> String {
         let shards = self.shards();
-        let mut table = TextTable::new(vec![
-            "shard",
-            "bank",
-            "events",
-            "wall [ms]",
-            "events/sec",
-        ]);
+        let mut table = TextTable::new(vec!["shard", "bank", "events", "wall [ms]", "events/sec"]);
         for s in &shards {
             table.row(vec![
                 s.shard.to_string(),
@@ -697,6 +704,7 @@ mod tests {
             storage_bytes_per_bank: 120.0,
             intervals: 16,
             timeseries: None,
+            cycle: None,
         }
     }
 
@@ -712,7 +720,10 @@ mod tests {
         assert_eq!(DisturbanceHistogram::bucket_range(3), (4, 8));
         for value in [0u32, 1, 5, 139_000] {
             let (lo, hi) = DisturbanceHistogram::bucket_range(DisturbanceHistogram::bucket(value));
-            assert!(u64::from(value) >= u64::from(lo) && u64::from(value) < hi, "{value}");
+            assert!(
+                u64::from(value) >= u64::from(lo) && u64::from(value) < hi,
+                "{value}"
+            );
         }
     }
 
@@ -791,7 +802,9 @@ mod tests {
         assert!(m.timeseries.is_some());
         let empty: &[Box<dyn Observe>] = &[];
         let _ = empty.observer(&shard); // NullObserver; nothing to assert beyond no panic
-        assert!(NullObserve.observer(&shard).as_mut() as *mut dyn Observer as *const () as usize != 0);
+        assert!(
+            NullObserve.observer(&shard).as_mut() as *mut dyn Observer as *const () as usize != 0
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ unsafe impl<T: Send> Sync for Slots<T> {}
 
 impl<T> Slots<T> {
     fn new(len: usize) -> Self {
-        Slots((0..len).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect())
+        Slots(
+            (0..len)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        )
     }
 
     /// Writes `value` into slot `index`.
@@ -274,7 +278,10 @@ where
     let slots = Slots::new(inputs.len());
     // Jobs are moved into per-index option cells so workers can take
     // them by claimed index without a queue lock.
-    let jobs: Vec<UnsafeCell<Option<I>>> = inputs.into_iter().map(|i| UnsafeCell::new(Some(i))).collect();
+    let jobs: Vec<UnsafeCell<Option<I>>> = inputs
+        .into_iter()
+        .map(|i| UnsafeCell::new(Some(i)))
+        .collect();
     struct Jobs<I>(Vec<UnsafeCell<Option<I>>>);
     // SAFETY: same exclusivity argument as `Slots` — each index is
     // claimed by exactly one worker.

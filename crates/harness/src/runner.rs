@@ -3,8 +3,9 @@
 //! The engine module grew two entrypoints in PR 1 (`engine::run` for a
 //! caller-built mitigation, `engine::run_with` for sharded execution)
 //! and the observability layer would have added two more.  `Runner`
-//! collapses them: pick a technique, a seed, a parallelism policy and
-//! any number of observers, then call [`Runner::run`].
+//! collapses them: pick a technique, a seed, a backend fidelity tier, a
+//! parallelism policy and any number of observers, then call
+//! [`Runner::run`].
 //!
 //! ```
 //! use rh_harness::{Runner, RunConfig, ExperimentScale, scenario, TimeSeriesRecorder};
@@ -26,15 +27,16 @@ use crate::engine;
 use crate::metrics::RunMetrics;
 use crate::observe::{Observe, RunSummary, ShardInfo};
 use crate::techniques::{self, TechniqueSpec};
+use dram_sim::BackendSpec;
 use mem_trace::{ShardError, TraceSource, TraceSplit};
 use rh_hwmodel::Technique;
 use std::time::Instant;
 
-/// Builder over the run engine: technique, seed, parallelism and
-/// observers in one place.
+/// Builder over the run engine: technique, seed, backend tier,
+/// parallelism and observers in one place.
 ///
 /// With no observers attached, [`Runner::run`] calls straight into the
-/// monomorphised no-observer engine ([`engine::run_with`]) — the
+/// monomorphised no-observer engine ([`engine::run_sharded`]) — the
 /// builder adds nothing to the per-activation path.  Attaching an
 /// observer switches to the dynamically-dispatched observed loop.
 pub struct Runner {
@@ -80,6 +82,14 @@ impl Runner {
         self
     }
 
+    /// Overrides the config's disturbance backend tier (see
+    /// [`BackendSpec`] for what each tier guarantees).
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
     /// Attaches an [`Observe`] strategy; may be called repeatedly, and
     /// every attached strategy sees every event.
     ///
@@ -113,7 +123,7 @@ impl Runner {
         // per interval segment instead of making per-event vtable calls.
         let build = || techniques::build_any(self.spec, &self.config, self.seed);
         if self.observers.is_empty() {
-            engine::run_with(trace, &build, &self.config)
+            engine::run_sharded(trace, &build, &self.config)
         } else {
             let observe: &[Box<dyn Observe>] = &self.observers;
             engine::run_with_observed(trace, &build, &self.config, &observe)
@@ -139,8 +149,8 @@ impl Runner {
     /// The source's [`ShardError`] when a sharded run was requested but
     /// the source cannot be split by bank.
     pub fn run_source<S: TraceSource>(&self, trace: S) -> Result<RunMetrics, ShardError> {
-        let sharding_requested = self.config.parallelism.shard_by_bank
-            && self.config.geometry.banks() > 1;
+        let sharding_requested =
+            self.config.parallelism.shard_by_bank && self.config.geometry.banks() > 1;
         if sharding_requested {
             trace.shard_support()?;
             // The source says sharding would be sound, but a bare
@@ -159,7 +169,12 @@ impl Runner {
     pub fn run_sequential<S: TraceSource>(&self, trace: S) -> RunMetrics {
         let mut mitigation = techniques::build_any(self.spec, &self.config, self.seed);
         if self.observers.is_empty() {
-            return engine::run(trace, &mut mitigation, &self.config);
+            return engine::run_observed(
+                trace,
+                &mut mitigation,
+                &self.config,
+                &mut crate::observe::NullObserver,
+            );
         }
         let observe: &[Box<dyn Observe>] = &self.observers;
         // lint: allow(D2) — wall time feeds only Observe shard/run
@@ -168,8 +183,7 @@ impl Runner {
         let shard = ShardInfo::whole_run();
         observe.on_shard_start(&shard);
         let mut observer = observe.observer(&shard);
-        let metrics =
-            engine::run_observed(trace, &mut mitigation, &self.config, observer.as_mut());
+        let metrics = engine::run_observed(trace, &mut mitigation, &self.config, observer.as_mut());
         observe.on_shard_finish(&shard, &metrics, start.elapsed());
         observe.on_run_end(
             &metrics,
@@ -197,7 +211,7 @@ mod tests {
     #[test]
     fn runner_matches_direct_engine_call() {
         let config = config();
-        let direct = engine::run_with(
+        let direct = engine::run_sharded(
             scenario::paper_mix(&config, 4),
             &|| techniques::build(Technique::Para, &config, 4),
             &config,
@@ -269,7 +283,10 @@ mod tests {
         let metrics = Runner::new(config.clone())
             .run_source(build(7))
             .expect("sequential policy accepts any source");
-        assert_eq!(metrics, Runner::new(config.clone()).run_sequential(build(7)));
+        assert_eq!(
+            metrics,
+            Runner::new(config.clone()).run_sequential(build(7))
+        );
         assert!(metrics.workload_activations > 0);
     }
 

@@ -7,6 +7,30 @@ use mem_trace::{
     TraceSplit, WorkloadConfig,
 };
 
+/// The paper's 1→20 ramping multi-aggressor attack, sized for
+/// `config`'s geometry.
+///
+/// This is the **one** place the ramp is constructed from a
+/// [`RunConfig`]: `paper_ramp` pins its aggressor block at the full
+/// geometry's row 30 000, and this constructor re-bases it
+/// proportionally so scaled-down geometries (fleet devices) stay in
+/// range — exactly row 30 000 again at full scale, where 65 536 rows
+/// divide evenly.  [`paper_mix`] and [`named_attack`]'s `"ramp"` both
+/// go through here, so geometry-dependent re-basing cannot drift
+/// between them.
+pub fn ramp_attack(config: &RunConfig) -> AttackConfig {
+    let mut attack = AttackConfig::paper_ramp(
+        config.geometry.banks(),
+        config.intervals(),
+        u64::from(config.geometry.intervals_per_window()),
+    );
+    if let AttackKind::MultiAggressorRamp { base_row, .. } = &mut attack.kind {
+        let scaled = u64::from(config.geometry.rows_per_bank()) * 30_000 / 65_536;
+        *base_row = RowAddr(u32::try_from(scaled).expect("scaled row fits its bank"));
+    }
+    attack
+}
+
 /// The paper's evaluation trace: SPEC-like mixed load plus the 1→20
 /// ramping multi-aggressor attack on every bank, bounded by the DDR4
 /// per-interval activation budget.
@@ -16,11 +40,7 @@ pub fn paper_mix(config: &RunConfig, seed: u64) -> MixedTrace {
         WorkloadConfig::paper(&config.geometry).with_intervals(intervals),
         seed,
     );
-    let attacker = Attacker::new(AttackConfig::paper_ramp(
-        config.geometry.banks(),
-        intervals,
-        u64::from(config.geometry.intervals_per_window()),
-    ));
+    let attacker = Attacker::new(ramp_attack(config));
     MixedTrace::new(
         vec![Box::new(workload), Box::new(attacker)],
         config.timing.max_activations_per_interval(),
@@ -60,18 +80,7 @@ pub fn named_attack(config: &RunConfig, name: &str) -> Option<AttackConfig> {
         ramp_hold_intervals: 0,
     };
     let kind = match name {
-        "ramp" => {
-            let mut attack = AttackConfig::paper_ramp(config.geometry.banks(), intervals, ipw);
-            // `paper_ramp` pins its aggressor block at the full
-            // geometry's row 30 000; re-base it proportionally so
-            // scaled-down geometries stay in range (exactly row 30 000
-            // again at full scale, where 65 536 rows divide evenly).
-            if let AttackKind::MultiAggressorRamp { base_row, .. } = &mut attack.kind {
-                let scaled = u64::from(config.geometry.rows_per_bank()) * 30_000 / 65_536;
-                *base_row = RowAddr(u32::try_from(scaled).expect("scaled row fits its bank"));
-            }
-            return Some(attack);
-        }
+        "ramp" => return Some(ramp_attack(config)),
         "flooding" => return Some(AttackConfig::flooding(RowAddr(base_row), intervals)),
         "double-sided" => AttackKind::DoubleSided {
             victim: RowAddr(base_row + 1),

@@ -168,8 +168,7 @@ mod tests {
     fn display_matches_name_for_every_spec() {
         let config = RunConfig::paper(&ExperimentScale::quick());
         let tiva = TivaConfig::paper(&config.geometry);
-        let mut specs: Vec<TechniqueSpec> =
-            Technique::TABLE3.iter().map(|&t| t.into()).collect();
+        let mut specs: Vec<TechniqueSpec> = Technique::TABLE3.iter().map(|&t| t.into()).collect();
         specs.push((TivaVariant::LoLiPromi, tiva).into());
         for spec in specs {
             assert_eq!(spec.to_string(), spec.name());

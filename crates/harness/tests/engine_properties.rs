@@ -4,7 +4,7 @@
 use dram_sim::{BankId, DramTiming, Geometry, RefreshOrder, RowAddr};
 use mem_trace::{ReplayTrace, TraceEvent};
 use proptest::prelude::*;
-use rh_harness::{engine, techniques, RunConfig};
+use rh_harness::{engine, techniques, NullObserver, RunConfig};
 use rh_hwmodel::Technique;
 
 /// A fast configuration: scaled-down geometry (1024 rows, 128 intervals
@@ -20,6 +20,7 @@ fn small_config() -> RunConfig {
         windows: 2,
         parallelism: rh_harness::Parallelism::default(),
         batch_events: mem_trace::DEFAULT_BATCH_EVENTS,
+        backend: rh_harness::BackendSpec::Exact,
     }
 }
 
@@ -64,7 +65,7 @@ proptest! {
         let trace_len = intervals.len() as u64;
         let trace = ReplayTrace::new(intervals);
         let mut mitigation = techniques::build(technique, &config, seed);
-        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+        let metrics = engine::run_observed(trace, mitigation.as_mut(), &config, &mut NullObserver);
 
         prop_assert_eq!(metrics.workload_activations, total_events);
         prop_assert_eq!(metrics.intervals, trace_len.min(config.intervals()));
@@ -93,7 +94,7 @@ proptest! {
         let run = |intervals: Vec<Vec<TraceEvent>>| {
             let trace = ReplayTrace::new(intervals);
             let mut m = techniques::build(Technique::LoLiPromi, &config, seed);
-            engine::run(trace, m.as_mut(), &config)
+            engine::run_observed(trace, m.as_mut(), &config, &mut NullObserver)
         };
         let a = run(intervals.clone());
         let b = run(intervals);
@@ -114,7 +115,7 @@ proptest! {
         let run = |seed| {
             let trace = ReplayTrace::new(intervals.clone());
             let mut m = techniques::build(technique, &config, seed);
-            engine::run(trace, m.as_mut(), &config)
+            engine::run_observed(trace, m.as_mut(), &config, &mut NullObserver)
         };
         prop_assert_eq!(run(seed_a), run(seed_b));
     }

@@ -52,11 +52,16 @@ fn job_metrics(index: usize) -> RunMetrics {
         flips: index % 2,
         max_disturbance: u32::try_from(100 + 7 * i).expect("small fixture"),
         flip_threshold: 1000,
-        first_trigger_act: if index.is_multiple_of(2) { Some(50 - i) } else { None },
+        first_trigger_act: if index.is_multiple_of(2) {
+            Some(50 - i)
+        } else {
+            None
+        },
         time_to_first_flip: if index >= 3 { Some(90 - i) } else { None },
         storage_bytes_per_bank: 8.0,
         intervals: 5 + i,
         timeseries: None,
+        cycle: None,
     }
 }
 
@@ -169,7 +174,10 @@ impl Model for DispatcherModel {
     fn check(&self, state: &State, schedule: &[usize]) {
         // 1. Claim uniqueness: each index dispatched exactly once.
         for (index, &count) in state.dispatched.iter().enumerate() {
-            assert_eq!(count, 1, "index {index} dispatched {count}× under {schedule:?}");
+            assert_eq!(
+                count, 1,
+                "index {index} dispatched {count}× under {schedule:?}"
+            );
         }
         // 2. Order preservation: slot i holds the sequential f(i).
         for (index, slot) in state.slots.iter().enumerate() {
@@ -188,7 +196,11 @@ impl Model for DispatcherModel {
             .filter_map(|w| w.partial.clone())
             .reduce(RunMetrics::merge)
             .expect("at least one worker claimed jobs");
-        assert_eq!(merged, sequential_merge(self.len), "merge diverged under {schedule:?}");
+        assert_eq!(
+            merged,
+            sequential_merge(self.len),
+            "merge diverged under {schedule:?}"
+        );
     }
 }
 
@@ -197,7 +209,11 @@ fn dispatcher_sound_under_every_interleaving() {
     // Worker/len/chunk matrix from the engine's real operating points:
     // 2–3 workers, more jobs than workers, chunks of 1–2.
     for (workers, len, chunk) in [(2, 4, 1), (2, 5, 2), (3, 4, 1), (3, 6, 2)] {
-        let stats = explore(&DispatcherModel { workers, len, chunk });
+        let stats = explore(&DispatcherModel {
+            workers,
+            len,
+            chunk,
+        });
         assert!(
             stats.interleavings > 1,
             "exploration degenerate for {workers}w/{len}j/{chunk}c"
@@ -269,7 +285,10 @@ fn model_checker_catches_non_atomic_cursor() {
     );
     // And under the single-threaded schedule everything still works,
     // so the bug really is an interleaving bug, not a modeling bug.
-    assert!(any_schedule(&broken, |s| s.dispatched.iter().all(|&c| c == 1)));
+    assert!(any_schedule(&broken, |s| s
+        .dispatched
+        .iter()
+        .all(|&c| c == 1)));
 }
 
 /// A deliberately order-sensitive fold (first-trigger taken from the
@@ -385,8 +404,7 @@ fn fleet_sequential(counts: &[usize]) -> RunMetrics {
 /// release devices through a reorder buffer in index order, fold with
 /// the population merge.  Mirrors `Fleet::execute`'s receive loop.
 fn coordinator_fold(counts: &[usize], arrivals: &[(usize, usize)]) -> RunMetrics {
-    let mut parts: Vec<Vec<Option<RunMetrics>>> =
-        counts.iter().map(|&c| vec![None; c]).collect();
+    let mut parts: Vec<Vec<Option<RunMetrics>>> = counts.iter().map(|&c| vec![None; c]).collect();
     let mut remaining = counts.to_vec();
     let mut reorder: BTreeMap<usize, RunMetrics> = BTreeMap::new();
     let mut next = 0usize;
@@ -535,7 +553,10 @@ impl Model for TwoLevelModel {
         // 1. Device-claim uniqueness: the outer FIFO handed every
         // device to exactly one owner.
         for (device, &owners) in state.owners.iter().enumerate() {
-            assert_eq!(owners, 1, "device {device} owned {owners}× under {schedule:?}");
+            assert_eq!(
+                owners, 1,
+                "device {device} owned {owners}× under {schedule:?}"
+            );
         }
         // 2. Job exclusivity across owners and thieves: every
         // (device, job) dispatched exactly once.
@@ -657,7 +678,6 @@ fn model_checker_catches_stale_device_cursor() {
     // Under the single-threaded schedule the broken model still works,
     // so the defect really is an interleaving bug, not a modeling bug.
     assert!(any_schedule(&broken, |s| {
-        s.owners.iter().all(|&c| c == 1)
-            && s.dispatched.iter().flatten().all(|&c| c == 1)
+        s.owners.iter().all(|&c| c == 1) && s.dispatched.iter().flatten().all(|&c| c == 1)
     }));
 }

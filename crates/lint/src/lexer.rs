@@ -208,8 +208,8 @@ impl Lexer {
     /// identifiers `r#ident`.  Returns false when the leading `r`/`b`
     /// is just the start of a plain identifier.
     fn raw_or_byte_string(&mut self, line: u32) -> bool {
-        let is_raw = self.peek(0) == Some('r')
-            || (self.peek(0) == Some('b') && self.peek(1) == Some('r'));
+        let is_raw =
+            self.peek(0) == Some('r') || (self.peek(0) == Some('b') && self.peek(1) == Some('r'));
         let ahead = if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
             2
         } else {
@@ -222,7 +222,12 @@ impl Lexer {
         }
         match self.peek(ahead + hashes) {
             Some('"') => {}
-            Some(c) if hashes == 1 && ahead == 1 && self.peek(0) == Some('r') && (c.is_alphabetic() || c == '_') => {
+            Some(c)
+                if hashes == 1
+                    && ahead == 1
+                    && self.peek(0) == Some('r')
+                    && (c.is_alphabetic() || c == '_') =>
+            {
                 // Raw identifier r#ident: skip `r#`, lex the ident.
                 self.bump();
                 self.bump();

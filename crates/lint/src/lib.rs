@@ -29,7 +29,9 @@ pub mod rules;
 pub mod walk;
 
 pub use report::LintReport;
-pub use rules::{lint_source, Annotation, FileClass, FileReport, Finding, RULE_IDS, RULE_SUMMARIES};
+pub use rules::{
+    lint_source, Annotation, FileClass, FileReport, Finding, RULE_IDS, RULE_SUMMARIES,
+};
 pub use walk::{classify, relative, workspace_files};
 
 use std::path::Path;

@@ -106,8 +106,16 @@ pub struct FileClass {
 }
 
 const ITER_METHODS: [&str; 10] = [
-    "iter", "iter_mut", "into_iter", "values", "values_mut", "keys", "into_values", "into_keys",
-    "drain", "extract_if",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "values",
+    "values_mut",
+    "keys",
+    "into_values",
+    "into_keys",
+    "drain",
+    "extract_if",
 ];
 
 /// Terminal reductions whose result does not depend on iteration
@@ -377,10 +385,7 @@ fn binding_name(tokens: &[Token], start: usize, i: usize) -> Option<String> {
             }
             "=" => {
                 // `name = HashMap::new()`
-                if j >= 2
-                    && tokens[j - 2].kind == TokenKind::Ident
-                    && tokens[j - 2].text != "mut"
-                {
+                if j >= 2 && tokens[j - 2].kind == TokenKind::Ident && tokens[j - 2].text != "mut" {
                     return Some(tokens[j - 2].text.clone());
                 }
                 break;
@@ -648,7 +653,8 @@ mod tests {
 
     #[test]
     fn d1_accepts_order_insensitive_reduction() {
-        let r = lint("fn f(m: HashMap<u32, u32>) -> u32 { m.values().copied().max().unwrap_or(0) }");
+        let r =
+            lint("fn f(m: HashMap<u32, u32>) -> u32 { m.values().copied().max().unwrap_or(0) }");
         assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
@@ -666,7 +672,8 @@ mod tests {
 
     #[test]
     fn d1_ignores_membership_only_usage() {
-        let r = lint("fn f() { let mut s = HashSet::new(); s.insert(3); assert!(s.contains(&3)); }");
+        let r =
+            lint("fn f() { let mut s = HashSet::new(); s.insert(3); assert!(s.contains(&3)); }");
         assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 

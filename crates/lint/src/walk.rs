@@ -18,9 +18,12 @@ const EXCLUDES: [&str; 3] = ["shims/", "target/", "crates/lint/tests/fixtures/"]
 
 /// Files where D5 (narrowing casts) applies: the counter/flip
 /// arithmetic the run metrics are built from.
-const COUNTER_SCOPE: [&str; 8] = [
-    "crates/dram/src/disturb.rs",
+const COUNTER_SCOPE: [&str; 11] = [
+    "crates/dram/src/backend.rs",
+    "crates/dram/src/cycle.rs",
     "crates/dram/src/device.rs",
+    "crates/dram/src/disturb.rs",
+    "crates/dram/src/fast.rs",
     "crates/fleet/src/campaign.rs",
     "crates/fleet/src/sketch.rs",
     "crates/harness/src/metrics.rs",
@@ -35,9 +38,8 @@ const TIMING_EXEMPT: [&str; 1] = ["crates/harness/src/observe.rs"];
 
 /// Classifies a repo-relative path (forward slashes) into rule scopes.
 pub fn classify(rel: &str) -> FileClass {
-    let is_test = rel.starts_with("tests/")
-        || rel.contains("/tests/")
-        || rel.ends_with("/build.rs");
+    let is_test =
+        rel.starts_with("tests/") || rel.contains("/tests/") || rel.ends_with("/build.rs");
     let is_bench = rel.contains("crates/bench/") || rel.contains("/benches/");
     FileClass {
         is_test,
@@ -101,6 +103,9 @@ mod tests {
         assert!(classify("crates/dram/src/disturb.rs").counter_scope);
         assert!(classify("crates/fleet/src/sketch.rs").counter_scope);
         assert!(classify("crates/fleet/src/campaign.rs").counter_scope);
+        assert!(classify("crates/dram/src/backend.rs").counter_scope);
+        assert!(classify("crates/dram/src/fast.rs").counter_scope);
+        assert!(classify("crates/dram/src/cycle.rs").counter_scope);
         assert!(!classify("crates/dram/src/geometry.rs").counter_scope);
     }
 

@@ -59,7 +59,10 @@ fn clean_fixture_is_clean() {
 #[test]
 fn workspace_head_lints_clean() {
     let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    assert!(root.join("Cargo.toml").is_file(), "workspace root not found");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found"
+    );
     let report = lint_workspace(&root).expect("workspace scan succeeds");
     assert!(
         report.is_clean(),
@@ -77,6 +80,36 @@ fn workspace_head_lints_clean() {
     assert!(stale.is_empty(), "unused allow annotations: {stale:#?}");
 }
 
+/// The disturbance-backend tiers are counter-scope code (D5 narrowing
+/// casts apply) and carry the repo's unsafe/`Ordering::Relaxed`-free
+/// claim outright: zero findings *and* zero `allow(D4)` annotations —
+/// the tiers need no escape hatches, not merely justified ones.
+#[test]
+fn backend_tiers_are_counter_scope_and_annotation_free() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for rel in [
+        "crates/dram/src/backend.rs",
+        "crates/dram/src/fast.rs",
+        "crates/dram/src/cycle.rs",
+    ] {
+        let class = rh_lint::classify(rel);
+        assert!(class.counter_scope, "{rel} must be in D5 counter scope");
+        let source =
+            std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        let report = lint_source(rel, &source, &class);
+        assert!(
+            report.findings.is_empty(),
+            "{rel} tripped: {:#?}",
+            report.findings
+        );
+        assert!(
+            report.annotations.is_empty(),
+            "{rel} must need no allow annotations, got {:#?}",
+            report.annotations
+        );
+    }
+}
+
 /// The fixture corpus itself must be excluded from the workspace walk
 /// (it is known-bad by construction).
 #[test]
@@ -84,7 +117,9 @@ fn fixtures_are_excluded_from_workspace_walk() {
     let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let files = rh_lint::workspace_files(&root).expect("walk succeeds");
     assert!(
-        files.iter().all(|f| !f.components().any(|c| c.as_os_str() == "fixtures")),
+        files
+            .iter()
+            .all(|f| !f.components().any(|c| c.as_os_str() == "fixtures")),
         "fixture files leaked into the workspace walk"
     );
     // …but the walk does see this very test file.

@@ -1,7 +1,7 @@
 //! Security-frontier search CLI.
 //!
 //! ```text
-//! redteam [--quick|--thorough] [seed] [output-dir]
+//! redteam [--quick|--thorough] [--backend TIER] [seed] [output-dir]
 //! ```
 //!
 //! Searches the security frontier of all nine Table III techniques,
@@ -9,12 +9,15 @@
 //! round-trip self-check) to `<output-dir>/redteam-frontier.json`
 //! (default `target/redteam`).
 
+use dram_sim::BackendSpec;
 use rh_redteam::{run_search, FrontierReport, SearchConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: redteam [--quick|--thorough] [seed] [output-dir]");
+    eprintln!(
+        "usage: redteam [--quick|--thorough] [--backend exact|fast|cycle] [seed] [output-dir]"
+    );
     ExitCode::FAILURE
 }
 
@@ -22,11 +25,21 @@ fn main() -> ExitCode {
     let mut seed = 7u64;
     let mut out_dir = PathBuf::from("target/redteam");
     let mut thorough = false;
+    let mut backend = BackendSpec::Exact;
     let mut positional = 0;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "quick" => thorough = false,
             "--thorough" | "thorough" => thorough = true,
+            "--backend" => match args.next().map(|v| v.parse()) {
+                Some(Ok(b)) => backend = b,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             other => {
                 positional += 1;
@@ -46,6 +59,7 @@ fn main() -> ExitCode {
     }
 
     let mut search = SearchConfig::quick(seed);
+    search.base.backend = backend;
     if thorough {
         search.rounds = 5;
         search.population = 24;
@@ -53,8 +67,8 @@ fn main() -> ExitCode {
         search.max_windows = 4;
     }
     println!(
-        "red-team frontier search: seed {seed}, {} rounds, flip threshold {}, target {} flip(s)",
-        search.rounds, search.base.flip_threshold, search.flip_target
+        "red-team frontier search: seed {seed}, {} rounds, flip threshold {}, {} tier, target {} flip(s)",
+        search.rounds, search.base.flip_threshold, search.base.backend, search.flip_target
     );
 
     let report = run_search(&search);
@@ -98,6 +112,10 @@ fn main() -> ExitCode {
         eprintln!("cannot write {}: {e}", path.display());
         return ExitCode::FAILURE;
     }
-    println!("wrote {} ({} bytes, round-trip checked)", path.display(), json.len());
+    println!(
+        "wrote {} ({} bytes, round-trip checked)",
+        path.display(),
+        json.len()
+    );
     ExitCode::SUCCESS
 }

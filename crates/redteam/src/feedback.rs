@@ -289,8 +289,7 @@ mod tests {
     #[test]
     fn decoys_ramp_with_feedback_and_decay_without() {
         let board = FeedbackBoard::new(1);
-        let mut attack =
-            AdaptiveDecoyAttack::new(BankId(0), RowAddr(201), 8, 10, 4, board.clone());
+        let mut attack = AdaptiveDecoyAttack::new(BankId(0), RowAddr(201), 8, 10, 4, board.clone());
         let mut out = Vec::new();
 
         // Quiet defense: no decoys, pure double-sided hammering.

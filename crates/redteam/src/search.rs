@@ -124,9 +124,7 @@ pub fn evaluate(spec: TechniqueSpec, candidate: &Candidate, search: &SearchConfi
     config.windows = candidate.windows;
     config.parallelism = Parallelism::sequential();
     let built = build_attack(candidate, &config);
-    let runner = Runner::new(config)
-        .technique(spec)
-        .seed(search.seed);
+    let runner = Runner::new(config).technique(spec).seed(search.seed);
     let metrics = match built.probe {
         Some(probe) => runner.observer(probe).run(built.trace),
         None => runner.run(built.trace),
@@ -336,11 +334,7 @@ pub fn search_technique(spec: TechniqueSpec, search: &SearchConfig) -> Technique
             .iter()
             .filter(|e| family_best.insert(e.candidate.shape.family()))
             .collect();
-        for e in achievers
-            .iter()
-            .take(search.survivors)
-            .chain(per_family)
-        {
+        for e in achievers.iter().take(search.survivors).chain(per_family) {
             pool.push(e.candidate);
             pool.extend(refine(&e.candidate, true, search));
         }

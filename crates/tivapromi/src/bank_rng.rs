@@ -56,8 +56,7 @@ impl BankRngs {
         if index >= self.rngs.len() {
             self.rngs.resize_with(index + 1, || None);
         }
-        self.rngs[index]
-            .get_or_insert_with(|| StdRng::seed_from_u64(bank_seed(self.seed, bank)))
+        self.rngs[index].get_or_insert_with(|| StdRng::seed_from_u64(bank_seed(self.seed, bank)))
     }
 }
 

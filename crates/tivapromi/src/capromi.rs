@@ -149,10 +149,7 @@ impl Mitigation for CaPromi {
                 // against a uniform `exponent`-bit draw; a product that
                 // exceeds the draw range triggers deterministically.
                 let scaled = u64::from(entry.count) * u64::from(w_log);
-                let draw: u64 = self
-                    .rngs
-                    .get(bank_id)
-                    .random_range(0..(1u64 << exponent));
+                let draw: u64 = self.rngs.get(bank_id).random_range(0..(1u64 << exponent));
                 if draw < scaled {
                     self.pending.push(MitigationAction::ActivateNeighbors {
                         bank: bank_id,

@@ -124,6 +124,14 @@ impl ActionSink {
         self.tags.resize(self.actions.len(), tag);
     }
 
+    /// The tag of the next undrained action, if any — lets a batching
+    /// replay jump straight to the next event that has actions instead
+    /// of polling every event.
+    #[inline]
+    pub fn peek_tag(&self) -> Option<u32> {
+        self.tags.get(self.cursor).copied()
+    }
+
     /// Drains the next action if it is tagged with event `tag`.
     ///
     /// The harness calls this in its replay walk; because tags ascend,

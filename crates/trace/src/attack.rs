@@ -261,7 +261,9 @@ impl Attacker {
                     p => (elapsed + p - phase % p) % p < duty_intervals,
                 };
                 if active {
-                    (0..pairs.max(1)).map(|j| RowAddr(base_row.0 + 2 * j)).collect()
+                    (0..pairs.max(1))
+                        .map(|j| RowAddr(base_row.0 + 2 * j))
+                        .collect()
                 } else {
                     Vec::new()
                 }
@@ -329,7 +331,9 @@ impl Attacker {
             }
             // The burst may be off-duty at the sampled intervals: take
             // the full aggressor set directly.
-            AttackKind::RefreshSyncBurst { base_row, pairs, .. } => {
+            AttackKind::RefreshSyncBurst {
+                base_row, pairs, ..
+            } => {
                 aggressors.extend((0..pairs.max(1)).map(|j| RowAddr(base_row.0 + 2 * j)));
             }
             _ => {}

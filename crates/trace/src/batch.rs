@@ -183,6 +183,29 @@ impl EventBatch {
         self.boundaries.push(self.banks.len());
     }
 
+    /// Appends one whole interval from recorded SoA columns and closes
+    /// its boundary — the memcpy path for replaying captured column
+    /// data without reassembling per-event structs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column lengths disagree.
+    pub fn push_interval_columns(
+        &mut self,
+        banks: &[BankId],
+        rows: &[RowAddr],
+        aggressors: &[bool],
+    ) {
+        assert_eq!(banks.len(), rows.len(), "column lengths must agree");
+        assert_eq!(banks.len(), aggressors.len(), "column lengths must agree");
+        let tick = u32::try_from(self.boundaries.len()).expect("interval ordinal fits u32");
+        self.banks.extend_from_slice(banks);
+        self.rows.extend_from_slice(rows);
+        self.aggressors.extend_from_slice(aggressors);
+        self.ticks.resize(self.banks.len(), tick);
+        self.boundaries.push(self.banks.len());
+    }
+
     /// Appends `n` event-free intervals (refresh ticks with no
     /// activations) — the fast path for idle bank shards.
     pub fn push_empty_intervals(&mut self, n: u64) {

@@ -110,7 +110,8 @@ impl MixedTrace {
             for &event in buffer {
                 let bank = event.bank.index();
                 if bank >= self.lanes.len() {
-                    self.lanes.resize_with(bank + 1, || vec![Vec::new(); source_count]);
+                    self.lanes
+                        .resize_with(bank + 1, || vec![Vec::new(); source_count]);
                 }
                 self.lanes[bank][index].push(event);
             }

@@ -211,8 +211,7 @@ impl TraceSource for SpecLikeWorkload {
         if self.interval >= self.config.intervals {
             return false;
         }
-        let redraw =
-            self.interval > 0 && self.interval.is_multiple_of(self.config.phase_intervals);
+        let redraw = self.interval > 0 && self.interval.is_multiple_of(self.config.phase_intervals);
         // Bank-major emission: each bank's events come from its own
         // stream, in bank order, so the per-bank sub-sequence never
         // depends on the other banks' draws.

@@ -5,7 +5,9 @@
 //! Run with `cargo run --release --example attack_demo`.
 
 use tivapromi_suite::harness::experiments::reliability::{self, Unprotected};
-use tivapromi_suite::harness::{engine, scenario, techniques, ExperimentScale, RunConfig};
+use tivapromi_suite::harness::{
+    engine, scenario, techniques, ExperimentScale, NullObserver, RunConfig,
+};
 use tivapromi_suite::hwmodel::Technique;
 
 fn main() {
@@ -14,7 +16,12 @@ fn main() {
     let config = RunConfig::paper(&scale);
 
     // Unprotected: the ramping multi-aggressor attack flips bits.
-    let metrics = engine::run(scenario::paper_mix(&config, 1), &mut Unprotected, &config);
+    let metrics = engine::run_observed(
+        scenario::paper_mix(&config, 1),
+        &mut Unprotected,
+        &config,
+        &mut NullObserver,
+    );
     println!(
         "unprotected : {} bit flips, worst disturbance {:.0}% of threshold",
         metrics.flips,
@@ -25,10 +32,11 @@ fn main() {
     // Under each technique: zero flips.
     for technique in Technique::TABLE3 {
         let mut mitigation = techniques::build(technique, &config, 1);
-        let metrics = engine::run(
+        let metrics = engine::run_observed(
             scenario::paper_mix(&config, 1),
             mitigation.as_mut(),
             &config,
+            &mut NullObserver,
         );
         println!(
             "{:10}: {} bit flips, overhead {:.4}%, margin {:.0}%",

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example cache_workload`.
 
-use tivapromi_suite::harness::{engine, techniques, ExperimentScale, RunConfig};
+use tivapromi_suite::harness::{engine, techniques, ExperimentScale, NullObserver, RunConfig};
 use tivapromi_suite::hwmodel::Technique;
 use tivapromi_suite::trace::cpu::{CpuWorkload, CpuWorkloadConfig};
 use tivapromi_suite::trace::TraceStats;
@@ -46,7 +46,7 @@ fn main() {
             7,
         );
         let mut mitigation = techniques::build(technique, &config, 7);
-        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+        let metrics = engine::run_observed(trace, mitigation.as_mut(), &config, &mut NullObserver);
         println!(
             "{:10}: {} flips, overhead {:.4}%, margin {:.0}%",
             metrics.technique,

@@ -68,7 +68,14 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, None, self.test_mode, self.warm_up_time, self.measurement_time, f);
+        run_one(
+            id,
+            None,
+            self.test_mode,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
         self
     }
 
@@ -120,7 +127,8 @@ impl BenchmarkGroup<'_> {
             self.throughput,
             self.criterion.test_mode,
             self.criterion.warm_up_time,
-            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
             f,
         );
         self
@@ -184,7 +192,13 @@ fn run_one<F>(
 ) where
     F: FnMut(&mut Bencher),
 {
-    let mut bencher = Bencher { test_mode, warm_up, window, mean_ns: 0.0, iters: 0 };
+    let mut bencher = Bencher {
+        test_mode,
+        warm_up,
+        window,
+        mean_ns: 0.0,
+        iters: 0,
+    };
     f(&mut bencher);
     if test_mode {
         println!("{id}: ok (test mode)");
@@ -194,13 +208,17 @@ fn run_one<F>(
     match throughput {
         Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
             let rate = n as f64 * 1e9 / bencher.mean_ns;
-            println!("{id:<50} time: [{time}]   thrpt: [{} elem/s]", format_rate(rate));
+            println!(
+                "{id:<50} time: [{time}]   thrpt: [{} elem/s]",
+                format_rate(rate)
+            );
         }
-        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n))
-            if bencher.mean_ns > 0.0 =>
-        {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if bencher.mean_ns > 0.0 => {
             let rate = n as f64 * 1e9 / bencher.mean_ns;
-            println!("{id:<50} time: [{time}]   thrpt: [{} B/s]", format_rate(rate));
+            println!(
+                "{id:<50} time: [{time}]   thrpt: [{} B/s]",
+                format_rate(rate)
+            );
         }
         _ => println!("{id:<50} time: [{time}]"),
     }

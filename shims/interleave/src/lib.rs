@@ -120,8 +120,9 @@ pub fn explore<M: Model>(model: &M) -> Stats {
 }
 
 fn dfs<M: Model>(model: &M, state: M::State, schedule: &mut Vec<usize>, stats: &mut Stats) {
-    let runnable: Vec<usize> =
-        (0..model.threads()).filter(|&t| model.runnable(&state, t)).collect();
+    let runnable: Vec<usize> = (0..model.threads())
+        .filter(|&t| model.runnable(&state, t))
+        .collect();
     if runnable.is_empty() {
         stats.interleavings += 1;
         stats.max_depth = stats.max_depth.max(schedule.len());
@@ -236,11 +237,17 @@ mod tests {
     #[test]
     fn counts_interleavings_exactly() {
         // 2 threads × 2 steps: C(4,2) = 6 interleavings.
-        let stats = explore(&Counters { threads: 2, steps: 2 });
+        let stats = explore(&Counters {
+            threads: 2,
+            steps: 2,
+        });
         assert_eq!(stats.interleavings, 6);
         assert_eq!(stats.max_depth, 4);
         // 3 threads × 2 steps: 6!/(2!·2!·2!) = 90.
-        let stats = explore(&Counters { threads: 3, steps: 2 });
+        let stats = explore(&Counters {
+            threads: 3,
+            steps: 2,
+        });
         assert_eq!(stats.interleavings, 90);
         assert!(stats.steps > 90);
     }
@@ -289,7 +296,10 @@ mod tests {
 
     #[test]
     fn single_thread_has_one_schedule() {
-        let stats = explore(&Counters { threads: 1, steps: 5 });
+        let stats = explore(&Counters {
+            threads: 1,
+            steps: 5,
+        });
         assert_eq!(stats.interleavings, 1);
         assert_eq!(stats.steps, 5);
     }

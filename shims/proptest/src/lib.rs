@@ -132,8 +132,8 @@ impl<V> Strategy for BoxedStrategy<V> {
 pub mod strategy {
     //! Strategy combinators addressed by the macros.
 
-    pub use super::{BoxedStrategy, Just, Map, Strategy};
     use super::TestRng;
+    pub use super::{BoxedStrategy, Just, Map, Strategy};
 
     /// Uniform choice between type-erased strategies ([`crate::prop_oneof!`]).
     pub struct Union<V> {
@@ -272,7 +272,9 @@ impl<T: ArbitraryValue> Strategy for Any<T> {
 
 /// An arbitrary value of `T` (`any::<u64>()` etc.).
 pub fn any<T>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 pub mod collection {
@@ -292,13 +294,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end }
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max: r.end() + 1,
+            }
         }
     }
 
@@ -316,7 +324,10 @@ pub mod collection {
 
     /// Vector of `size` elements drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -512,14 +523,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics_with_message() {
-        crate::test_runner::run_cases(
-            &ProptestConfig::with_cases(8),
-            "always_fails",
-            |rng| {
-                let x = crate::Strategy::generate(&(0u32..10), rng);
-                prop_assert!(x > 100, "x was {}", x);
-                Ok(())
-            },
-        );
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(8), "always_fails", |rng| {
+            let x = crate::Strategy::generate(&(0u32..10), rng);
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        });
     }
 }

@@ -14,14 +14,20 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { cases: 256, max_global_rejects: 65_536 }
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
 impl Config {
     /// A config running `cases` successful cases per property.
     pub fn with_cases(cases: u32) -> Self {
-        Config { cases, ..Config::default() }
+        Config {
+            cases,
+            ..Config::default()
+        }
     }
 }
 
@@ -68,9 +74,7 @@ where
                 }
             }
             Err(TestCaseError::Fail(message)) => {
-                panic!(
-                    "property `{name}` failed at case {case} (seed {seed:#018x}): {message}"
-                );
+                panic!("property `{name}` failed at case {case} (seed {seed:#018x}): {message}");
             }
         }
     }

@@ -206,10 +206,7 @@ pub mod rngs {
         #[inline]
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -264,7 +261,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

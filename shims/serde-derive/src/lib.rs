@@ -19,13 +19,17 @@ use std::fmt::Write;
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
 }
 
 // --- item model -----------------------------------------------------
@@ -315,7 +319,10 @@ fn gen_deserialize(item: &Item) -> String {
             body.push_str("})\n");
         }
         Kind::TupleStruct(1) => {
-            let _ = writeln!(body, "Ok({name}(::serde::Deserialize::from_json_value(_v)?))");
+            let _ = writeln!(
+                body,
+                "Ok({name}(::serde::Deserialize::from_json_value(_v)?))"
+            );
         }
         Kind::TupleStruct(n) => {
             let _ = writeln!(body, "let _arr = _v.as_array(\"{name}\")?;");
@@ -325,7 +332,10 @@ fn gen_deserialize(item: &Item) -> String {
             );
             let _ = writeln!(body, "Ok({name}(");
             for idx in 0..*n {
-                let _ = writeln!(body, "::serde::Deserialize::from_json_value(&_arr[{idx}])?,");
+                let _ = writeln!(
+                    body,
+                    "::serde::Deserialize::from_json_value(&_arr[{idx}])?,"
+                );
             }
             body.push_str("))\n");
         }
@@ -363,7 +373,8 @@ fn gen_deserialize(item: &Item) -> String {
                         }
                         Shape::Tuple(n) => {
                             let _ = writeln!(body, "\"{vn}\" => {{");
-                            let _ = writeln!(body, "let _arr = _inner.as_array(\"{name}::{vn}\")?;");
+                            let _ =
+                                writeln!(body, "let _arr = _inner.as_array(\"{name}::{vn}\")?;");
                             let _ = writeln!(
                                 body,
                                 "if _arr.len() != {n} {{ return Err(::serde::json::Error::new(format!(\"{name}::{vn}: expected {n} elements, got {{}}\", _arr.len()))); }}"

@@ -63,7 +63,10 @@ mod tests {
             ratio: 0.001,
             kinds: vec![
                 Kind::Plain,
-                Kind::Tagged { value: u64::MAX, label: "x\"y".into() },
+                Kind::Tagged {
+                    value: u64::MAX,
+                    label: "x\"y".into(),
+                },
                 Kind::Wrapped(Newtype(3)),
             ],
             maybe: None,

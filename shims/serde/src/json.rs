@@ -27,7 +27,9 @@ pub struct Error {
 
 impl Error {
     pub fn new(message: impl Into<String>) -> Self {
-        Error { message: message.into() }
+        Error {
+            message: message.into(),
+        }
     }
 }
 
@@ -63,16 +65,23 @@ impl Value {
         match self {
             Value::UInt(n) => Ok(*n),
             Value::Int(n) if *n >= 0 => Ok(*n as u64),
-            other => Err(Error::new(format!("expected unsigned integer, got {}", other.kind()))),
+            other => Err(Error::new(format!(
+                "expected unsigned integer, got {}",
+                other.kind()
+            ))),
         }
     }
 
     pub fn as_i64(&self) -> Result<i64, Error> {
         match self {
             Value::Int(n) => Ok(*n),
-            Value::UInt(n) => i64::try_from(*n)
-                .map_err(|_| Error::new(format!("integer {n} out of i64 range"))),
-            other => Err(Error::new(format!("expected integer, got {}", other.kind()))),
+            Value::UInt(n) => {
+                i64::try_from(*n).map_err(|_| Error::new(format!("integer {n} out of i64 range")))
+            }
+            other => Err(Error::new(format!(
+                "expected integer, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -88,14 +97,20 @@ impl Value {
     pub fn as_object(&self, context: &str) -> Result<&[(String, Value)], Error> {
         match self {
             Value::Object(pairs) => Ok(pairs),
-            other => Err(Error::new(format!("{context}: expected object, got {}", other.kind()))),
+            other => Err(Error::new(format!(
+                "{context}: expected object, got {}",
+                other.kind()
+            ))),
         }
     }
 
     pub fn as_array(&self, context: &str) -> Result<&[Value], Error> {
         match self {
             Value::Array(items) => Ok(items),
-            other => Err(Error::new(format!("{context}: expected array, got {}", other.kind()))),
+            other => Err(Error::new(format!(
+                "{context}: expected array, got {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -178,7 +193,10 @@ fn write_escaped(s: &str, out: &mut String) {
 
 /// Parse a complete JSON document.
 pub fn parse(input: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -275,7 +293,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -303,7 +326,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(pairs));
                 }
-                _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -398,13 +426,9 @@ impl<'a> Parser<'a> {
 }
 
 /// Deserialize one object field, honoring `Option`'s absent-field rule.
-pub fn field<T: crate::Deserialize>(
-    pairs: &[(String, Value)],
-    name: &str,
-) -> Result<T, Error> {
+pub fn field<T: crate::Deserialize>(pairs: &[(String, Value)], name: &str) -> Result<T, Error> {
     match Value::get(pairs, name) {
-        Some(v) => T::from_json_value(v)
-            .map_err(|e| Error::new(format!("field {name:?}: {e}"))),
+        Some(v) => T::from_json_value(v).map_err(|e| Error::new(format!("field {name:?}: {e}"))),
         None => T::if_absent().ok_or_else(|| Error::new(format!("missing field {name:?}"))),
     }
 }
@@ -415,7 +439,9 @@ mod tests {
 
     #[test]
     fn roundtrip_scalars() {
-        for text in ["null", "true", "false", "0", "12345", "-7", "3.25", "1.0e-3"] {
+        for text in [
+            "null", "true", "false", "0", "12345", "-7", "3.25", "1.0e-3",
+        ] {
             let v = parse(text).unwrap();
             let back = parse(&v.to_json_string()).unwrap();
             assert_eq!(v, back, "{text}");

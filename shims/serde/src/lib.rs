@@ -113,7 +113,10 @@ impl Deserialize for bool {
     fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
         match v {
             json::Value::Bool(b) => Ok(*b),
-            other => Err(json::Error::new(format!("expected bool, got {}", other.kind()))),
+            other => Err(json::Error::new(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -127,7 +130,10 @@ impl Deserialize for String {
     fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
         match v {
             json::Value::Str(s) => Ok(s.clone()),
-            other => Err(json::Error::new(format!("expected string, got {}", other.kind()))),
+            other => Err(json::Error::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -153,7 +159,10 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
         match v {
             json::Value::Array(items) => items.iter().map(T::from_json_value).collect(),
-            other => Err(json::Error::new(format!("expected array, got {}", other.kind()))),
+            other => Err(json::Error::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
         }
     }
 }

@@ -51,7 +51,10 @@ fn defaults_match_paper_constructors() {
         dram::RefreshOrder::SequentialNeighbors
     );
     assert_eq!(hwmodel::HwParams::default(), hwmodel::HwParams::paper());
-    assert_eq!(hwmodel::EnergyModel::default(), hwmodel::EnergyModel::ddr4());
+    assert_eq!(
+        hwmodel::EnergyModel::default(),
+        hwmodel::EnergyModel::ddr4()
+    );
     assert_eq!(
         harness::ExperimentScale::default(),
         harness::ExperimentScale::paper_shape()

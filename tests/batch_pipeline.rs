@@ -1,7 +1,7 @@
 //! Equivalence of the batched event pipeline and the scalar reference
 //! loop.
 //!
-//! The engine's batched loop ([`engine::run`]) must be *bit-identical*
+//! The engine's batched loop ([`engine::run_observed`]) must be *bit-identical*
 //! to the retained one-event-at-a-time reference ([`engine::run_scalar`])
 //! for every technique and every batch size: the batch is a delivery
 //! granularity, never a semantic knob.  These tests pin that contract
@@ -12,7 +12,7 @@
 
 use dram_sim::{BankId, Geometry, RowAddr};
 use proptest::prelude::*;
-use tivapromi_suite::harness::{engine, techniques, ExperimentScale, RunConfig};
+use tivapromi_suite::harness::{engine, techniques, ExperimentScale, NullObserver, RunConfig};
 use tivapromi_suite::hwmodel::Technique;
 use tivapromi_suite::trace::{
     AttackConfig, AttackKind, Attacker, MixedTrace, ReplayTrace, SpecLikeWorkload, TraceEvent,
@@ -70,7 +70,12 @@ fn batched_run_matches_scalar_reference_for_all_techniques() {
         for batch_events in BATCH_SIZES {
             let batched_config = base.clone().with_batch_events(batch_events);
             let mut mitigation = techniques::build_any(technique, &batched_config, 11);
-            let batched = engine::run(mix(&batched_config, 11), &mut mitigation, &batched_config);
+            let batched = engine::run_observed(
+                mix(&batched_config, 11),
+                &mut mitigation,
+                &batched_config,
+                &mut NullObserver,
+            );
             assert_eq!(
                 scalar, batched,
                 "{technique:?} diverged at batch_events={batch_events}"
@@ -85,9 +90,9 @@ fn boxed_and_enum_mitigations_agree_through_the_batched_loop() {
     let base = config();
     for technique in [Technique::LoLiPromi, Technique::Para, Technique::TwiCe] {
         let mut boxed = techniques::build(technique, &base, 5);
-        let via_box = engine::run(mix(&base, 5), boxed.as_mut(), &base);
+        let via_box = engine::run_observed(mix(&base, 5), boxed.as_mut(), &base, &mut NullObserver);
         let mut any = techniques::build_any(technique, &base, 5);
-        let via_enum = engine::run(mix(&base, 5), &mut any, &base);
+        let via_enum = engine::run_observed(mix(&base, 5), &mut any, &base, &mut NullObserver);
         assert_eq!(via_box, via_enum, "{technique:?}");
     }
 }
@@ -136,10 +141,11 @@ proptest! {
         for batch_events in BATCH_SIZES {
             let batched_config = base.clone().with_batch_events(batch_events);
             let mut mitigation = techniques::build_any(technique, &batched_config, seed);
-            let batched = engine::run(
+            let batched = engine::run_observed(
                 ReplayTrace::new(intervals.clone()),
                 &mut mitigation,
                 &batched_config,
+                &mut NullObserver,
             );
             prop_assert_eq!(
                 &scalar, &batched,

@@ -8,10 +8,10 @@
 //! the algebra ([`RunMetrics::merge`] associativity/commutativity) that
 //! makes merge order irrelevant.
 
-use dram_sim::{Geometry, RowAddr};
+use dram_sim::{CycleStats, Geometry, RowAddr};
 use proptest::prelude::*;
 use tivapromi_suite::harness::{
-    engine, techniques, ExperimentScale, Parallelism, RunConfig, RunMetrics, Runner,
+    engine, techniques, ExperimentScale, NullObserver, Parallelism, RunConfig, RunMetrics, Runner,
     TimeSeriesRecorder,
 };
 use tivapromi_suite::hwmodel::Technique;
@@ -68,13 +68,18 @@ fn sharded_runs_match_sequential_for_every_technique() {
         let base = config().with_parallelism(Parallelism::sequential());
         let sequential = {
             let mut mitigation = techniques::build(technique, &base, seed);
-            engine::run(mix(&base, seed), mitigation.as_mut(), &base)
+            engine::run_observed(
+                mix(&base, seed),
+                mitigation.as_mut(),
+                &base,
+                &mut NullObserver,
+            )
         };
         for workers in [1, 2, available] {
             let parallel = base
                 .clone()
                 .with_parallelism(Parallelism::with_workers(workers));
-            let sharded = engine::run_with(
+            let sharded = engine::run_sharded(
                 mix(&parallel, seed),
                 &|| techniques::build(technique, &parallel, seed),
                 &parallel,
@@ -94,9 +99,9 @@ fn sharded_runs_are_schedule_independent() {
     let parallel = config().with_parallelism(Parallelism::with_workers(4));
     let technique = Technique::LoLiPromi;
     let build = || techniques::build(technique, &parallel, 3);
-    let first = engine::run_with(mix(&parallel, 3), &build, &parallel);
+    let first = engine::run_sharded(mix(&parallel, 3), &build, &parallel);
     for _ in 0..3 {
-        let again = engine::run_with(mix(&parallel, 3), &build, &parallel);
+        let again = engine::run_sharded(mix(&parallel, 3), &build, &parallel);
         assert_eq!(first, again);
     }
 }
@@ -109,9 +114,14 @@ fn worker_count_zero_resolves_to_auto() {
     let technique = Technique::TwiCe;
     let seq = {
         let mut mitigation = techniques::build(technique, &sequential, 1);
-        engine::run(mix(&sequential, 1), mitigation.as_mut(), &sequential)
+        engine::run_observed(
+            mix(&sequential, 1),
+            mitigation.as_mut(),
+            &sequential,
+            &mut NullObserver,
+        )
     };
-    let auto = engine::run_with(
+    let auto = engine::run_sharded(
         mix(&parallel, 1),
         &|| techniques::build(technique, &parallel, 1),
         &parallel,
@@ -233,6 +243,15 @@ fn metrics_strategy() -> impl Strategy<Value = RunMetrics> {
                     storage_bytes_per_bank: 64.0,
                     intervals,
                     timeseries: None,
+                    // Present on roughly half the shards so the merge
+                    // algebra is exercised across Some/None mixes too.
+                    cycle: has_trigger.then(|| CycleStats {
+                        workload_cycles: workload * 54,
+                        mitigation_cycles: mitigation * 54,
+                        refresh_cycles: intervals * 420,
+                        row_buffer_hits: triggers,
+                        row_buffer_misses: workload.saturating_sub(triggers),
+                    }),
                 }
             },
         )

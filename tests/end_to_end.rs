@@ -3,7 +3,9 @@
 //! of every crate.
 
 use tivapromi_suite::dram::{BankId, RowAddr};
-use tivapromi_suite::harness::{engine, scenario, techniques, ExperimentScale, RunConfig};
+use tivapromi_suite::harness::{
+    engine, scenario, techniques, ExperimentScale, NullObserver, RunConfig,
+};
 use tivapromi_suite::hwmodel::Technique;
 use tivapromi_suite::tivapromi::{Mitigation, MitigationAction};
 use tivapromi_suite::trace::{AttackConfig, Attacker};
@@ -33,7 +35,7 @@ fn every_technique_survives_the_paper_mix() {
     for technique in Technique::TABLE3 {
         let trace = scenario::paper_mix(&config, 11);
         let mut mitigation = techniques::build(technique, &config, 11);
-        let metrics = engine::run(trace, mitigation.as_mut(), &config);
+        let metrics = engine::run_observed(trace, mitigation.as_mut(), &config, &mut NullObserver);
         assert_eq!(metrics.flips, 0, "{technique} let the attack through");
         assert!(metrics.workload_activations > 100_000, "{technique}");
         assert!(metrics.intervals == config.intervals(), "{technique}");
@@ -43,7 +45,12 @@ fn every_technique_survives_the_paper_mix() {
 #[test]
 fn the_attack_is_real_without_mitigation() {
     let config = quick_config();
-    let metrics = engine::run(scenario::paper_mix(&config, 11), &mut Null, &config);
+    let metrics = engine::run_observed(
+        scenario::paper_mix(&config, 11),
+        &mut Null,
+        &config,
+        &mut NullObserver,
+    );
     assert!(metrics.flips > 0);
     assert!(metrics.max_disturbance >= config.flip_threshold);
 }
@@ -53,7 +60,7 @@ fn cat_extension_also_mitigates() {
     let config = quick_config();
     let trace = scenario::paper_mix(&config, 5);
     let mut cat = techniques::build(Technique::Cat, &config, 5);
-    let metrics = engine::run(trace, cat.as_mut(), &config);
+    let metrics = engine::run_observed(trace, cat.as_mut(), &config, &mut NullObserver);
     assert_eq!(metrics.flips, 0);
     assert!(metrics.trigger_events > 0, "CAT must detect the aggressors");
 }
@@ -66,7 +73,7 @@ fn overhead_ordering_matches_figure_4_classes() {
     let overhead = |technique| {
         let trace = scenario::paper_mix(&config, 3);
         let mut m = techniques::build(technique, &config, 3);
-        engine::run(trace, m.as_mut(), &config).overhead_percent()
+        engine::run_observed(trace, m.as_mut(), &config, &mut NullObserver).overhead_percent()
     };
     let para = overhead(Technique::Para);
     let loli = overhead(Technique::LoLiPromi);
@@ -82,7 +89,7 @@ fn remapped_rows_divert_disturbance_and_mitigation_still_holds() {
     let config = quick_config().with_remapping(vec![(RowAddr(30_001), RowAddr(50_000))]);
     let attack = Attacker::new(AttackConfig::flooding(RowAddr(30_000), config.intervals()));
     let mut mitigation = techniques::build(Technique::LoPromi, &config, 9);
-    let metrics = engine::run(attack, mitigation.as_mut(), &config);
+    let metrics = engine::run_observed(attack, mitigation.as_mut(), &config, &mut NullObserver);
     assert_eq!(metrics.flips, 0);
 }
 
@@ -92,7 +99,7 @@ fn identical_seeds_reproduce_identical_metrics() {
     let run = || {
         let trace = scenario::paper_mix(&config, 21);
         let mut m = techniques::build(Technique::CaPromi, &config, 21);
-        engine::run(trace, m.as_mut(), &config)
+        engine::run_observed(trace, m.as_mut(), &config, &mut NullObserver)
     };
     let a = run();
     let b = run();
@@ -105,7 +112,7 @@ fn fpr_is_bounded_by_trigger_events() {
     for technique in [Technique::Para, Technique::LiPromi, Technique::CaPromi] {
         let trace = scenario::paper_mix(&config, 2);
         let mut m = techniques::build(technique, &config, 2);
-        let metrics = engine::run(trace, m.as_mut(), &config);
+        let metrics = engine::run_observed(trace, m.as_mut(), &config, &mut NullObserver);
         assert!(
             metrics.false_positive_events <= metrics.trigger_events,
             "{technique}"

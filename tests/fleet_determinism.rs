@@ -32,7 +32,11 @@ fn campaign() -> CampaignSpec {
             CohortSpec::new("broad", 32)
                 .banks(1, 4)
                 .flip_threshold(2048, 8192)
-                .techniques(vec![Technique::LoLiPromi, Technique::Para, Technique::TwiCe]),
+                .techniques(vec![
+                    Technique::LoLiPromi,
+                    Technique::Para,
+                    Technique::TwiCe,
+                ]),
         )
         .cohort(
             CohortSpec::new("weak-tail", 24)
@@ -68,8 +72,14 @@ fn fleet_report_is_byte_identical_at_every_worker_count() {
     assert_eq!(one, two, "1-worker and 2-worker reports diverge");
     assert_eq!(one, many, "1-worker and {available}-worker reports diverge");
     assert_eq!(devices_one.len(), 64);
-    assert_eq!(devices_one, devices_two, "sink streams diverge at 2 workers");
-    assert_eq!(devices_one, devices_many, "sink streams diverge at {available} workers");
+    assert_eq!(
+        devices_one, devices_two,
+        "sink streams diverge at 2 workers"
+    );
+    assert_eq!(
+        devices_one, devices_many,
+        "sink streams diverge at {available} workers"
+    );
     // The sink sees the fleet in global device order at any width.
     let order: Vec<u64> = devices_one.iter().map(|(d, _)| d.index).collect();
     assert_eq!(order, (0..64).collect::<Vec<u64>>());
@@ -97,7 +107,10 @@ fn checkpoint_kill_resume_is_byte_identical_at_arbitrary_cuts() {
             .resume(restored)
             .expect("same campaign")
             .to_json();
-        assert_eq!(uninterrupted, resumed, "divergence after resume from cut {cut}");
+        assert_eq!(
+            uninterrupted, resumed,
+            "divergence after resume from cut {cut}"
+        );
     }
 }
 
