@@ -2,7 +2,7 @@
 
 use crate::{
     BankId, Command, ConfigError, DisturbState, DramTiming, Geometry, IdentityMapping,
-    RefreshOrder, RefreshSchedule, RowAddr, RowMapping,
+    RefreshOrder, RefreshSchedule, RowAddr, RowMapping, WeakCellMap,
 };
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +103,25 @@ impl DramDevice {
     pub fn set_flip_threshold(&mut self, threshold: u32) {
         for b in &mut self.banks {
             b.set_flip_threshold(threshold);
+        }
+    }
+
+    /// Installs a heterogeneous weak-cell map: every bank takes its
+    /// per-row flip thresholds from `map` (see [`crate::weakmap`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not cover this device's geometry.
+    pub fn set_weak_cell_map(&mut self, map: &WeakCellMap) {
+        assert_eq!(map.banks(), self.geometry.banks(), "map bank count");
+        assert_eq!(
+            map.rows_per_bank(),
+            self.geometry.rows_per_bank(),
+            "map row count"
+        );
+        for (index, bank) in self.banks.iter_mut().enumerate() {
+            let id = BankId(u32::try_from(index).expect("bank count fits u32"));
+            bank.set_row_thresholds(map.bank_thresholds(id));
         }
     }
 

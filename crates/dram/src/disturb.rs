@@ -42,6 +42,11 @@ pub struct DisturbState {
     new_flips: Vec<RowAddr>,
     /// Highest disturbance value ever observed (attack-margin metric).
     max_disturbance_seen: u32,
+    /// Per-row threshold overrides in whole activations.  Empty (the
+    /// default) means every row uses the uniform [`Self::flip_threshold`];
+    /// non-empty means row `r` flips at `row_thresholds[r]` — the
+    /// heterogeneous weak-cell model (see `crate::weakmap`).
+    row_thresholds: Vec<u32>,
 }
 
 impl DisturbState {
@@ -54,6 +59,7 @@ impl DisturbState {
             flip_threshold,
             new_flips: Vec::new(),
             max_disturbance_seen: 0,
+            row_thresholds: Vec::new(),
         }
     }
 
@@ -79,7 +85,11 @@ impl DisturbState {
         if *c > self.max_disturbance_seen {
             self.max_disturbance_seen = *c;
         }
-        if *c >= self.flip_threshold.saturating_mul(DISTURB_SCALE) && !self.flipped[row.index()] {
+        let threshold = match self.row_thresholds.get(row.index()) {
+            Some(&t) => t,
+            None => self.flip_threshold,
+        };
+        if *c >= threshold.saturating_mul(DISTURB_SCALE) && !self.flipped[row.index()] {
             self.flipped[row.index()] = true;
             self.new_flips.push(row);
         }
@@ -133,6 +143,37 @@ impl DisturbState {
     /// Changes the flip threshold (used by small-scale tests/examples).
     pub fn set_flip_threshold(&mut self, threshold: u32) {
         self.flip_threshold = threshold;
+    }
+
+    /// Installs per-row flip thresholds (whole activations), one per
+    /// tracked row — the heterogeneous weak-cell model.  Rows keep
+    /// their already-recorded flips; only future threshold checks use
+    /// the per-row values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` does not cover every tracked row.
+    pub fn set_row_thresholds(&mut self, thresholds: Vec<u32>) {
+        assert_eq!(
+            thresholds.len(),
+            self.counters.len(),
+            "one threshold per tracked row"
+        );
+        self.row_thresholds = thresholds;
+    }
+
+    /// Removes per-row thresholds, returning to the uniform model.
+    pub fn clear_row_thresholds(&mut self) {
+        self.row_thresholds.clear();
+    }
+
+    /// Effective flip threshold of `row`: its per-row override when a
+    /// weak-cell map is installed, the uniform threshold otherwise.
+    pub fn row_threshold(&self, row: RowAddr) -> u32 {
+        match self.row_thresholds.get(row.index()) {
+            Some(&t) => t,
+            None => self.flip_threshold,
+        }
     }
 
     /// Number of rows tracked.
@@ -213,6 +254,41 @@ mod tests {
         assert_eq!(s.disturbance(RowAddr(1)), 1); // 28/16 truncated
         s.disturb_scaled(RowAddr(1), 4);
         assert!(s.is_flipped(RowAddr(1)));
+    }
+
+    #[test]
+    fn per_row_thresholds_override_the_uniform_one() {
+        let mut s = DisturbState::new(4, 100);
+        s.set_row_thresholds(vec![100, 2, 100, 100]);
+        s.disturb(RowAddr(1));
+        s.disturb(RowAddr(2));
+        s.disturb(RowAddr(1));
+        s.disturb(RowAddr(2));
+        // Row 1 is weak (threshold 2), row 2 is strong (100).
+        assert_eq!(s.take_new_flips(), vec![RowAddr(1)]);
+        assert!(!s.is_flipped(RowAddr(2)));
+        assert_eq!(s.row_threshold(RowAddr(1)), 2);
+        assert_eq!(s.row_threshold(RowAddr(0)), 100);
+    }
+
+    #[test]
+    fn clearing_row_thresholds_restores_the_uniform_model() {
+        let mut s = DisturbState::new(4, 3);
+        s.set_row_thresholds(vec![1000; 4]);
+        for _ in 0..5 {
+            s.disturb(RowAddr(0));
+        }
+        assert!(!s.is_flipped(RowAddr(0)));
+        s.clear_row_thresholds();
+        assert_eq!(s.row_threshold(RowAddr(0)), 3);
+        s.disturb(RowAddr(0));
+        assert!(s.is_flipped(RowAddr(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per tracked row")]
+    fn row_threshold_length_mismatch_rejected() {
+        DisturbState::new(4, 3).set_row_thresholds(vec![1, 2]);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::backend::DisturbanceBackend;
 use crate::disturb::DISTURB_SCALE;
 use crate::{
     BankId, Command, DeviceStats, DisturbState, FlipEvent, Geometry, IdentityMapping, RefreshOrder,
-    RefreshSchedule, RowAddr, RowMapping,
+    RefreshSchedule, RowAddr, RowMapping, WeakCellMap,
 };
 
 /// Per-bank accumulation state of the fast tier.
@@ -109,6 +109,26 @@ impl FastBackend {
     pub fn set_flip_threshold(&mut self, threshold: u32) {
         for bank in &mut self.banks {
             bank.state.set_flip_threshold(threshold);
+        }
+    }
+
+    /// Installs a heterogeneous weak-cell map, exactly as
+    /// [`crate::DramDevice::set_weak_cell_map`]: the fast tier shares
+    /// `DisturbState`, so per-row thresholds carry over unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map does not cover this backend's geometry.
+    pub fn set_weak_cell_map(&mut self, map: &WeakCellMap) {
+        assert_eq!(map.banks(), self.geometry.banks(), "map bank count");
+        assert_eq!(
+            map.rows_per_bank(),
+            self.geometry.rows_per_bank(),
+            "map row count"
+        );
+        for (index, bank) in self.banks.iter_mut().enumerate() {
+            let id = BankId(u32::try_from(index).expect("bank count fits u32"));
+            bank.state.set_row_thresholds(map.bank_thresholds(id));
         }
     }
 

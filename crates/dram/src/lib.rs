@@ -31,6 +31,9 @@
 //!   [`FastBackend`] for fleet-scale sweeps, and a [`CycleBackend`]
 //!   adding row-buffer state and per-command cycle costs; selected by
 //!   [`BackendSpec`].
+//! * [`WeakCellSpec`] / [`WeakCellMap`] — heterogeneous per-row flip
+//!   thresholds and weak-cell columns, sampled from a seeded
+//!   distribution so every shard sees the identical device.
 //!
 //! ## Example
 //!
@@ -66,6 +69,7 @@ pub mod mapping;
 pub mod refresh;
 pub mod seeding;
 pub mod timing;
+pub mod weakmap;
 
 pub use addr::{BankId, RowAddr};
 pub use backend::{BackendSpec, CycleStats, DisturbanceBackend};
@@ -80,6 +84,7 @@ pub use mapping::{IdentityMapping, RemappedMapping, RowMapping};
 pub use refresh::{RefreshOrder, RefreshSchedule};
 pub use seeding::bank_seed;
 pub use timing::{CycleBudget, DramGeneration, DramTiming};
+pub use weakmap::{WeakCellMap, WeakCellSpec, WEAK_CELL_COLUMNS};
 
 /// Bit-flip activation threshold reported by Kim et al. and used
 /// throughout the paper: the sum of activations of both aggressor rows

@@ -135,6 +135,7 @@ mod tests {
             flip_threshold: 2000,
             first_trigger_act: Some(30 + i),
             time_to_first_flip: (i % 2 == 1).then_some(500 + i),
+            flip_log: Vec::new(),
             storage_bytes_per_bank: 64.0,
             intervals: 128,
             timeseries: None,

@@ -11,7 +11,7 @@
 //! [`rh_harness::Runner`].
 
 use crate::seeding::device_seed;
-use dram_sim::{BackendSpec, Geometry};
+use dram_sim::{BackendSpec, Geometry, WeakCellSpec};
 use mem_trace::cpu::{CpuWorkload, CpuWorkloadConfig};
 use mem_trace::MixedTrace;
 use rand::rngs::StdRng;
@@ -58,6 +58,13 @@ pub struct CohortSpec {
     /// Disturbance backend fidelity tier every device in the cohort
     /// runs under (absent in pre-tier campaign files ⇒ exact).
     pub backend: BackendSpec,
+    /// Per-row weak-cell model override for every device in the cohort
+    /// (absent in pre-weak-map campaign files ⇒ `None`, which keeps the
+    /// device's sampled uniform `flip_threshold`).  Like `backend`, the
+    /// value is copied, never sampled — specs with a per-device `seed`
+    /// still materialize per-device maps, because the map itself is
+    /// seeded per bank at run time.
+    pub weak_cells: Option<WeakCellSpec>,
 }
 
 impl CohortSpec {
@@ -79,6 +86,7 @@ impl CohortSpec {
             attack: "ramp".into(),
             workload: WorkloadKind::SpecLike,
             backend: BackendSpec::Exact,
+            weak_cells: None,
         }
     }
 
@@ -129,6 +137,14 @@ impl CohortSpec {
     #[must_use]
     pub fn backend(mut self, backend: BackendSpec) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the per-row weak-cell model ([`WeakCellSpec`]) the cohort's
+    /// devices run under.
+    #[must_use]
+    pub fn weak_cells(mut self, weak_cells: WeakCellSpec) -> Self {
+        self.weak_cells = Some(weak_cells);
         self
     }
 }
@@ -211,11 +227,13 @@ impl CampaignSpec {
                     windows: cohort.windows,
                     attack: cohort.attack.clone(),
                     workload: cohort.workload,
-                    // Copied, never sampled: the tier must not consume
-                    // RNG draws, so banks/threshold/technique sampling
-                    // is identical across tiers (the draw order above
-                    // is a stable campaign contract).
+                    // Copied, never sampled: the tier and weak-cell
+                    // model must not consume RNG draws, so
+                    // banks/threshold/technique sampling is identical
+                    // across tiers and maps (the draw order above is a
+                    // stable campaign contract).
                     backend: cohort.backend,
+                    weak_cells: cohort.weak_cells,
                 });
             }
             first += cohort.devices;
@@ -248,6 +266,8 @@ pub struct DeviceSpec {
     pub workload: WorkloadKind,
     /// Disturbance backend fidelity tier (from the cohort).
     pub backend: BackendSpec,
+    /// Per-row weak-cell model (from the cohort).
+    pub weak_cells: Option<WeakCellSpec>,
 }
 
 impl DeviceSpec {
@@ -267,6 +287,9 @@ impl DeviceSpec {
         config.geometry = Geometry::scaled_down(64).with_banks(self.banks);
         config.flip_threshold = self.flip_threshold;
         config.backend = self.backend;
+        if let Some(weak_cells) = self.weak_cells {
+            config.weak_cells = weak_cells;
+        }
         config
     }
 
@@ -401,6 +424,49 @@ mod tests {
                 "device {i}: backend tier perturbed sampling"
             );
         }
+    }
+
+    #[test]
+    fn weak_cell_spec_is_copied_not_sampled() {
+        // Like the backend tier, the weak-cell model must not consume
+        // RNG draws: the same campaign with a sampled map draws
+        // identical banks/threshold/technique per device.
+        let uniform = two_cohorts();
+        let mut sampled = two_cohorts();
+        let spec = WeakCellSpec::Sampled {
+            seed: 5,
+            strong: 4096,
+            weak_lo: 1024,
+            weak_hi: 2048,
+            weak_per_mille: 50,
+        };
+        for cohort in &mut sampled.cohorts {
+            cohort.weak_cells = Some(spec);
+        }
+        for i in 0..5 {
+            let a = uniform.device(i).expect("in range");
+            let b = sampled.device(i).expect("in range");
+            assert_eq!(a.weak_cells, None);
+            assert_eq!(b.weak_cells, Some(spec));
+            assert_eq!(b.run_config().weak_cells, spec);
+            assert_eq!(
+                (a.banks, a.flip_threshold, a.technique),
+                (b.banks, b.flip_threshold, b.technique),
+                "device {i}: weak-cell model perturbed sampling"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_weakmap_campaign_json_parses_as_none() {
+        // Campaign files written before the weak_cells field existed
+        // carry no such key; they must keep meaning the uniform model.
+        let spec = two_cohorts();
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let stripped = json.replace(",\"weak_cells\":null", "");
+        assert_ne!(json, stripped, "test must actually strip the field");
+        let back: CampaignSpec = serde_json::from_str(&stripped).expect("parses");
+        assert_eq!(spec, back);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Experiment configuration: the simulated system (Table I) and the
 //! scale knobs that trade fidelity for runtime.
 
-use dram_sim::{BackendSpec, DramTiming, Geometry, RefreshOrder, RowAddr};
+use dram_sim::{BackendSpec, DramTiming, Geometry, RefreshOrder, RowAddr, WeakCellSpec};
 use serde::{Deserialize, Serialize};
 
 /// How large an experiment run is.
@@ -152,6 +152,11 @@ pub struct RunConfig {
     /// Absent in configs written before backends existed, which parse
     /// as [`BackendSpec::Exact`] — the event-accurate default.
     pub backend: BackendSpec,
+    /// Per-row weak-cell model.  Absent in configs written before the
+    /// heterogeneous model existed, which parse as
+    /// [`WeakCellSpec::Uniform`] — every row at [`Self::flip_threshold`],
+    /// bit-identical to the pre-weak-map engine.
+    pub weak_cells: WeakCellSpec,
 }
 
 impl RunConfig {
@@ -168,6 +173,7 @@ impl RunConfig {
             parallelism: Parallelism::default(),
             batch_events: mem_trace::DEFAULT_BATCH_EVENTS,
             backend: BackendSpec::Exact,
+            weak_cells: WeakCellSpec::Uniform,
         }
     }
 
@@ -188,6 +194,14 @@ impl RunConfig {
     /// [`BackendSpec`] for what each tier guarantees).
     pub fn with_backend(mut self, backend: BackendSpec) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Returns a copy with a different per-row weak-cell model (see
+    /// [`WeakCellSpec`]; `Uniform` is the classic single-threshold
+    /// device).
+    pub fn with_weak_cells(mut self, weak_cells: WeakCellSpec) -> Self {
+        self.weak_cells = weak_cells;
         self
     }
 
@@ -226,6 +240,9 @@ impl RunConfig {
         );
         device.set_flip_threshold(self.flip_threshold);
         device.set_distance2_coupling(self.distance2_sixteenths);
+        if let Some(map) = self.weak_cells.materialize(&self.geometry) {
+            device.set_weak_cell_map(&map);
+        }
         device
     }
 
@@ -245,6 +262,9 @@ impl RunConfig {
             dram_sim::FastBackend::with_policies(self.geometry, mapping, &self.refresh_order);
         backend.set_flip_threshold(self.flip_threshold);
         backend.set_distance2_coupling(self.distance2_sixteenths);
+        if let Some(map) = self.weak_cells.materialize(&self.geometry) {
+            backend.set_weak_cell_map(&map);
+        }
         backend
     }
 }

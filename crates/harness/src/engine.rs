@@ -54,7 +54,7 @@
 //! directly.
 
 use crate::config::RunConfig;
-use crate::metrics::RunMetrics;
+use crate::metrics::{sort_flip_log, FlipRecord, RunMetrics};
 use crate::observe::{IntervalSnapshot, NullObserver, Observe, Observer, RunSummary, ShardInfo};
 use dram_sim::{
     BackendSpec, BankId, Command, CycleBackend, DisturbanceBackend, DramDevice, FlipEvent, RowAddr,
@@ -123,12 +123,17 @@ struct TriggerLedger {
     // and recorded against that bank's activation count.
     flips_seen: usize,
     bank_first_flip: Vec<Option<u64>>,
+    // Per-row flip attribution: every new device flip becomes a
+    // `FlipRecord` carrying the flipping bank's activation count at the
+    // moment the flip was noted — the same bank-local accounting as
+    // `bank_first_flip`, so the log is invariant under bank sharding.
+    flip_log: Vec<FlipRecord>,
 }
 
 impl TriggerLedger {
-    /// Walks the backend's flip log past the ledger's cursor and
-    /// records, per flipping bank, the bank-local activation count of
-    /// its first flip.
+    /// Walks the backend's flip log past the ledger's cursor, appends a
+    /// [`FlipRecord`] per new flip, and records, per flipping bank, the
+    /// bank-local activation count of its first flip.
     ///
     /// Each flip carries its own bank (disturbance never couples banks,
     /// so on the exact tier new flips always land in the bank of the
@@ -136,13 +141,21 @@ impl TriggerLedger {
     /// generalized to backends that resolve flips at interval ends).
     fn note_flips(&mut self, flips: &[FlipEvent]) {
         while self.flips_seen < flips.len() {
-            let bank = flips[self.flips_seen].bank.index();
+            let event = flips[self.flips_seen];
+            let bank = event.bank.index();
             self.flips_seen += 1;
+            let bank_act = self.bank_acts.get(bank).copied().unwrap_or(0);
+            self.flip_log.push(FlipRecord {
+                bank: event.bank,
+                row: event.row,
+                interval: event.interval,
+                bank_act,
+            });
             if bank >= self.bank_first_flip.len() {
                 self.bank_first_flip.resize(bank + 1, None);
             }
             if self.bank_first_flip[bank].is_none() {
-                self.bank_first_flip[bank] = Some(self.bank_acts.get(bank).copied().unwrap_or(0));
+                self.bank_first_flip[bank] = Some(bank_act);
             }
         }
     }
@@ -185,23 +198,6 @@ fn apply_actions<B: DisturbanceBackend + ?Sized, O: Observer + ?Sized>(
     for action in actions.drain(..) {
         apply_action(action, backend, ledger, triggers, observer);
     }
-}
-
-/// Runs `trace` through `mitigation` on a device built from `config`.
-///
-/// Deprecated shim kept for downstream callers migrating to the
-/// [`crate::Runner`] builder (or [`run_observed`] with a
-/// [`NullObserver`] where the builder does not fit).
-///
-/// The trace is consumed until it is exhausted or `config.intervals()`
-/// refresh intervals have elapsed, whichever comes first.
-#[deprecated(note = "use the `Runner` builder, or `run_observed` with a `NullObserver`")]
-pub fn run<S: TraceSource, M: Mitigation + ?Sized>(
-    trace: S,
-    mitigation: &mut M,
-    config: &RunConfig,
-) -> RunMetrics {
-    run_observed(trace, mitigation, config, &mut NullObserver)
 }
 
 /// Runs `trace` through `mitigation` with an [`Observer`] receiving
@@ -299,6 +295,7 @@ where
         bank_first: vec![None; banks],
         flips_seen: 0,
         bank_first_flip: vec![None; banks],
+        flip_log: Vec::new(),
     };
     let mut total_acts = 0u64;
     let mut aggressor_acts = 0u64;
@@ -405,10 +402,8 @@ where
                     }
                     backend.apply(Command::Activate { bank: bank_id, row });
                     triggers.note_flips(backend.flips());
-                    // Hot path: segment event index bounded by batch
-                    // length, far below u32::MAX.
-                    #[allow(clippy::cast_possible_truncation)]
-                    while let Some(action) = sink.next_for(i as u32) {
+                    let tag = u32::try_from(i).expect("event tag fits u32");
+                    while let Some(action) = sink.next_for(tag) {
                         apply_action(action, backend, &ledger, &mut triggers, observer);
                     }
                 }
@@ -440,7 +435,7 @@ where
         mitigation,
         config,
         backend,
-        &triggers,
+        triggers,
         aggressor_acts,
         observer,
     )
@@ -516,6 +511,7 @@ where
         bank_first: Vec::new(),
         flips_seen: 0,
         bank_first_flip: Vec::new(),
+        flip_log: Vec::new(),
     };
     let mut total_acts = 0u64;
     let mut aggressor_acts = 0u64;
@@ -569,7 +565,7 @@ where
         mitigation,
         config,
         backend,
-        &triggers,
+        triggers,
         aggressor_acts,
         observer,
     )
@@ -579,10 +575,15 @@ fn finish_metrics<M: Mitigation + ?Sized, B: DisturbanceBackend + ?Sized, O: Obs
     mitigation: &mut M,
     config: &RunConfig,
     backend: &mut B,
-    triggers: &TriggerLedger,
+    mut triggers: TriggerLedger,
     aggressor_acts: u64,
     observer: &mut O,
 ) -> RunMetrics {
+    // Catch up on any flips the loop has not yet noted (both loops end
+    // every interval with a post-refresh note, so this is normally a
+    // cursor comparison) and put the log into its canonical order.
+    triggers.note_flips(backend.flips());
+    sort_flip_log(&mut triggers.flip_log);
     let stats = backend.stats();
     let mut metrics = RunMetrics {
         technique: mitigation.name().to_string(),
@@ -596,6 +597,7 @@ fn finish_metrics<M: Mitigation + ?Sized, B: DisturbanceBackend + ?Sized, O: Obs
         flip_threshold: config.flip_threshold,
         first_trigger_act: triggers.bank_first.iter().flatten().copied().min(),
         time_to_first_flip: triggers.bank_first_flip.iter().flatten().copied().min(),
+        flip_log: triggers.flip_log,
         storage_bytes_per_bank: mitigation.storage_bytes_per_bank(),
         intervals: stats.refresh_intervals,
         timeseries: None,
@@ -649,19 +651,7 @@ where
         .expect("geometry has at least one bank")
 }
 
-/// Deprecated alias of [`run_sharded`], kept for downstream callers
-/// migrating to the [`crate::Runner`] builder.
-#[deprecated(note = "use the `Runner` builder, or `run_sharded`")]
-pub fn run_with<S, M, F>(trace: S, build: &F, config: &RunConfig) -> RunMetrics
-where
-    S: TraceSplit,
-    M: Mitigation,
-    F: Fn() -> M + Sync,
-{
-    run_sharded(trace, build, config)
-}
-
-/// Like [`run_with`], with an [`Observe`] strategy attached: one
+/// Like [`run_sharded`], with an [`Observe`] strategy attached: one
 /// [`Observer`] is forked per bank shard (or one for the whole run on
 /// the sequential path), and shard/run completions are reported with
 /// wall-clock timings.

@@ -21,7 +21,7 @@ use crate::config::{ExperimentScale, RunConfig};
 use crate::runner::Runner;
 use crate::table::TextTable;
 use crate::{parallel, scenario};
-use dram_sim::RowAddr;
+use dram_sim::{RowAddr, WeakCellSpec};
 use rh_hwmodel::Technique;
 use tivapromi::{TivaConfig, TivaVariant};
 
@@ -61,7 +61,13 @@ pub fn run(scale: &ExperimentScale) -> Vec<WeakDramResult> {
         .collect();
     let runs = parallel::map(jobs, |(t, threshold, seed)| {
         let mut config = base.clone();
+        // Weaken the DRAM through the per-row weak-cell model: a flat
+        // map at `threshold` is bit-identical to the classic uniform
+        // threshold (pinned by `flat_map_reproduces_uniform_threshold`),
+        // and keeps this sweep on the same code path as the
+        // heterogeneous sampled maps used by the exploit subsystem.
         config.flip_threshold = threshold;
+        config.weak_cells = WeakCellSpec::Flat { threshold };
         let trace = scenario::flooding(&config, RowAddr(1));
         let metrics = Runner::new(config.clone())
             .technique(t)
@@ -112,6 +118,7 @@ pub fn retune(scale: &ExperimentScale) -> Vec<RetuneResult> {
         let mut c = RunConfig::paper(scale);
         c.windows = c.windows.min(2);
         c.flip_threshold = 16_384;
+        c.weak_cells = WeakCellSpec::Flat { threshold: 16_384 };
         c
     };
     let jobs: Vec<(u32, u64)> = [23u32, 21, 19, 17]
@@ -187,6 +194,31 @@ pub fn render_retune(results: &[RetuneResult]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The migration pin: a flat weak-cell map at `t` must reproduce
+    /// the classic uniform `flip_threshold = t` run bit-for-bit, so
+    /// this sweep's historical numbers survive the weak-map migration.
+    #[test]
+    fn flat_map_reproduces_uniform_threshold() {
+        let scale = ExperimentScale::quick();
+        let mut uniform = RunConfig::paper(&scale);
+        uniform.flip_threshold = 16_384;
+        let mut flat = uniform.clone();
+        flat.weak_cells = WeakCellSpec::Flat { threshold: 16_384 };
+        for technique in [Technique::Para, Technique::LiPromi] {
+            let trace = scenario::flooding(&uniform, RowAddr(1));
+            let classic = Runner::new(uniform.clone())
+                .technique(technique)
+                .seed(1)
+                .run(trace);
+            let trace = scenario::flooding(&flat, RowAddr(1));
+            let mapped = Runner::new(flat.clone())
+                .technique(technique)
+                .seed(1)
+                .run(trace);
+            assert_eq!(classic, mapped, "{technique} diverged under a flat map");
+        }
+    }
 
     #[test]
     fn para_is_robust_and_paper_threshold_is_safe() {

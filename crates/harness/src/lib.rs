@@ -60,12 +60,7 @@ pub mod techniques;
 pub use config::{ExperimentScale, Parallelism, RunConfig};
 pub use dram_sim::BackendSpec;
 pub use engine::run_sharded;
-// The PR-2 unobserved shims, kept one release as deprecated re-exports:
-// migrate to `Runner` (or `engine::run_observed` / `engine::run_sharded`
-// where the builder does not fit).
-#[allow(deprecated)]
-pub use engine::{run, run_with};
-pub use metrics::{MeanStd, RunMetrics, TimePoint, TimeSeries};
+pub use metrics::{FlipRecord, MeanStd, RunMetrics, TimePoint, TimeSeries};
 pub use observe::{
     DisturbanceHistogram, IntervalSnapshot, NullObserver, Observe, Observer, PerfCounters,
     RunSummary, ShardInfo, TimeSeriesRecorder,

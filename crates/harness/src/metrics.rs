@@ -1,7 +1,43 @@
 //! Run metrics, time-series trajectories, and multi-seed statistics.
 
-use dram_sim::CycleStats;
+use dram_sim::{BankId, CycleStats, RowAddr};
 use serde::{Deserialize, Serialize};
+
+/// One attributed bit flip: which row flipped, when, and how much
+/// bank-local activation budget had been spent by then.
+///
+/// The flip log is the profiling attacker's only sensor — it sees the
+/// flips it caused, never the device's threshold map — so the record
+/// carries exactly what an attacker reading back its own memory could
+/// know: the location and the budget position.  `bank_act` uses the
+/// same bank-local accounting as [`RunMetrics::time_to_first_flip`],
+/// which makes every field invariant under bank sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlipRecord {
+    /// Bank in which the flip occurred.
+    pub bank: BankId,
+    /// Physical row that flipped.
+    pub row: RowAddr,
+    /// Global refresh-interval count at which the flip happened.
+    pub interval: u64,
+    /// Bank-local activation count when the flip was recorded.
+    pub bank_act: u64,
+}
+
+impl FlipRecord {
+    /// Canonical log order: by interval, then bank, then row.  A row
+    /// flips at most once per run, so the key is unique and any
+    /// concatenation of disjoint shard logs re-sorts to the same bytes.
+    fn sort_key(&self) -> (u64, u32, u32) {
+        (self.interval, self.bank.0, self.row.0)
+    }
+}
+
+/// Sorts a flip log into the canonical order shared by sequential runs
+/// and shard merges.
+pub(crate) fn sort_flip_log(log: &mut [FlipRecord]) {
+    log.sort_unstable_by_key(FlipRecord::sort_key);
+}
 
 /// One sampled point of a run's per-interval trajectory.
 ///
@@ -156,6 +192,10 @@ pub struct RunMetrics {
     /// under bank sharding; for a pure single-bank attack trace this is
     /// exactly the attacker budget spent to the first flip.
     pub time_to_first_flip: Option<u64>,
+    /// Every attributed flip in canonical `(interval, bank, row)` order
+    /// — the profiling attacker's sensor.  A row flips at most once per
+    /// run, so the log is bounded by the device's row count.
+    pub flip_log: Vec<FlipRecord>,
     /// Storage the technique needs per bank, bytes.
     pub storage_bytes_per_bank: f64,
     /// Refresh intervals simulated.
@@ -271,7 +311,9 @@ impl RunMetrics {
     ///
     /// Counters sum; `max_disturbance` and `intervals` take the maximum;
     /// `first_trigger_act` and `time_to_first_flip` take the earliest
-    /// (bank-local) occurrence present; the
+    /// (bank-local) occurrence present; the `flip_log`s concatenate and
+    /// re-sort into canonical `(interval, bank, row)` order (unique per
+    /// run, so any merge grouping yields the same bytes); the
     /// optional `timeseries` sections combine point-wise with
     /// [`TimeSeries::merge`].  The run-level fields (`technique`,
     /// `flip_threshold`, `storage_bytes_per_bank`) are identical across
@@ -299,6 +341,12 @@ impl RunMetrics {
             time_to_first_flip: match (self.time_to_first_flip, other.time_to_first_flip) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
+            },
+            flip_log: {
+                let mut log = self.flip_log;
+                log.extend(other.flip_log);
+                sort_flip_log(&mut log);
+                log
             },
             storage_bytes_per_bank: self.storage_bytes_per_bank,
             intervals: self.intervals.max(other.intervals),
@@ -328,7 +376,10 @@ impl RunMetrics {
     /// empty string — callers label cohorts themselves).  Per-device
     /// `timeseries` sections are dropped: their strides need not agree
     /// across devices, and population trajectories are the quantile
-    /// sketches' job.
+    /// sketches' job.  The per-device `flip_log` is dropped too — its
+    /// `(interval, bank, row)` keys collide across devices, so no
+    /// canonical population order exists (and the aggregate `flips`
+    /// counter already carries the population total).
     ///
     /// The operation is associative **and** commutative for arbitrary
     /// operands — no agreement precondition — so a fleet can fold
@@ -351,6 +402,7 @@ impl RunMetrics {
         merged.flip_threshold = flip_threshold;
         merged.storage_bytes_per_bank = storage;
         merged.timeseries = None;
+        merged.flip_log = Vec::new();
         merged
     }
 
@@ -426,6 +478,7 @@ mod tests {
             flip_threshold: 100,
             first_trigger_act: Some(42),
             time_to_first_flip: None,
+            flip_log: Vec::new(),
             storage_bytes_per_bank: 120.0,
             intervals: 16,
             timeseries: None,
@@ -590,6 +643,40 @@ mod tests {
                 .merge_population(c.clone()),
             a.merge_population(b.merge_population(c))
         );
+    }
+
+    fn flip(bank: u32, row: u32, interval: u64, bank_act: u64) -> FlipRecord {
+        FlipRecord {
+            bank: BankId(bank),
+            row: RowAddr(row),
+            interval,
+            bank_act,
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_flip_logs_in_canonical_order() {
+        let mut a = metrics();
+        a.flip_log = vec![flip(0, 10, 2, 300), flip(0, 12, 5, 800)];
+        let mut b = metrics();
+        b.flip_log = vec![flip(1, 4, 1, 90), flip(1, 7, 2, 310)];
+        let left = a.clone().merge(b.clone()).flip_log;
+        let right = b.clone().merge(a.clone()).flip_log;
+        assert_eq!(left, right, "merge order must not change the log");
+        let keys: Vec<(u64, u32, u32)> = left
+            .iter()
+            .map(|f| (f.interval, f.bank.0, f.row.0))
+            .collect();
+        assert_eq!(keys, vec![(1, 1, 4), (2, 0, 10), (2, 1, 7), (5, 0, 12)]);
+    }
+
+    #[test]
+    fn merge_population_drops_flip_log() {
+        let mut a = metrics();
+        a.flip_log = vec![flip(0, 10, 2, 300)];
+        let m = a.clone().merge_population(a);
+        assert!(m.flip_log.is_empty());
+        assert_eq!(m.flips, 0); // the counter, not the log, carries totals
     }
 
     #[test]

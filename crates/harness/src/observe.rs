@@ -701,6 +701,7 @@ mod tests {
             flip_threshold: 100,
             first_trigger_act: Some(42),
             time_to_first_flip: None,
+            flip_log: Vec::new(),
             storage_bytes_per_bank: 120.0,
             intervals: 16,
             timeseries: None,

@@ -1,11 +1,10 @@
 //! The [`Runner`] builder: the one documented way to drive a run.
 //!
-//! The engine module grew two entrypoints in PR 1 (`engine::run` for a
-//! caller-built mitigation, `engine::run_with` for sharded execution)
-//! and the observability layer would have added two more.  `Runner`
-//! collapses them: pick a technique, a seed, a backend fidelity tier, a
-//! parallelism policy and any number of observers, then call
-//! [`Runner::run`].
+//! The engine module exposes the sharded entrypoints
+//! ([`engine::run_sharded`], [`engine::run_observed`]) for callers that
+//! build their own mitigation; `Runner` collapses the common path: pick
+//! a technique, a seed, a backend fidelity tier, a parallelism policy
+//! and any number of observers, then call [`Runner::run`].
 //!
 //! ```
 //! use rh_harness::{Runner, RunConfig, ExperimentScale, scenario, TimeSeriesRecorder};

@@ -21,6 +21,7 @@ fn small_config() -> RunConfig {
         parallelism: rh_harness::Parallelism::default(),
         batch_events: mem_trace::DEFAULT_BATCH_EVENTS,
         backend: rh_harness::BackendSpec::Exact,
+        weak_cells: dram_sim::WeakCellSpec::Uniform,
     }
 }
 

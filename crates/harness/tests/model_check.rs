@@ -33,8 +33,9 @@
 //! and write-back — and proves the explorer catches a device owned by
 //! two workers.
 
+use dram_sim::{BankId, RowAddr};
 use interleave::{any_schedule, explore, Model};
-use rh_harness::metrics::RunMetrics;
+use rh_harness::metrics::{FlipRecord, RunMetrics};
 use std::collections::BTreeMap;
 
 /// Per-job metrics fixture: distinct counters per index plus staggered
@@ -58,6 +59,16 @@ fn job_metrics(index: usize) -> RunMetrics {
             None
         },
         time_to_first_flip: if index >= 3 { Some(90 - i) } else { None },
+        flip_log: if index % 2 == 1 {
+            vec![FlipRecord {
+                bank: BankId(u32::try_from(index).expect("small fixture")),
+                row: RowAddr(200),
+                interval: 90 - i,
+                bank_act: 90 - i,
+            }]
+        } else {
+            Vec::new()
+        },
         storage_bytes_per_bank: 8.0,
         intervals: 5 + i,
         timeseries: None,

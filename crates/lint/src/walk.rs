@@ -18,14 +18,18 @@ const EXCLUDES: [&str; 3] = ["shims/", "target/", "crates/lint/tests/fixtures/"]
 
 /// Files where D5 (narrowing casts) applies: the counter/flip
 /// arithmetic the run metrics are built from.
-const COUNTER_SCOPE: [&str; 11] = [
+const COUNTER_SCOPE: [&str; 15] = [
     "crates/dram/src/backend.rs",
     "crates/dram/src/cycle.rs",
     "crates/dram/src/device.rs",
     "crates/dram/src/disturb.rs",
     "crates/dram/src/fast.rs",
+    "crates/dram/src/weakmap.rs",
+    "crates/exploit/src/campaign.rs",
+    "crates/exploit/src/map.rs",
     "crates/fleet/src/campaign.rs",
     "crates/fleet/src/sketch.rs",
+    "crates/harness/src/engine.rs",
     "crates/harness/src/metrics.rs",
     "crates/tivapromi/src/counter_table.rs",
     "crates/tivapromi/src/history.rs",
@@ -106,6 +110,10 @@ mod tests {
         assert!(classify("crates/dram/src/backend.rs").counter_scope);
         assert!(classify("crates/dram/src/fast.rs").counter_scope);
         assert!(classify("crates/dram/src/cycle.rs").counter_scope);
+        assert!(classify("crates/dram/src/weakmap.rs").counter_scope);
+        assert!(classify("crates/harness/src/engine.rs").counter_scope);
+        assert!(classify("crates/exploit/src/campaign.rs").counter_scope);
+        assert!(classify("crates/exploit/src/map.rs").counter_scope);
         assert!(!classify("crates/dram/src/geometry.rs").counter_scope);
     }
 

@@ -141,14 +141,24 @@ pub struct BuiltAttack {
 }
 
 /// Compiles `candidate` into an attacker trace on bank 0 of
-/// `config.geometry`, lasting `candidate.windows` refresh windows.
+/// `config.geometry`, lasting `candidate.windows` refresh windows,
+/// centered on the default victim `BASE_ROW + 1`.
 pub fn build_attack(candidate: &Candidate, config: &RunConfig) -> BuiltAttack {
+    build_attack_on(candidate, config, RowAddr(BASE_ROW + 1))
+}
+
+/// Compiles `candidate` like [`build_attack`], but centers every shape
+/// on `victim` — the targeted-campaign entrypoint (the exploit
+/// subsystem aims an arbitrary shape at a *specific* learned-weak row
+/// instead of the fixed search victim).  Pair-centered shapes hammer
+/// `victim ± 1`; block shapes (ramps, bursts) start their aggressor
+/// block at `victim - 1` so `victim` is the block's first shared victim.
+pub fn build_attack_on(candidate: &Candidate, config: &RunConfig, victim: RowAddr) -> BuiltAttack {
     let ipw = config.geometry.intervals_per_window();
     let intervals = candidate.windows * u64::from(ipw);
+    let block_base = RowAddr(victim.0.saturating_sub(1));
     let base = AttackConfig {
-        kind: AttackKind::DoubleSided {
-            victim: RowAddr(BASE_ROW + 1),
-        },
+        kind: AttackKind::DoubleSided { victim },
         target_banks: vec![BankId(0)],
         acts_per_interval: candidate.acts_per_interval,
         start_interval: 0,
@@ -160,7 +170,7 @@ pub fn build_attack(candidate: &Candidate, config: &RunConfig) -> BuiltAttack {
         AttackShape::StaticRamp => {
             let ramp = AttackConfig {
                 kind: AttackKind::MultiAggressorRamp {
-                    base_row: RowAddr(BASE_ROW),
+                    base_row: block_base,
                     max_aggressors: RAMP_MAX_AGGRESSORS,
                 },
                 ramp_hold_intervals: (intervals / u64::from(RAMP_MAX_AGGRESSORS))
@@ -172,16 +182,14 @@ pub fn build_attack(candidate: &Candidate, config: &RunConfig) -> BuiltAttack {
                 probe: None,
             };
         }
-        AttackShape::DoubleSided => AttackKind::DoubleSided {
-            victim: RowAddr(BASE_ROW + 1),
-        },
+        AttackShape::DoubleSided => AttackKind::DoubleSided { victim },
         // Not AttackKind::DecoyAssisted: its decoy rows sit 10 000 rows
         // above the victim, outside small search geometries.  The fixed
         // decoy attack interleaves the same way with decoys nearby.
         AttackShape::Decoy { decoys } => {
             let attack = AdaptiveDecoyAttack::fixed(
                 BankId(0),
-                RowAddr(BASE_ROW + 1),
+                victim,
                 candidate.acts_per_interval,
                 intervals,
                 decoys,
@@ -192,7 +200,7 @@ pub fn build_attack(candidate: &Candidate, config: &RunConfig) -> BuiltAttack {
             };
         }
         AttackShape::ShiftedRamp { shift_16ths } => AttackKind::PhaseShifted {
-            base_row: RowAddr(BASE_ROW),
+            base_row: block_base,
             max_aggressors: RAMP_MAX_AGGRESSORS,
             shift_intervals: if shift_16ths == 0 {
                 0
@@ -205,7 +213,7 @@ pub fn build_attack(candidate: &Candidate, config: &RunConfig) -> BuiltAttack {
             duty_16ths,
             phase_16ths,
         } => AttackKind::RefreshSyncBurst {
-            base_row: RowAddr(BASE_ROW),
+            base_row: block_base,
             pairs,
             duty_intervals: sixteenth(duty_16ths),
             period_intervals: u64::from(ipw),
@@ -219,7 +227,7 @@ pub fn build_attack(candidate: &Candidate, config: &RunConfig) -> BuiltAttack {
             let board = FeedbackBoard::new(config.geometry.banks());
             let attack = AdaptiveDecoyAttack::new(
                 BankId(0),
-                RowAddr(BASE_ROW + 1),
+                victim,
                 candidate.acts_per_interval,
                 intervals,
                 max_decoys,
@@ -302,6 +310,49 @@ mod tests {
                 built.probe.is_some(),
                 matches!(shape, AttackShape::AdaptiveDecoy { .. })
             );
+        }
+    }
+
+    #[test]
+    fn build_attack_on_recenters_every_shape() {
+        let config = config();
+        let victim = RowAddr(500);
+        for shape in [
+            AttackShape::StaticRamp,
+            AttackShape::DoubleSided,
+            AttackShape::Decoy { decoys: 3 },
+            AttackShape::ShiftedRamp { shift_16ths: 8 },
+            AttackShape::Burst {
+                pairs: 2,
+                duty_16ths: 4,
+                phase_16ths: 2,
+            },
+            AttackShape::AdaptiveDecoy { max_decoys: 4 },
+        ] {
+            let candidate = Candidate {
+                shape,
+                acts_per_interval: 8,
+                windows: 1,
+            };
+            let mut built = build_attack_on(&candidate, &config, victim);
+            let mut out = Vec::new();
+            while built.trace.next_interval(&mut out) {}
+            // Every shape's aggressors sit at or above victim-1 (the
+            // pair or block base) and the pair-centered shapes hammer
+            // the victim's own neighbors.
+            let min = out.iter().map(|e| e.row.0).min().unwrap();
+            assert_eq!(min, victim.0 - 1, "{shape:?}");
+            if matches!(
+                shape,
+                AttackShape::DoubleSided
+                    | AttackShape::Decoy { .. }
+                    | AttackShape::AdaptiveDecoy { .. }
+            ) {
+                assert!(
+                    out.iter().any(|e| e.row == RowAddr(victim.0 + 1)),
+                    "{shape:?}"
+                );
+            }
         }
     }
 

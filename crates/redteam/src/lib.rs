@@ -32,7 +32,7 @@ pub mod feedback;
 pub mod report;
 pub mod search;
 
-pub use candidate::{build_attack, AttackShape, BuiltAttack, Candidate};
+pub use candidate::{build_attack, build_attack_on, AttackShape, BuiltAttack, Candidate};
 pub use feedback::{AdaptiveDecoyAttack, FeedbackBoard, FeedbackProbe};
 pub use report::{Evaluation, FrontierReport, TechniqueFrontier};
 pub use search::{

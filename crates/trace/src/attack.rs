@@ -72,6 +72,23 @@ pub enum AttackKind {
         /// window); `0` disables relocation.
         shift_intervals: u64,
     },
+    /// Profiling sweep (the exploit subsystem's phase-1 pattern): a
+    /// double-sided hammer whose victim slides across a span of rows,
+    /// dwelling `dwell_intervals` on each victim before advancing and
+    /// wrapping at the end of the span.  The per-victim hammer budget is
+    /// therefore `dwell_intervals * acts_per_interval` — the knob an
+    /// attacker turns to separate weak rows (which flip inside the
+    /// dwell) from strong ones (which don't), building a weak-cell map
+    /// from nothing but observed flips.
+    ProfilingSweep {
+        /// First victim row of the sweep.
+        base_row: RowAddr,
+        /// Number of consecutive victim rows covered before wrapping.
+        span_rows: u32,
+        /// Intervals spent on each victim before advancing (`0` acts
+        /// as 1).
+        dwell_intervals: u64,
+    },
     /// Refresh-synchronized burst: `pairs` adjacent aggressors (spaced
     /// two apart, flanking shared victims) are hammered only during the
     /// first `duty_intervals` of every `period_intervals`-long period,
@@ -248,6 +265,18 @@ impl Attacker {
                 let base = base_row.0 + slot * 2 * max_aggressors;
                 (0..k.max(1)).map(|j| RowAddr(base + 2 * j)).collect()
             }
+            AttackKind::ProfilingSweep {
+                base_row,
+                span_rows,
+                dwell_intervals,
+            } => {
+                let elapsed = interval.saturating_sub(self.config.start_interval);
+                let step = elapsed / dwell_intervals.max(1);
+                let offset = u32::try_from(step % u64::from(span_rows.max(1)))
+                    .expect("offset is below span_rows");
+                let victim = base_row.0 + offset;
+                vec![RowAddr(victim.saturating_sub(1)), RowAddr(victim + 1)]
+            }
             AttackKind::RefreshSyncBurst {
                 base_row,
                 pairs,
@@ -314,6 +343,18 @@ impl Attacker {
     /// neighbors of every aggressor that can ever be active) — used by
     /// the reliability analysis.
     pub fn victim_rows(&self) -> Vec<RowAddr> {
+        // The sweep makes every row in its span the victim at some
+        // interval (each is also an aggressor at *other* intervals, but
+        // the usual aggressor exclusion is per-instant, not across
+        // time), so the victim set is the span itself.
+        if let AttackKind::ProfilingSweep {
+            base_row, span_rows, ..
+        } = self.config.kind
+        {
+            return (0..span_rows.max(1))
+                .map(|d| RowAddr(base_row.0 + d))
+                .collect();
+        }
         let mut aggressors = self.aggressors_at(self.config.intervals.saturating_sub(1));
         aggressors.extend(self.aggressors_at(self.config.start_interval));
         match self.config.kind {
@@ -634,6 +675,52 @@ mod tests {
         });
         let active: Vec<u64> = (0..8).filter(|&i| !a.aggressors_at(i).is_empty()).collect();
         assert_eq!(active, vec![3, 4]);
+    }
+
+    #[test]
+    fn profiling_sweep_dwells_then_advances_and_wraps() {
+        let a = Attacker::new(AttackConfig {
+            kind: AttackKind::ProfilingSweep {
+                base_row: RowAddr(100),
+                span_rows: 3,
+                dwell_intervals: 2,
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 4,
+            start_interval: 0,
+            intervals: 12,
+            ramp_hold_intervals: 0,
+        });
+        // Two intervals on victim 100, then 101, 102, and wrap to 100.
+        assert_eq!(a.aggressors_at(0), vec![RowAddr(99), RowAddr(101)]);
+        assert_eq!(a.aggressors_at(1), vec![RowAddr(99), RowAddr(101)]);
+        assert_eq!(a.aggressors_at(2), vec![RowAddr(100), RowAddr(102)]);
+        assert_eq!(a.aggressors_at(4), vec![RowAddr(101), RowAddr(103)]);
+        assert_eq!(a.aggressors_at(6), vec![RowAddr(99), RowAddr(101)]);
+        // Every row of the span is a victim.
+        assert_eq!(
+            a.victim_rows(),
+            vec![RowAddr(100), RowAddr(101), RowAddr(102)]
+        );
+    }
+
+    #[test]
+    fn profiling_sweep_zero_dwell_acts_as_one() {
+        let a = Attacker::new(AttackConfig {
+            kind: AttackKind::ProfilingSweep {
+                base_row: RowAddr(10),
+                span_rows: 2,
+                dwell_intervals: 0,
+            },
+            target_banks: vec![BankId(0)],
+            acts_per_interval: 2,
+            start_interval: 0,
+            intervals: 4,
+            ramp_hold_intervals: 0,
+        });
+        assert_eq!(a.aggressors_at(0), vec![RowAddr(9), RowAddr(11)]);
+        assert_eq!(a.aggressors_at(1), vec![RowAddr(10), RowAddr(12)]);
+        assert_eq!(a.aggressors_at(2), vec![RowAddr(9), RowAddr(11)]);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`harness`] — the experiment engine reproducing each table/figure.
 //! * [`redteam`] — adaptive attack synthesis and the security-frontier
 //!   search engine.
+//! * [`exploit`] — targeted profile → evaluate → attack campaigns
+//!   against per-row weak-cell maps.
 //! * [`fleet`] — fleet-scale campaigns: heterogeneous device
 //!   populations, two-level scheduling, mergeable population
 //!   statistics, checkpoint/resume.
@@ -20,6 +22,7 @@
 pub use dram_sim as dram;
 pub use mem_trace as trace;
 pub use rh_baselines as baselines;
+pub use rh_exploit as exploit;
 pub use rh_fleet as fleet;
 pub use rh_harness as harness;
 pub use rh_hwmodel as hwmodel;

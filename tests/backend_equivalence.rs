@@ -256,6 +256,96 @@ fn fast_and_cycle_tiers_are_deterministic_across_worker_counts() {
     }
 }
 
+/// A profiling sweep over `span` rows of bank 0 (the exploit
+/// subsystem's phase-1 attack), on the weak-tailed 8-bank device.
+fn sweep_metrics(parallelism: Parallelism, tier: BackendSpec, span: u32) -> RunMetrics {
+    use tivapromi_suite::dram::WeakCellSpec;
+    use tivapromi_suite::trace::{AttackConfig, AttackKind, Attacker};
+    let mut config = config();
+    config.backend = tier;
+    config.weak_cells = WeakCellSpec::Sampled {
+        seed: 9,
+        strong: 16_384,
+        weak_lo: 256,
+        weak_hi: 512,
+        weak_per_mille: 250,
+    };
+    config.flip_threshold = 16_384;
+    let dwell = 5u64;
+    let intervals = u64::from(span) * dwell;
+    config.windows = intervals.div_ceil(u64::from(config.geometry.intervals_per_window()));
+    Runner::new(config.clone())
+        .parallelism(parallelism)
+        .technique(Technique::Para)
+        .seed(3)
+        .run(Attacker::new(AttackConfig {
+            kind: AttackKind::ProfilingSweep {
+                base_row: RowAddr(200),
+                span_rows: span,
+                dwell_intervals: dwell,
+            },
+            target_banks: vec![tivapromi_suite::dram::BankId(0)],
+            acts_per_interval: 128,
+            start_interval: 0,
+            intervals,
+            ramp_hold_intervals: 0,
+        }))
+}
+
+/// The exploit profiler's learned map is a pure function of the seed:
+/// byte-identical JSON whether the sweep ran sequentially, on two
+/// workers or auto-parallel.
+#[test]
+fn profiler_learned_map_is_byte_identical_across_worker_counts() {
+    use tivapromi_suite::dram::BankId;
+    use tivapromi_suite::exploit::LearnedMap;
+    let learned = |parallelism: Parallelism| {
+        let metrics = sweep_metrics(parallelism, BackendSpec::Exact, 16);
+        LearnedMap::from_flip_log(BankId(0), &metrics.flip_log).to_json()
+    };
+    let sequential = learned(Parallelism::sequential());
+    assert!(
+        sequential.contains("\"row\""),
+        "the sweep must learn at least one weak row"
+    );
+    assert_eq!(sequential, learned(Parallelism::with_workers(2)));
+    assert_eq!(sequential, learned(Parallelism::default()));
+}
+
+/// The fast tier learns the same weak-cell map as the exact tier: the
+/// same rows flip, in the same interval, with the flip instant allowed
+/// to drift only to that interval's boundary.
+#[test]
+fn profiler_learned_map_fast_vs_exact_within_tolerances() {
+    use tivapromi_suite::dram::BankId;
+    use tivapromi_suite::exploit::LearnedMap;
+    let exact_run = sweep_metrics(Parallelism::sequential(), BackendSpec::Exact, 16);
+    let fast_run = sweep_metrics(Parallelism::sequential(), BackendSpec::Fast, 16);
+    assert_fast_within_tolerances(&exact_run, &fast_run, "profiling sweep");
+    let exact = LearnedMap::from_flip_log(BankId(0), &exact_run.flip_log);
+    let fast = LearnedMap::from_flip_log(BankId(0), &fast_run.flip_log);
+    assert!(!exact.is_empty(), "the sweep must learn at least one row");
+    let rows = |map: &LearnedMap| map.rows.iter().map(|r| r.row).collect::<Vec<_>>();
+    assert_eq!(rows(&exact), rows(&fast), "learned row sets");
+    for (e, f) in exact.rows.iter().zip(&fast.rows) {
+        assert!(
+            e.interval.abs_diff(f.interval) <= 1,
+            "row {}: flip interval drifted (exact {} vs fast {})",
+            e.row.0,
+            e.interval,
+            f.interval
+        );
+        assert!(
+            e.bank_act.abs_diff(f.bank_act) <= TIME_TO_FIRST_FLIP_TOLERANCE,
+            "row {}: flip instant drifted {} (exact {} vs fast {})",
+            e.row.0,
+            e.bank_act.abs_diff(f.bank_act),
+            e.bank_act,
+            f.bank_act
+        );
+    }
+}
+
 /// The exact tier is the default, and naming it changes nothing.
 #[test]
 fn exact_tier_is_the_default() {

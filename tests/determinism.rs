@@ -240,6 +240,7 @@ fn metrics_strategy() -> impl Strategy<Value = RunMetrics> {
                     flip_threshold: 139_000,
                     first_trigger_act: first_trigger,
                     time_to_first_flip: has_flip.then_some(flip_act),
+                    flip_log: Vec::new(),
                     storage_bytes_per_bank: 64.0,
                     intervals,
                     timeseries: None,
