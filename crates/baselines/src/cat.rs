@@ -17,8 +17,10 @@
 //! stop and precision is lost.
 
 use dram_sim::{BankId, Geometry, RowAddr, FLIP_THRESHOLD};
+use mem_trace::EventBatch;
 use serde::{Deserialize, Serialize};
-use tivapromi::{Mitigation, MitigationAction};
+use std::ops::Range;
+use tivapromi::{ActionSink, Mitigation, MitigationAction};
 
 /// Configuration of a [`CounterTree`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +73,7 @@ struct Tree {
 impl Tree {
     fn new(rows: u32) -> Self {
         Tree {
+            // lint: allow(D6) — constructor: the node arena grows to max_nodes, then resets in place.
             nodes: vec![Node {
                 lo: 0,
                 hi: rows,
@@ -78,6 +81,18 @@ impl Tree {
                 left: None,
             }],
         }
+    }
+
+    /// Window reset in place: the node arena keeps its capacity so
+    /// steady-state window turnover never touches the heap.
+    fn reset(&mut self, rows: u32) {
+        self.nodes.clear();
+        self.nodes.push(Node {
+            lo: 0,
+            hi: rows,
+            count: 0,
+            left: None,
+        });
     }
 
     /// Walks the tree for one activation; returns true if the row's
@@ -166,6 +181,7 @@ impl CounterTree {
         CounterTree {
             trees: (0..config.banks)
                 .map(|_| Tree::new(config.rows_per_bank))
+                // lint: allow(D6) — constructor-time tree allocation.
                 .collect(),
             config,
             interval: 0,
@@ -202,13 +218,35 @@ impl Mitigation for CounterTree {
         self.peak_nodes = self.peak_nodes.max(tree.nodes.len());
     }
 
+    // Hot path: segment event indices are bounded by the batch length,
+    // far below u32::MAX.
+    #[allow(clippy::cast_possible_truncation)]
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
+        // Lane kernel: the bank's tree is hoisted once per run and the
+        // node watermark is settled at run end — node count only grows
+        // within a run (resets happen at window boundaries), so the
+        // end-of-run length is the run's maximum.
+        let (_, rows, _) = batch.columns();
+        for (bank, run) in batch.bank_runs(range) {
+            let tree = &mut self.trees[bank.index()];
+            for i in run {
+                let row = rows[i];
+                if tree.insert(row.0, &self.config) {
+                    // lint: allow(D5) — event tag: segment indices are bounded by the batch length.
+                    sink.push(i as u32, MitigationAction::ActivateNeighbors { bank, row });
+                }
+            }
+            self.peak_nodes = self.peak_nodes.max(tree.nodes.len());
+        }
+    }
+
     fn on_refresh_interval(&mut self, _actions: &mut Vec<MitigationAction>) {
         self.interval += 1;
         if self.interval == self.config.intervals_per_window {
             // "the tree is reset at each new refresh window"
             self.interval = 0;
             for tree in &mut self.trees {
-                *tree = Tree::new(self.config.rows_per_bank);
+                tree.reset(self.config.rows_per_bank);
             }
         }
     }
@@ -293,6 +331,42 @@ mod tests {
             );
         }
         assert!(c.peak_nodes() >= c.config().max_nodes - 2);
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_path() {
+        use mem_trace::TraceEvent;
+        use tivapromi::ActionSink;
+        let cfg = CounterTreeConfig {
+            split_threshold: 8,
+            trigger_threshold: 60,
+            ..CounterTreeConfig::paper(&Geometry::paper().with_banks(3))
+        };
+        let mut kernel = CounterTree::new(cfg);
+        let mut scalar = CounterTree::new(cfg);
+
+        let mut events = Vec::new();
+        for i in 0..1024u32 {
+            events.push(TraceEvent::benign(BankId(i % 3), RowAddr(12_345)));
+        }
+        let mut batch = EventBatch::new();
+        batch.push_interval(&events);
+        let mut sink = ActionSink::new();
+        kernel.on_batch(&batch, batch.segment(0), &mut sink);
+
+        let mut expected = Vec::new();
+        for e in &events {
+            scalar.on_activate(e.bank, e.row, &mut expected);
+        }
+        let mut drained = Vec::new();
+        for tag in 0..u32::try_from(events.len()).expect("fits") {
+            while let Some(a) = sink.next_for(tag) {
+                drained.push(a);
+            }
+        }
+        assert_eq!(drained, expected);
+        assert!(!drained.is_empty());
+        assert_eq!(kernel.peak_nodes(), scalar.peak_nodes());
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! why it makes an interesting extra point on the Fig. 4 plane.
 
 use dram_sim::{BankId, Geometry, RowAddr, FLIP_THRESHOLD};
+use mem_trace::EventBatch;
 use serde::{Deserialize, Serialize};
-use tivapromi::{Mitigation, MitigationAction};
+use std::ops::Range;
+use tivapromi::{ActionSink, Mitigation, MitigationAction};
 
 /// Configuration of a [`Graphene`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,6 +68,54 @@ struct Summary {
     fired: Vec<u32>,
 }
 
+impl Summary {
+    /// One Misra–Gries update; returns whether the estimate crossed
+    /// another threshold multiple (→ `act_n`).  Shared by the scalar
+    /// path and the lane kernel.
+    fn observe(&mut self, row: RowAddr, threshold: u32, capacity: usize) -> bool {
+        let index = if let Some(i) = self.entries.iter().position(|(r, _)| *r == row) {
+            self.entries[i].1 += 1;
+            Some(i)
+        } else if self.entries.len() < capacity {
+            self.entries.push((row, self.spillover + 1));
+            self.fired.push(0);
+            Some(self.entries.len() - 1)
+        } else {
+            // Misra–Gries replacement: if some entry's count equals the
+            // spillover, it is indistinguishable from untracked traffic —
+            // replace it; otherwise the access lands in the spillover.
+            let spill = self.spillover;
+            if let Some(i) = self.entries.iter().position(|&(_, c)| c == spill) {
+                self.entries[i] = (row, spill + 1);
+                self.fired[i] = 0;
+                Some(i)
+            } else {
+                self.spillover += 1;
+                None
+            }
+        };
+
+        if let Some(i) = index {
+            let count = self.entries[i].1;
+            // Fire each time the estimate crosses another threshold
+            // multiple.
+            if count / threshold > self.fired[i] {
+                self.fired[i] = count / threshold;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Window reset in place: the entry and fired lanes keep their
+    /// capacity so steady-state windows never touch the heap.
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.fired.clear();
+        self.spillover = 0;
+    }
+}
+
 /// The Graphene mitigation.
 ///
 /// ```
@@ -97,6 +147,7 @@ impl Graphene {
         assert!(config.entries > 0, "table must be nonempty");
         assert!(config.trigger_threshold > 0, "threshold must be nonzero");
         Graphene {
+            // lint: allow(D6) — constructor: summaries grow to `entries`, then reset in place.
             banks: (0..config.banks).map(|_| Summary::default()).collect(),
             config,
             interval: 0,
@@ -131,37 +182,28 @@ impl Mitigation for Graphene {
     fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
         let threshold = self.config.trigger_threshold;
         let capacity = self.config.entries;
-        let summary = &mut self.banks[bank.index()];
+        if self.banks[bank.index()].observe(row, threshold, capacity) {
+            actions.push(MitigationAction::ActivateNeighbors { bank, row });
+        }
+    }
 
-        let index = if let Some(i) = summary.entries.iter().position(|(r, _)| *r == row) {
-            summary.entries[i].1 += 1;
-            Some(i)
-        } else if summary.entries.len() < capacity {
-            summary.entries.push((row, summary.spillover + 1));
-            summary.fired.push(0);
-            Some(summary.entries.len() - 1)
-        } else {
-            // Misra–Gries replacement: if some entry's count equals the
-            // spillover, it is indistinguishable from untracked traffic —
-            // replace it; otherwise the access lands in the spillover.
-            let spill = summary.spillover;
-            if let Some(i) = summary.entries.iter().position(|&(_, c)| c == spill) {
-                summary.entries[i] = (row, spill + 1);
-                summary.fired[i] = 0;
-                Some(i)
-            } else {
-                summary.spillover += 1;
-                None
-            }
-        };
-
-        if let Some(i) = index {
-            let count = summary.entries[i].1;
-            // Fire each time the estimate crosses another threshold
-            // multiple.
-            if count / threshold > summary.fired[i] {
-                summary.fired[i] = count / threshold;
-                actions.push(MitigationAction::ActivateNeighbors { bank, row });
+    // Hot path: segment event indices are bounded by the batch length,
+    // far below u32::MAX.
+    #[allow(clippy::cast_possible_truncation)]
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
+        // Lane kernel: the bank's Misra–Gries summary is hoisted once
+        // per run and the threshold/capacity scalars stay in registers.
+        let threshold = self.config.trigger_threshold;
+        let capacity = self.config.entries;
+        let (_, rows, _) = batch.columns();
+        for (bank, run) in batch.bank_runs(range) {
+            let summary = &mut self.banks[bank.index()];
+            for i in run {
+                let row = rows[i];
+                if summary.observe(row, threshold, capacity) {
+                    // lint: allow(D5) — event tag: segment indices are bounded by the batch length.
+                    sink.push(i as u32, MitigationAction::ActivateNeighbors { bank, row });
+                }
             }
         }
     }
@@ -171,7 +213,7 @@ impl Mitigation for Graphene {
         if self.interval == self.config.intervals_per_window {
             self.interval = 0;
             for summary in &mut self.banks {
-                *summary = Summary::default();
+                summary.reset();
             }
         }
     }
@@ -262,6 +304,45 @@ mod tests {
             g.on_refresh_interval(&mut actions);
         }
         assert!(g.estimate(BankId(0), RowAddr(9)).is_none());
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_path() {
+        use mem_trace::TraceEvent;
+        use tivapromi::ActionSink;
+        let cfg = GrapheneConfig {
+            trigger_threshold: 25,
+            ..GrapheneConfig::paper(&Geometry::paper().with_banks(3))
+        };
+        let mut kernel = Graphene::new(cfg);
+        let mut scalar = Graphene::new(cfg);
+
+        let mut events = Vec::new();
+        for i in 0..512u32 {
+            events.push(TraceEvent::benign(BankId(i % 3), RowAddr(500 + i % 6)));
+        }
+        let mut batch = EventBatch::new();
+        batch.push_interval(&events);
+        let mut sink = ActionSink::new();
+        kernel.on_batch(&batch, batch.segment(0), &mut sink);
+
+        let mut expected = Vec::new();
+        for e in &events {
+            scalar.on_activate(e.bank, e.row, &mut expected);
+        }
+        let mut drained = Vec::new();
+        for tag in 0..u32::try_from(events.len()).expect("fits") {
+            while let Some(a) = sink.next_for(tag) {
+                drained.push(a);
+            }
+        }
+        assert_eq!(drained, expected);
+        assert!(!drained.is_empty());
+        for (k, s) in kernel.banks.iter().zip(&scalar.banks) {
+            assert_eq!(k.entries, s.entries);
+            assert_eq!(k.fired, s.fired);
+            assert_eq!(k.spillover, s.spillover);
+        }
     }
 
     #[test]

@@ -7,12 +7,18 @@
 //! side: the probability cannot adapt, so every activation of a benign
 //! row carries the full `p = 0.001`, producing the highest class of
 //! activation overhead and false positives among the compared schemes.
+//!
+//! The decision discipline is *one stream word per event*: the word's
+//! high bits drive the Bernoulli gate and its low bit picks the
+//! neighbor ([`tivapromi::draw`]), so the lane kernel can prefetch a
+//! whole run's words in one block refill while the scalar path consumes
+//! the identical sequence word by word.
 
 use dram_sim::{BankId, Geometry, RowAddr};
 use mem_trace::EventBatch;
-use rand::RngExt;
+use rand::RngCore;
 use std::ops::Range;
-use tivapromi::{ActionSink, BankRngs, Mitigation, MitigationAction};
+use tivapromi::{draw, ActionSink, BankRngs, Mitigation, MitigationAction};
 
 /// The PARA mitigation.
 ///
@@ -24,6 +30,19 @@ pub struct Para {
     rngs: BankRngs,
 }
 
+/// The neighbor a triggered event refreshes: the word's direction bit
+/// picks a side, edge rows fall back to their only neighbor.
+#[inline]
+fn neighbor_victim(row: RowAddr, word: u64, rows_per_bank: u32) -> RowAddr {
+    if draw::direction_up(word) && row.0 + 1 < rows_per_bank {
+        RowAddr(row.0 + 1)
+    } else if row.0 > 0 {
+        RowAddr(row.0 - 1)
+    } else {
+        RowAddr(row.0 + 1)
+    }
+}
+
 impl Para {
     /// Creates PARA with an explicit trigger probability.
     ///
@@ -31,6 +50,17 @@ impl Para {
     ///
     /// Panics if `probability` is not in `[0, 1]`.
     pub fn new(probability: f64, rows_per_bank: u32, seed: u64) -> Self {
+        Para::with_banks(probability, rows_per_bank, seed, 0)
+    }
+
+    /// [`Para::new`] with `banks` per-bank streams seeded eagerly — the
+    /// construction the harness uses so the hot path never grows the
+    /// RNG pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1]`.
+    pub fn with_banks(probability: f64, rows_per_bank: u32, seed: u64, banks: u32) -> Self {
         assert!(
             (0.0..=1.0).contains(&probability),
             "probability must be in [0, 1]"
@@ -38,14 +68,14 @@ impl Para {
         Para {
             probability,
             rows_per_bank,
-            rngs: BankRngs::new(seed),
+            rngs: BankRngs::with_banks(seed, banks),
         }
     }
 
     /// The paper's configuration: `p = 0.001` ("a value of at least
     /// 0.001 is considered as effective").
     pub fn paper(geometry: &Geometry, seed: u64) -> Self {
-        Para::new(0.001, geometry.rows_per_bank(), seed)
+        Para::with_banks(0.001, geometry.rows_per_bank(), seed, geometry.banks())
     }
 
     /// The configured trigger probability.
@@ -60,18 +90,9 @@ impl Mitigation for Para {
     }
 
     fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
-        let rng = self.rngs.get(bank);
-        if rng.random_bool(self.probability) {
-            // Pick one of the two neighbors at random (edge rows have
-            // only one choice).
-            let up = rng.random_bool(0.5);
-            let victim = if up && row.0 + 1 < self.rows_per_bank {
-                RowAddr(row.0 + 1)
-            } else if row.0 > 0 {
-                RowAddr(row.0 - 1)
-            } else {
-                RowAddr(row.0 + 1)
-            };
+        let word = self.rngs.get(bank).next_u64();
+        if draw::gate(word, self.probability) {
+            let victim = neighbor_victim(row, word, self.rows_per_bank);
             actions.push(MitigationAction::RefreshRow { bank, row: victim });
         }
     }
@@ -80,25 +101,23 @@ impl Mitigation for Para {
     // far below u32::MAX.
     #[allow(clippy::cast_possible_truncation)]
     fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
-        // The probability and bank size never change: hoist them (and
-        // the sink tagging) out of the per-event dispatch.  The two RNG
-        // draws happen in exactly the scalar order, so batched and
-        // scalar runs stay bit-identical.
-        let probability = self.probability;
+        // Lane kernel: per bank run, one stream refill covers the whole
+        // run (one word per event), the gate is a single integer compare
+        // against the hoisted threshold (exactly the float gate — see
+        // `draw::threshold`), and the row column is read directly.
+        // Word k decides event k of the run — the exact stream positions
+        // the scalar path consumes — so batched ≡ scalar bit for bit.
+        let threshold = draw::threshold(self.probability);
         let rows_per_bank = self.rows_per_bank;
-        for i in range {
-            let (bank, row) = (batch.bank(i), batch.row(i));
-            let rng = self.rngs.get(bank);
-            if rng.random_bool(probability) {
-                let up = rng.random_bool(0.5);
-                let victim = if up && row.0 + 1 < rows_per_bank {
-                    RowAddr(row.0 + 1)
-                } else if row.0 > 0 {
-                    RowAddr(row.0 - 1)
-                } else {
-                    RowAddr(row.0 + 1)
-                };
-                sink.push(i as u32, MitigationAction::RefreshRow { bank, row: victim });
+        let (_, rows, _) = batch.columns();
+        for (bank, run) in batch.bank_runs(range) {
+            let words = self.rngs.draw_block(bank, run.len());
+            for (&word, i) in words.iter().zip(run) {
+                if draw::gate_at(word, threshold) {
+                    let victim = neighbor_victim(rows[i], word, rows_per_bank);
+                    // lint: allow(D5) — event tag: segment indices are bounded by the batch length.
+                    sink.push(i as u32, MitigationAction::RefreshRow { bank, row: victim });
+                }
             }
         }
     }
@@ -157,6 +176,36 @@ mod tests {
         let g = Geometry::paper();
         assert_eq!(Para::paper(&g, 1).storage_bits_per_bank(), 0);
         assert!((Para::paper(&g, 1).probability() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_path() {
+        use mem_trace::TraceEvent;
+        // Mixed-bank traffic, including single-event runs.
+        let mut events = Vec::new();
+        for i in 0..512u32 {
+            events.push(TraceEvent::benign(BankId(i % 3), RowAddr(100 + i % 7)));
+        }
+        let mut batch = EventBatch::new();
+        batch.push_interval(&events);
+
+        let mut kernel = Para::with_banks(0.5, 1024, 9, 3);
+        let mut sink = ActionSink::new();
+        kernel.on_batch(&batch, batch.segment(0), &mut sink);
+
+        let mut scalar = Para::with_banks(0.5, 1024, 9, 3);
+        let mut expected = Vec::new();
+        for e in &events {
+            scalar.on_activate(e.bank, e.row, &mut expected);
+        }
+        let mut drained = Vec::new();
+        for tag in 0..u32::try_from(events.len()).expect("fits") {
+            while let Some(a) = sink.next_for(tag) {
+                drained.push(a);
+            }
+        }
+        assert_eq!(drained, expected);
+        assert!(!drained.is_empty());
     }
 
     #[test]

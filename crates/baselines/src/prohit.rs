@@ -12,9 +12,11 @@
 //! whether or not it was a real aggressor's victim.
 
 use dram_sim::{BankId, Geometry, RowAddr};
+use mem_trace::EventBatch;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
-use tivapromi::{BankRngs, Mitigation, MitigationAction};
+use std::ops::Range;
+use tivapromi::{draw, ActionSink, BankRngs, Mitigation, MitigationAction};
 
 /// Configuration of a [`ProHit`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,6 +58,43 @@ struct Tables {
     hot: Vec<RowAddr>,
     /// Cold table, index 0 = most recently inserted.
     cold: Vec<RowAddr>,
+}
+
+impl Tables {
+    fn process_victim(&mut self, victim: RowAddr, hot_entries: usize, cold_entries: usize) {
+        if let Some(pos) = self.hot.iter().position(|&r| r == victim) {
+            // Promote one slot toward the top.
+            if pos > 0 {
+                self.hot.swap(pos, pos - 1);
+            }
+            return;
+        }
+        if let Some(pos) = self.cold.iter().position(|&r| r == victim) {
+            // Promote cold → hot bottom; a full hot table demotes its
+            // bottom entry back to the cold top.
+            self.cold.remove(pos);
+            if self.hot.len() >= hot_entries {
+                let demoted = self.hot.pop().expect("hot table nonempty");
+                self.cold.insert(0, demoted);
+                self.cold.truncate(cold_entries);
+            }
+            self.hot.push(victim);
+            return;
+        }
+        // New victim: insert at the cold top, evicting the bottom.
+        self.cold.insert(0, victim);
+        self.cold.truncate(cold_entries);
+    }
+
+    /// Both neighbors of a selected activation enter the tables.
+    fn process_event(&mut self, row: RowAddr, config: &ProHitConfig) {
+        if row.0 > 0 {
+            self.process_victim(RowAddr(row.0 - 1), config.hot_entries, config.cold_entries);
+        }
+        if row.0 + 1 < config.rows_per_bank {
+            self.process_victim(RowAddr(row.0 + 1), config.hot_entries, config.cold_entries);
+        }
+    }
 }
 
 /// The ProHit mitigation.
@@ -101,9 +140,10 @@ impl ProHit {
             "probability must be in [0, 1]"
         );
         ProHit {
+            // lint: allow(D6) — constructor-time table allocation.
             banks: (0..config.banks).map(|_| Tables::default()).collect(),
+            rngs: BankRngs::with_banks(seed, config.banks),
             config,
-            rngs: BankRngs::new(seed),
         }
     }
 
@@ -117,31 +157,6 @@ impl ProHit {
         &self.config
     }
 
-    fn process_victim(&mut self, bank: usize, victim: RowAddr) {
-        let tables = &mut self.banks[bank];
-        if let Some(pos) = tables.hot.iter().position(|&r| r == victim) {
-            // Promote one slot toward the top.
-            if pos > 0 {
-                tables.hot.swap(pos, pos - 1);
-            }
-            return;
-        }
-        if let Some(pos) = tables.cold.iter().position(|&r| r == victim) {
-            // Promote cold → hot bottom; a full hot table demotes its
-            // bottom entry back to the cold top.
-            tables.cold.remove(pos);
-            if tables.hot.len() >= self.config.hot_entries {
-                let demoted = tables.hot.pop().expect("hot table nonempty");
-                tables.cold.insert(0, demoted);
-                tables.cold.truncate(self.config.cold_entries);
-            }
-            tables.hot.push(victim);
-            return;
-        }
-        // New victim: insert at the cold top, evicting the bottom.
-        tables.cold.insert(0, victim);
-        tables.cold.truncate(self.config.cold_entries);
-    }
 }
 
 impl Mitigation for ProHit {
@@ -157,12 +172,36 @@ impl Mitigation for ProHit {
         {
             return;
         }
-        if row.0 > 0 {
-            self.process_victim(bank.index(), RowAddr(row.0 - 1));
+        self.banks[bank.index()].process_event(row, &self.config);
+    }
+
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, _sink: &mut ActionSink) {
+        // Lane kernel: per bank run, the selection draws are prefetched
+        // in one block refill — one word per event, mirroring
+        // `random_bool`'s consumption exactly.  At the clamped
+        // probabilities the shim draws nothing, so neither do we.
+        let p = self.config.select_probability;
+        let (_, rows, _) = batch.columns();
+        if p > 0.0 && p < 1.0 {
+            let threshold = draw::threshold(p);
+            for (bank, run) in batch.bank_runs(range) {
+                let words = self.rngs.draw_block(bank, run.len());
+                let tables = &mut self.banks[bank.index()];
+                for (&word, i) in words.iter().zip(run) {
+                    if draw::gate_at(word, threshold) {
+                        tables.process_event(rows[i], &self.config);
+                    }
+                }
+            }
+        } else if p >= 1.0 {
+            for (bank, run) in batch.bank_runs(range) {
+                let tables = &mut self.banks[bank.index()];
+                for i in run {
+                    tables.process_event(rows[i], &self.config);
+                }
+            }
         }
-        if row.0 + 1 < self.config.rows_per_bank {
-            self.process_victim(bank.index(), RowAddr(row.0 + 1));
-        }
+        // p <= 0.0: nothing is ever selected and no words are consumed.
     }
 
     fn on_refresh_interval(&mut self, actions: &mut Vec<MitigationAction>) {
@@ -266,5 +305,40 @@ mod tests {
         let p = ProHit::paper(&Geometry::paper(), 1);
         let bytes = p.storage_bytes_per_bank();
         assert!(bytes > 10.0 && bytes < 100.0, "got {bytes}");
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_path() {
+        use mem_trace::TraceEvent;
+        // Exercise both the prefetched-draw branch and the clamped
+        // p = 1.0 branch.
+        for select_probability in [0.3, 1.0] {
+            let mut cfg = ProHitConfig::paper(&Geometry::paper().with_banks(3));
+            cfg.select_probability = select_probability;
+            let mut kernel = ProHit::new(cfg, 7);
+            let mut scalar = ProHit::new(cfg, 7);
+
+            let mut events = Vec::new();
+            for i in 0..400u32 {
+                events.push(TraceEvent::benign(BankId(i % 3), RowAddr(100 + i % 11)));
+            }
+            let mut batch = mem_trace::EventBatch::new();
+            batch.push_interval(&events);
+            let mut sink = ActionSink::new();
+            kernel.on_batch(&batch, batch.segment(0), &mut sink);
+            let mut scratch = Vec::new();
+            for e in &events {
+                scalar.on_activate(e.bank, e.row, &mut scratch);
+            }
+            for (k, s) in kernel.banks.iter().zip(&scalar.banks) {
+                assert_eq!(k.hot, s.hot);
+                assert_eq!(k.cold, s.cold);
+            }
+            let mut kernel_actions = Vec::new();
+            let mut scalar_actions = Vec::new();
+            kernel.on_refresh_interval(&mut kernel_actions);
+            scalar.on_refresh_interval(&mut scalar_actions);
+            assert_eq!(kernel_actions, scalar_actions);
+        }
     }
 }

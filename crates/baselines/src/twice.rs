@@ -25,8 +25,10 @@
 //! source of TWiCe's 740× LUT count in Table III).
 
 use dram_sim::{BankId, Geometry, RowAddr, FLIP_THRESHOLD};
+use mem_trace::EventBatch;
 use serde::{Deserialize, Serialize};
-use tivapromi::{Mitigation, MitigationAction};
+use std::ops::Range;
+use tivapromi::{ActionSink, Mitigation, MitigationAction};
 
 /// Configuration of a [`TwiCe`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,6 +73,43 @@ struct Entry {
     life: u32,
 }
 
+/// One activation against a bank's CAM: increment on hit (returning
+/// whether `act_n` fired, which restarts the entry), allocate on miss.
+/// Shared by the scalar path and the lane kernel.
+fn observe(table: &mut Vec<Entry>, row: RowAddr, config: &TwiCeConfig) -> bool {
+    if let Some(entry) = table.iter_mut().find(|e| e.row == row) {
+        entry.count += 1;
+        if entry.count >= config.trigger_threshold {
+            // The neighbors were just restored: the row's budget
+            // restarts.
+            entry.count = 0;
+            entry.life = 0;
+            return true;
+        }
+        return false;
+    }
+    // Allocate on miss.  The analytic sizing guarantees space; if an
+    // adversarial pattern still overflows the CAM, evict the entry
+    // closest to pruning (smallest count-per-life) — it is the one
+    // the pruning proof says is least dangerous.
+    if table.len() >= config.max_entries {
+        if let Some(idx) = table
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (u64::from(e.count) << 16) / u64::from(e.life.max(1)))
+            .map(|(i, _)| i)
+        {
+            table.swap_remove(idx);
+        }
+    }
+    table.push(Entry {
+        row,
+        count: 1,
+        life: 0,
+    });
+    false
+}
+
 /// The TWiCe mitigation.
 ///
 /// ```
@@ -108,6 +147,7 @@ impl TwiCe {
         assert!(config.pruning_rate > 0, "pruning rate must be nonzero");
         assert!(config.max_entries > 0, "CAM must be nonempty");
         TwiCe {
+            // lint: allow(D6) — constructor: CAM tables grow to max_entries, then stay.
             tables: (0..config.banks).map(|_| Vec::new()).collect(),
             config,
             peak_entries: 0,
@@ -137,37 +177,32 @@ impl Mitigation for TwiCe {
 
     fn on_activate(&mut self, bank: BankId, row: RowAddr, actions: &mut Vec<MitigationAction>) {
         let table = &mut self.tables[bank.index()];
-        if let Some(entry) = table.iter_mut().find(|e| e.row == row) {
-            entry.count += 1;
-            if entry.count >= self.config.trigger_threshold {
-                actions.push(MitigationAction::ActivateNeighbors { bank, row });
-                // The neighbors were just restored: the row's budget
-                // restarts.
-                entry.count = 0;
-                entry.life = 0;
-            }
-            return;
+        if observe(table, row, &self.config) {
+            actions.push(MitigationAction::ActivateNeighbors { bank, row });
         }
-        // Allocate on miss.  The analytic sizing guarantees space; if an
-        // adversarial pattern still overflows the CAM, evict the entry
-        // closest to pruning (smallest count-per-life) — it is the one
-        // the pruning proof says is least dangerous.
-        if table.len() >= self.config.max_entries {
-            if let Some(idx) = table
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| (u64::from(e.count) << 16) / u64::from(e.life.max(1)))
-                .map(|(i, _)| i)
-            {
-                table.swap_remove(idx);
-            }
-        }
-        table.push(Entry {
-            row,
-            count: 1,
-            life: 0,
-        });
         self.peak_entries = self.peak_entries.max(table.len());
+    }
+
+    // Hot path: segment event indices are bounded by the batch length,
+    // far below u32::MAX.
+    #[allow(clippy::cast_possible_truncation)]
+    fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
+        // Lane kernel: the bank's CAM is hoisted once per run and the
+        // peak-occupancy watermark is settled at run end — within a run
+        // the table length is monotone (pruning only happens at interval
+        // boundaries), so the end-of-run length is the run's maximum.
+        let (_, rows, _) = batch.columns();
+        for (bank, run) in batch.bank_runs(range) {
+            let table = &mut self.tables[bank.index()];
+            for i in run {
+                let row = rows[i];
+                if observe(table, row, &self.config) {
+                    // lint: allow(D5) — event tag: segment indices are bounded by the batch length.
+                    sink.push(i as u32, MitigationAction::ActivateNeighbors { bank, row });
+                }
+            }
+            self.peak_entries = self.peak_entries.max(table.len());
+        }
     }
 
     fn on_refresh_interval(&mut self, _actions: &mut Vec<MitigationAction>) {
@@ -299,6 +334,42 @@ mod tests {
             t.on_refresh_interval(&mut actions);
         }
         assert!(t.peak_entries() <= 595, "peak {}", t.peak_entries());
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_path() {
+        use mem_trace::TraceEvent;
+        use tivapromi::ActionSink;
+        let cfg = TwiCeConfig {
+            trigger_threshold: 30,
+            ..TwiCeConfig::paper(&Geometry::paper().with_banks(3))
+        };
+        let mut kernel = TwiCe::new(cfg);
+        let mut scalar = TwiCe::new(cfg);
+
+        let mut events = Vec::new();
+        for i in 0..512u32 {
+            events.push(TraceEvent::benign(BankId(i % 3), RowAddr(400 + i % 5)));
+        }
+        let mut batch = EventBatch::new();
+        batch.push_interval(&events);
+        let mut sink = ActionSink::new();
+        kernel.on_batch(&batch, batch.segment(0), &mut sink);
+
+        let mut expected = Vec::new();
+        for e in &events {
+            scalar.on_activate(e.bank, e.row, &mut expected);
+        }
+        let mut drained = Vec::new();
+        for tag in 0..u32::try_from(events.len()).expect("fits") {
+            while let Some(a) = sink.next_for(tag) {
+                drained.push(a);
+            }
+        }
+        assert_eq!(drained, expected);
+        assert!(!drained.is_empty());
+        assert_eq!(kernel.tables, scalar.tables);
+        assert_eq!(kernel.peak_entries(), scalar.peak_entries());
     }
 
     #[test]

@@ -27,6 +27,15 @@
 //!   justification; the linter inventories them.
 //! * **D5** `narrowing-cast`: no `as` casts to ≤32-bit integer types
 //!   in counter/flip-arithmetic files (use `try_from`/checked ops).
+//! * **D6** `hot-loop-alloc`: `Vec::new`/`vec![`/`Box::new`/`.collect()`
+//!   in the inventoried hot-loop files (the lane kernels, the batched
+//!   engine loop, the arena) must carry an allow annotation.  The
+//!   steady-state contract (`tests/alloc_free.rs`) promises zero heap
+//!   allocations per batch; every allocation-adjacent construction in
+//!   those files is either construction-time (annotate it, saying so)
+//!   or a regression.  `Vec::with_capacity` is the blessed idiom and
+//!   is never flagged — preallocation *is* the contract; a bare
+//!   `Vec::new` signals a buffer that will grow inside the loop.
 //!
 //! # Annotation grammar
 //!
@@ -45,15 +54,16 @@ use crate::lexer::{lex, Lexed, Token, TokenKind};
 use serde::{Deserialize, Serialize};
 
 /// Rule identifiers, in catalog order.
-pub const RULE_IDS: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "ANN"];
+pub const RULE_IDS: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "D6", "ANN"];
 
 /// One-line description per rule, aligned with [`RULE_IDS`].
-pub const RULE_SUMMARIES: [&str; 6] = [
+pub const RULE_SUMMARIES: [&str; 7] = [
     "hash-ordered iteration (HashMap/HashSet) in non-test code",
     "wall-clock read (Instant/SystemTime) outside PerfCounters/bench",
     "unseeded randomness (thread_rng/rand::random/OS entropy)",
     "unsafe or Ordering::Relaxed site without allow annotation",
     "narrowing `as` cast in counter/flip arithmetic",
+    "unannotated allocation call in a hot-loop file",
     "malformed lint annotation (missing justification)",
 ];
 
@@ -103,6 +113,10 @@ pub struct FileClass {
     pub timing_exempt: bool,
     /// Counter/flip-arithmetic file: D5 applies.
     pub counter_scope: bool,
+    /// Hot-loop file (lane kernels, batched engine loop, arena): D6
+    /// applies — allocation calls must be annotated construction-time
+    /// sites, never steady-loop code.
+    pub hot_loop: bool,
 }
 
 const ITER_METHODS: [&str; 10] = [
@@ -189,6 +203,9 @@ pub fn lint_source(path: &str, source: &str, class: &FileClass) -> FileReport {
     rule_d4(&lexed, &mut ctx);
     if class.counter_scope && !class.is_bench {
         rule_d5(&lexed, test_start, &mut ctx);
+    }
+    if class.hot_loop && !class.is_bench {
+        rule_d6(&lexed, test_start, &mut ctx);
     }
 
     report.findings.sort();
@@ -633,6 +650,53 @@ fn rule_d5(lexed: &Lexed, test_start: u32, ctx: &mut Ctx<'_>) {
     }
 }
 
+/// D6: allocation calls in hot-loop files.  The flagged forms are
+/// `Vec::new`, `vec![…]`, `Box::new` and `.collect()` (including
+/// turbofish) — the constructions that either allocate outright or
+/// produce a zero-capacity buffer that will allocate on first push
+/// inside the steady loop.  `Vec::with_capacity` and in-place reuse
+/// (`clear`/`reset`) are the blessed idioms and pass silently.
+fn rule_d6(lexed: &Lexed, test_start: u32, ctx: &mut Ctx<'_>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if t[i].line >= test_start {
+            continue;
+        }
+        if (is_ident(&t[i], "Vec") || is_ident(&t[i], "Box"))
+            && t.get(i + 1).is_some_and(|n| n.text == "::")
+            && t.get(i + 2).is_some_and(|n| is_ident(n, "new"))
+        {
+            ctx.finding(
+                "D6",
+                t[i].line,
+                format!(
+                    "`{}::new` in a hot-loop file: preallocate with `with_capacity` (or reuse in \
+                     place) and annotate construction-time sites with `lint: allow(D6)`",
+                    t[i].text
+                ),
+            );
+        }
+        if is_ident(&t[i], "vec") && t.get(i + 1).is_some_and(|n| n.text == "!") {
+            ctx.finding(
+                "D6",
+                t[i].line,
+                "`vec![…]` in a hot-loop file: allocates every evaluation; annotate \
+                 construction-time sites with `lint: allow(D6)` or reuse a preallocated buffer"
+                    .to_string(),
+            );
+        }
+        if is_ident(&t[i], "collect") && i > 0 && t[i - 1].text == "." {
+            ctx.finding(
+                "D6",
+                t[i].line,
+                "`.collect()` in a hot-loop file: allocates a fresh container; annotate \
+                 construction-time sites with `lint: allow(D6)` or fill a reused buffer"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -729,6 +793,62 @@ mod tests {
         // Out of scope: same source, no counter_scope.
         let r = lint("fn f(x: u64) -> u32 { x as u32 }");
         assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn d6_scoped_to_hot_loop_files() {
+        let class = FileClass {
+            hot_loop: true,
+            ..FileClass::default()
+        };
+        let src = "fn f(xs: &[u32]) -> Vec<u32> { let v: Vec<u32> = xs.iter().copied().collect(); let w = vec![0; 4]; let b = Box::new(w); let e: Vec<u32> = Vec::new(); v }";
+        let r = lint_source("mem.rs", src, &class);
+        assert_eq!(rules_of(&r), vec!["D6", "D6", "D6", "D6"]);
+        // Out of scope: same source, no hot_loop.
+        let r = lint(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d6_accepts_with_capacity_and_honors_annotation() {
+        let class = FileClass {
+            hot_loop: true,
+            ..FileClass::default()
+        };
+        let r = lint_source(
+            "mem.rs",
+            "fn f() -> Vec<u32> { Vec::with_capacity(1024) }",
+            &class,
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        let r = lint_source(
+            "mem.rs",
+            "fn f() -> Vec<u32> {\n    // lint: allow(D6) — construction-time, never in the loop\n    Vec::new()\n}",
+            &class,
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.annotations[0].used);
+    }
+
+    #[test]
+    fn d6_ignores_test_code_and_bench_files() {
+        let class = FileClass {
+            hot_loop: true,
+            ..FileClass::default()
+        };
+        let r = lint_source(
+            "mem.rs",
+            "#[cfg(test)]\nmod tests { fn f() -> Vec<u32> { (0..4).collect() } }",
+            &class,
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        let bench = FileClass {
+            hot_loop: true,
+            is_bench: true,
+            ..FileClass::default()
+        };
+        let r = lint_source("mem.rs", "fn f() -> Vec<u32> { Vec::new() }", &bench);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]

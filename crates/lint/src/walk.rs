@@ -17,8 +17,16 @@ const ROOTS: [&str; 3] = ["crates", "src", "tests"];
 const EXCLUDES: [&str; 3] = ["shims/", "target/", "crates/lint/tests/fixtures/"];
 
 /// Files where D5 (narrowing casts) applies: the counter/flip
-/// arithmetic the run metrics are built from.
-const COUNTER_SCOPE: [&str; 15] = [
+/// arithmetic the run metrics are built from, plus the lane-kernel
+/// decision layer (event-tag and counter arithmetic flow through it).
+const COUNTER_SCOPE: [&str; 28] = [
+    "crates/baselines/src/cat.rs",
+    "crates/baselines/src/cra.rs",
+    "crates/baselines/src/graphene.rs",
+    "crates/baselines/src/mrloc.rs",
+    "crates/baselines/src/para.rs",
+    "crates/baselines/src/prohit.rs",
+    "crates/baselines/src/twice.rs",
     "crates/dram/src/backend.rs",
     "crates/dram/src/cycle.rs",
     "crates/dram/src/device.rs",
@@ -31,9 +39,40 @@ const COUNTER_SCOPE: [&str; 15] = [
     "crates/fleet/src/sketch.rs",
     "crates/harness/src/engine.rs",
     "crates/harness/src/metrics.rs",
+    "crates/tivapromi/src/bank_rng.rs",
+    "crates/tivapromi/src/capromi.rs",
     "crates/tivapromi/src/counter_table.rs",
+    "crates/tivapromi/src/draw.rs",
     "crates/tivapromi/src/history.rs",
+    "crates/tivapromi/src/mitigation.rs",
+    "crates/tivapromi/src/time_varying.rs",
+    "crates/trace/src/batch.rs",
     "crates/trace/src/stats.rs",
+];
+
+/// Files where D6 (hot-loop allocation) applies: the per-event decision
+/// path — run-grouped lane kernels, the batched engine loop, the
+/// `ActionSink` arena and the column store they all consume.  The
+/// disturbance-backend tiers are deliberately *not* here: flip logs
+/// grow with device state, which is workload physics, not kernel
+/// overhead (and the backend tiers carry an annotation-free claim).
+const HOT_LOOP: [&str; 16] = [
+    "crates/baselines/src/cat.rs",
+    "crates/baselines/src/cra.rs",
+    "crates/baselines/src/graphene.rs",
+    "crates/baselines/src/mrloc.rs",
+    "crates/baselines/src/para.rs",
+    "crates/baselines/src/prohit.rs",
+    "crates/baselines/src/twice.rs",
+    "crates/harness/src/engine.rs",
+    "crates/tivapromi/src/bank_rng.rs",
+    "crates/tivapromi/src/capromi.rs",
+    "crates/tivapromi/src/counter_table.rs",
+    "crates/tivapromi/src/draw.rs",
+    "crates/tivapromi/src/history.rs",
+    "crates/tivapromi/src/mitigation.rs",
+    "crates/tivapromi/src/time_varying.rs",
+    "crates/trace/src/batch.rs",
 ];
 
 /// The designated wall-clock home: `PerfCounters` and the other
@@ -50,6 +89,7 @@ pub fn classify(rel: &str) -> FileClass {
         is_bench,
         timing_exempt: TIMING_EXEMPT.contains(&rel),
         counter_scope: COUNTER_SCOPE.contains(&rel),
+        hot_loop: HOT_LOOP.contains(&rel),
     }
 }
 
@@ -115,6 +155,17 @@ mod tests {
         assert!(classify("crates/exploit/src/campaign.rs").counter_scope);
         assert!(classify("crates/exploit/src/map.rs").counter_scope);
         assert!(!classify("crates/dram/src/geometry.rs").counter_scope);
+        // The lane-kernel decision layer is both counter scope and hot
+        // loop; the backend tiers stay out of the hot-loop inventory.
+        assert!(classify("crates/baselines/src/para.rs").counter_scope);
+        assert!(classify("crates/tivapromi/src/draw.rs").counter_scope);
+        assert!(classify("crates/trace/src/batch.rs").hot_loop);
+        assert!(classify("crates/baselines/src/cra.rs").hot_loop);
+        assert!(classify("crates/tivapromi/src/mitigation.rs").hot_loop);
+        assert!(classify("crates/harness/src/engine.rs").hot_loop);
+        assert!(!classify("crates/dram/src/fast.rs").hot_loop);
+        assert!(!classify("crates/dram/src/cycle.rs").hot_loop);
+        assert!(!classify("crates/dram/src/backend.rs").hot_loop);
     }
 
     #[test]

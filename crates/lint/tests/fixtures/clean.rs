@@ -1,11 +1,16 @@
 //! Clean fixture: the well-behaved counterpart of the d*.rs files —
-//! ordered containers, annotated atomics, checked conversions.  Must
-//! produce zero findings even with `counter_scope` set.
+//! ordered containers, annotated atomics, checked conversions,
+//! preallocated buffers.  Must produce zero findings even with
+//! `counter_scope` and `hot_loop` set.
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub fn per_bank_rows(counts: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
-    counts.iter().map(|(bank, count)| (*bank, *count)).collect()
+    let mut rows = Vec::with_capacity(counts.len());
+    for (bank, count) in counts.iter() {
+        rows.push((*bank, *count));
+    }
+    rows
 }
 
 pub fn bump(counter: &AtomicUsize) -> usize {

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 pub fn per_bank_rows(counts: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
-    let mut rows = Vec::new();
+    let mut rows = Vec::with_capacity(counts.len());
     for (bank, count) in counts.iter() {
         rows.push((*bank, *count));
     }

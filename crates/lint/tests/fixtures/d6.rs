@@ -1,0 +1,7 @@
+//! D6 fixture: allocation call in a hot-loop file (linted with
+//! `hot_loop` set).  Must trip exactly one D6 finding and nothing
+//! else.
+
+pub fn drain_pending(pending: &[u64]) -> Vec<u64> {
+    pending.iter().copied().collect()
+}

@@ -12,11 +12,13 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// Fixtures are linted as production counter-scope code — the widest
-/// rule surface — so "exactly its rule" is a real exclusivity claim.
+/// Fixtures are linted as production counter-scope *and* hot-loop
+/// code — the widest rule surface — so "exactly its rule" is a real
+/// exclusivity claim.
 fn strict_class() -> FileClass {
     FileClass {
         counter_scope: true,
+        hot_loop: true,
         ..FileClass::default()
     }
 }
@@ -29,6 +31,7 @@ fn each_bad_fixture_trips_exactly_its_rule() {
         ("d3.rs", "D3"),
         ("d4.rs", "D4"),
         ("d5.rs", "D5"),
+        ("d6.rs", "D6"),
     ] {
         let report = lint_source(file, &fixture(file), &strict_class());
         let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();

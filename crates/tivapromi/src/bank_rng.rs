@@ -9,13 +9,28 @@
 //! instance that only ever sees bank *b* draws exactly the stream the
 //! same instance would have used for bank *b* in a sequential all-banks
 //! run.
+//!
+//! The pool is *dense*: [`BankRngs::with_banks`] seeds every bank's
+//! stream eagerly at construction (one-time cost when the technique is
+//! built), so the hot path indexes a flat `Vec<StdRng>` with no
+//! `Option` branch.  Streams are a pure function of `(seed, bank)` via
+//! [`bank_seed`], so a pool can still grow past its eager count (tests
+//! and ad-hoc tools address arbitrary banks) without perturbing any
+//! existing stream.
+//!
+//! For the lane-parallel kernels, [`BankRngs::draw_block`] refills a
+//! reused scratch buffer with a whole run's worth of raw `u64` draws in
+//! one call.  The block is read front to back, so the per-bank stream
+//! consumption order is exactly what per-event draws would have
+//! produced — block refill is a batching transparency, not a semantic
+//! change (DESIGN.md §15).
 
 use dram_sim::{bank_seed, BankId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
-/// A lazily-grown pool of per-bank [`StdRng`] streams, all derived from
-/// one construction seed via [`bank_seed`].
+/// A dense pool of per-bank [`StdRng`] streams, all derived from one
+/// construction seed via [`bank_seed`].
 ///
 /// ```
 /// use tivapromi::BankRngs;
@@ -33,15 +48,32 @@ use rand::SeedableRng;
 #[derive(Debug)]
 pub struct BankRngs {
     seed: u64,
-    rngs: Vec<Option<StdRng>>,
+    rngs: Vec<StdRng>,
+    /// Reused block buffer for [`BankRngs::draw_block`]; capacity grows
+    /// to the largest run seen, then every refill is allocation-free.
+    scratch: Vec<u64>,
 }
 
 impl BankRngs {
-    /// Creates an empty pool; streams are created on first use.
+    /// Creates a pool with no eagerly-seeded banks; streams are created
+    /// on first use (kept for tests and tools that address arbitrary
+    /// banks — technique constructors use [`BankRngs::with_banks`]).
     pub fn new(seed: u64) -> Self {
+        Self::with_banks(seed, 0)
+    }
+
+    /// Creates a pool with the streams of banks `0..banks` seeded
+    /// eagerly — the one-time construction cost that keeps the hot path
+    /// a branch-free dense index.
+    pub fn with_banks(seed: u64, banks: u32) -> Self {
+        let mut rngs = Vec::with_capacity(banks as usize);
+        for bank in 0..banks {
+            rngs.push(StdRng::seed_from_u64(bank_seed(seed, BankId(bank))));
+        }
         BankRngs {
             seed,
-            rngs: Vec::new(),
+            rngs,
+            scratch: Vec::with_capacity(0),
         }
     }
 
@@ -50,13 +82,44 @@ impl BankRngs {
         self.seed
     }
 
-    /// The pseudo-random stream of `bank`.
-    pub fn get(&mut self, bank: BankId) -> &mut StdRng {
+    /// Grows the dense pool to cover `bank`, returning its index.
+    ///
+    /// Each appended stream is seeded purely from `(seed, bank)`, so
+    /// growth order cannot perturb any stream.  Eagerly-constructed
+    /// pools never take the growth branch in steady state.
+    #[inline]
+    fn ensure(&mut self, bank: BankId) -> usize {
         let index = bank.index();
-        if index >= self.rngs.len() {
-            self.rngs.resize_with(index + 1, || None);
+        while self.rngs.len() <= index {
+            let next = u32::try_from(self.rngs.len()).expect("bank count fits u32");
+            self.rngs
+                .push(StdRng::seed_from_u64(bank_seed(self.seed, BankId(next))));
         }
-        self.rngs[index].get_or_insert_with(|| StdRng::seed_from_u64(bank_seed(self.seed, bank)))
+        index
+    }
+
+    /// The pseudo-random stream of `bank`.
+    #[inline]
+    pub fn get(&mut self, bank: BankId) -> &mut StdRng {
+        let index = self.ensure(bank);
+        &mut self.rngs[index]
+    }
+
+    /// Refills the shared scratch block with the next `n` raw `u64`
+    /// draws of `bank`'s stream and returns it — one stream refill per
+    /// run for the lane kernels, consumed front to back in exactly the
+    /// order per-event draws would have produced.
+    #[inline]
+    pub fn draw_block(&mut self, bank: BankId, n: usize) -> &[u64] {
+        let index = self.ensure(bank);
+        let rng = &mut self.rngs[index];
+        let scratch = &mut self.scratch;
+        scratch.clear();
+        scratch.reserve(n);
+        for _ in 0..n {
+            scratch.push(rng.next_u64());
+        }
+        scratch
     }
 }
 
@@ -88,5 +151,39 @@ mod tests {
             let _ = dense.get(BankId(b));
         }
         assert_eq!(dense.get(BankId(13)).random::<u64>(), high);
+    }
+
+    #[test]
+    fn eager_pool_matches_lazy_pool() {
+        let mut eager = BankRngs::with_banks(7, 4);
+        let mut lazy = BankRngs::new(7);
+        for b in (0..4).rev() {
+            assert_eq!(
+                eager.get(BankId(b)).random::<u64>(),
+                lazy.get(BankId(b)).random::<u64>()
+            );
+        }
+        // Addressing past the eager count still works and agrees.
+        assert_eq!(
+            eager.get(BankId(9)).random::<u64>(),
+            lazy.get(BankId(9)).random::<u64>()
+        );
+    }
+
+    #[test]
+    fn draw_block_preserves_per_bank_stream_order() {
+        let mut blocked = BankRngs::with_banks(11, 2);
+        let mut scalar = BankRngs::with_banks(11, 2);
+        // Interleave block refills across banks; each bank's draws must
+        // be the same sequence per-event draws produce.
+        let a: Vec<u64> = blocked.draw_block(BankId(0), 3).to_vec();
+        let b: Vec<u64> = blocked.draw_block(BankId(1), 2).to_vec();
+        let a2: Vec<u64> = blocked.draw_block(BankId(0), 2).to_vec();
+        let want_a: Vec<u64> = (0..5).map(|_| scalar.get(BankId(0)).next_u64()).collect();
+        let want_b: Vec<u64> = (0..2).map(|_| scalar.get(BankId(1)).next_u64()).collect();
+        assert_eq!([a, a2].concat(), want_a);
+        assert_eq!(b, want_b);
+        // An empty block is legal and draws nothing.
+        assert_eq!(blocked.draw_block(BankId(0), 0).len(), 0);
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::bank_rng::BankRngs;
 use crate::config::TivaConfig;
-use crate::counter_table::CounterTable;
+use crate::counter_table::{CounterEntry, CounterTable};
 use crate::history::HistoryTable;
 use crate::mitigation::{ActionSink, Mitigation, MitigationAction};
 use crate::weight::{linear_weight, log_weight};
@@ -59,6 +59,9 @@ pub struct CaPromi {
     interval: u32,
     /// Per-bank draw streams (bank-shardable determinism).
     rngs: BankRngs,
+    /// Drain staging reused every interval so the steady-state ref walk
+    /// never touches the heap (`tests/alloc_free.rs`).
+    drained: Vec<CounterEntry>,
     triggers: u64,
 }
 
@@ -68,14 +71,21 @@ impl CaPromi {
         CaPromi {
             histories: (0..config.banks)
                 .map(|_| HistoryTable::with_policy(config.history_entries, config.history_policy))
+                // lint: allow(D6) — constructor-time table allocation.
                 .collect(),
             counters: (0..config.banks)
                 .map(|_| CounterTable::new(config.counter_entries, config.lock_threshold))
+                // lint: allow(D6) — constructor-time table allocation.
                 .collect(),
-            pending: Vec::new(),
-            config,
+            // Each counter entry decides at most once per interval, so
+            // `counter_entries × banks` bounds the pending backlog
+            // exactly — preallocating it keeps the steady state
+            // heap-quiet.
+            pending: Vec::with_capacity(config.counter_entries * config.banks as usize),
             interval: 0,
-            rngs: BankRngs::new(seed),
+            rngs: BankRngs::with_banks(seed, config.banks),
+            drained: Vec::with_capacity(config.counter_entries),
+            config,
             triggers: 0,
         }
     }
@@ -118,11 +128,19 @@ impl Mitigation for CaPromi {
     fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, _sink: &mut ActionSink) {
         // CaPRoMi's act path only counts — decisions happen at the
         // interval end — so the batched loop skips the action-tagging
-        // bookkeeping of the default fan-out entirely.
-        for i in range {
-            let (bank, row) = (batch.bank(i), batch.row(i));
-            let slot = self.histories[bank.index()].position(row);
-            let _ = self.counters[bank.index()].observe(row, slot, self.rngs.get(bank));
+        // bookkeeping of the default fan-out entirely.  Per bank run,
+        // the history/counter/rng lookups are hoisted once and the
+        // kernel walks the row column directly.
+        let (_, rows, _) = batch.columns();
+        for (bank, run) in batch.bank_runs(range) {
+            let history = &mut self.histories[bank.index()];
+            let counters = &mut self.counters[bank.index()];
+            let rng = self.rngs.get(bank);
+            for i in run {
+                let row = rows[i];
+                let slot = history.position(row);
+                let _ = counters.observe(row, slot, &mut *rng);
+            }
         }
     }
 
@@ -134,11 +152,12 @@ impl Mitigation for CaPromi {
         let ref_int = self.config.ref_int;
         let exponent = self.config.p_base_exponent;
 
+        let mut drained = std::mem::take(&mut self.drained);
         for bank_idx in 0..self.counters.len() {
             let bank_id = BankId(u32::try_from(bank_idx).expect("bank count fits u32"));
-            let entries = self.counters[bank_idx].drain();
+            self.counters[bank_idx].drain_into(&mut drained);
             let history = &mut self.histories[bank_idx];
-            for entry in entries {
+            for &entry in &drained {
                 let base = entry
                     .history_slot
                     .and_then(|s| history.interval_at(s))
@@ -160,6 +179,8 @@ impl Mitigation for CaPromi {
                 }
             }
         }
+        drained.clear();
+        self.drained = drained;
 
         self.interval += 1;
         if self.interval == ref_int {
@@ -291,5 +312,44 @@ mod tests {
             n
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_path() {
+        use crate::mitigation::ActionSink;
+        use mem_trace::{EventBatch, TraceEvent};
+        let cfg = TivaConfig::paper(&Geometry::paper().with_banks(3));
+        let mut kernel = CaPromi::new(cfg, 11);
+        let mut scalar = CaPromi::new(cfg, 11);
+        let mut sink = ActionSink::new();
+        let mut kernel_actions = Vec::new();
+        let mut scalar_actions = Vec::new();
+        for interval in 0..600u32 {
+            // Mixed-bank traffic with single-event runs plus a flooded row.
+            let mut events = Vec::new();
+            for i in 0..150u32 {
+                let bank = BankId(i % 3);
+                let row = if i % 5 == 0 {
+                    RowAddr(4000)
+                } else {
+                    RowAddr(100 + (i + interval) % 9)
+                };
+                events.push(TraceEvent::benign(bank, row));
+            }
+            let mut batch = EventBatch::new();
+            batch.push_interval(&events);
+            sink.reset();
+            kernel.on_batch(&batch, batch.segment(0), &mut sink);
+            for e in &events {
+                scalar.on_activate(e.bank, e.row, &mut scalar_actions);
+            }
+            kernel.on_refresh_interval(&mut kernel_actions);
+            scalar.on_refresh_interval(&mut scalar_actions);
+            assert_eq!(kernel_actions, scalar_actions, "interval {interval}");
+            kernel_actions.clear();
+            scalar_actions.clear();
+        }
+        assert_eq!(kernel.trigger_count(), scalar.trigger_count());
+        assert!(kernel.trigger_count() > 0);
     }
 }

@@ -145,10 +145,16 @@ impl CounterTable {
         self.entries.iter()
     }
 
-    /// Drains the table at the end of a refresh interval, yielding the
-    /// entries for the collective trigger decision.
-    pub fn drain(&mut self) -> Vec<CounterEntry> {
-        std::mem::take(&mut self.entries)
+    /// Drains the table at the end of a refresh interval into `out`
+    /// (cleared first), leaving the table empty for the next interval.
+    ///
+    /// Both the table's storage and `out` keep their capacity, so a
+    /// steady-state caller reusing one scratch buffer drains without
+    /// heap traffic — part of the allocation-free hot-loop contract
+    /// (`tests/alloc_free.rs`).
+    pub fn drain_into(&mut self, out: &mut Vec<CounterEntry>) {
+        out.clear();
+        out.append(&mut self.entries);
     }
 
     /// Number of valid entries.
@@ -253,15 +259,21 @@ mod tests {
     }
 
     #[test]
-    fn drain_empties_the_table() {
+    fn drain_empties_the_table_and_reuses_the_scratch() {
         let mut rng = rng();
         let mut t = CounterTable::new(4, 10);
         t.observe(RowAddr(1), None, &mut rng);
         t.observe(RowAddr(2), Some(3), &mut rng);
-        let drained = t.drain();
+        let mut drained = Vec::new();
+        t.drain_into(&mut drained);
         assert_eq!(drained.len(), 2);
         assert!(t.is_empty());
         assert_eq!(drained[1].history_slot, Some(3));
+        // A stale scratch is cleared, not appended to.
+        t.observe(RowAddr(9), None, &mut rng);
+        t.drain_into(&mut drained);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].row, RowAddr(9));
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod bank_rng;
 pub mod capromi;
 pub mod config;
 pub mod counter_table;
+pub mod draw;
 pub mod history;
 pub mod mitigation;
 pub mod time_varying;

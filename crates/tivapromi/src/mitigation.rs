@@ -62,7 +62,7 @@ impl MitigationAction {
     }
 }
 
-/// Action buffer of the batched hot path: every action a mitigation
+/// Action arena of the batched hot path: every action a mitigation
 /// emits while processing an [`EventBatch`] segment is tagged with the
 /// index of the event that caused it.
 ///
@@ -74,6 +74,14 @@ impl MitigationAction {
 /// activation — the exact order the one-event-at-a-time path used, so
 /// results stay bit-identical.  Tags must be pushed in ascending order,
 /// which falls out naturally from walking the segment front to back.
+///
+/// The sink is a reusable bump-arena: the tag and action lanes are
+/// parallel buffers that only ever grow, [`ActionSink::reset`] rewinds
+/// the bump cursor without releasing them, and [`ActionSink::push`]
+/// writes into the retained lanes.  After the first few segments have
+/// established a high-water mark, a steady-state segment performs zero
+/// heap allocations — the contract `tests/alloc_free.rs` enforces with
+/// a counting allocator (DESIGN.md §15).
 #[derive(Debug, Default)]
 pub struct ActionSink {
     actions: Vec<MitigationAction>,
@@ -87,11 +95,28 @@ impl ActionSink {
         ActionSink::default()
     }
 
-    /// Drops all actions and resets the drain cursor.
-    pub fn clear(&mut self) {
+    /// An empty sink with both lanes preallocated for `capacity`
+    /// actions — skips the warm-up growth entirely.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ActionSink {
+            actions: Vec::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+            cursor: 0,
+        }
+    }
+
+    /// Rewinds the arena for the next segment: drops all actions and
+    /// resets the drain cursor, keeping both lanes' capacity.
+    pub fn reset(&mut self) {
         self.actions.clear();
         self.tags.clear();
         self.cursor = 0;
+    }
+
+    /// Alias of [`ActionSink::reset`], kept for call sites that predate
+    /// the arena vocabulary.
+    pub fn clear(&mut self) {
+        self.reset();
     }
 
     /// Number of buffered actions.
@@ -232,6 +257,7 @@ pub trait Mitigation: Send {
     fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
         for i in range {
             let (bank, row) = (batch.bank(i), batch.row(i));
+            // lint: allow(D5) — event tag: segment indices are bounded by the batch length.
             sink.record(i as u32, |actions| self.on_activate(bank, row, actions));
         }
     }
@@ -288,6 +314,9 @@ pub struct WideNeighborhood<M> {
     inner: M,
     rows_per_bank: u32,
     name: String,
+    /// Rewrite staging reused across calls so widening allocates only
+    /// until its high-water mark is established.
+    scratch: Vec<MitigationAction>,
 }
 
 impl<M: Mitigation> WideNeighborhood<M> {
@@ -298,6 +327,7 @@ impl<M: Mitigation> WideNeighborhood<M> {
             inner,
             rows_per_bank,
             name,
+            scratch: Vec::with_capacity(8),
         }
     }
 
@@ -311,8 +341,9 @@ impl<M: Mitigation> WideNeighborhood<M> {
         self.inner
     }
 
-    fn widen(&self, actions: &mut Vec<MitigationAction>, start: usize) {
-        let mut widened = Vec::new();
+    fn widen(&mut self, actions: &mut Vec<MitigationAction>, start: usize) {
+        let widened = &mut self.scratch;
+        widened.clear();
         for action in actions.drain(start..) {
             match action {
                 MitigationAction::ActivateNeighbors { bank, row } => {
@@ -332,7 +363,7 @@ impl<M: Mitigation> WideNeighborhood<M> {
                 other => widened.push(other),
             }
         }
-        actions.extend(widened);
+        actions.append(widened);
     }
 }
 

@@ -6,12 +6,13 @@
 
 use crate::bank_rng::BankRngs;
 use crate::config::TivaConfig;
+use crate::draw;
 use crate::history::HistoryTable;
 use crate::mitigation::{ActionSink, Mitigation, MitigationAction};
 use crate::weight::{linear_weight, log_weight};
 use dram_sim::{BankId, RowAddr};
 use mem_trace::EventBatch;
-use rand::RngExt;
+use rand::RngCore;
 use std::ops::Range;
 
 /// How the Eq. 1 weight is shaped before computing the probability.
@@ -25,6 +26,70 @@ pub enum WeightMode {
     /// already happened recently, so the probability of needing another
     /// is low), logarithmic otherwise.
     Hybrid,
+}
+
+/// One memoised weight slot: the shaped weights of every row whose
+/// phase `f_r = base % RefInt` equals the slot index, valid for the
+/// stamped interval.
+#[derive(Debug, Clone, Copy)]
+struct SlotWeight {
+    /// The interval this slot was computed for (`u32::MAX` = never).
+    epoch: u32,
+    /// Shaped weight when the row was found in the history table.
+    hit: u32,
+    /// Shaped weight on a history miss.
+    miss: u32,
+}
+
+/// The precomputed per-row weight vector of the lane kernels, indexed
+/// by refresh-slot phase `f_r`.
+///
+/// The shaped weight is a pure function of `(interval, f_r, mode)`, so
+/// one vector of `RefInt` slots covers every row: each slot is filled
+/// lazily the first time its phase is touched in an interval (epoch
+/// stamp), and hammered rows — which repeat the same phase thousands of
+/// times per interval — hit the memo on every subsequent event.  The
+/// vector is allocated once at construction and never grows.
+#[derive(Debug)]
+struct SlotWeights {
+    slots: Vec<SlotWeight>,
+}
+
+impl SlotWeights {
+    fn new(ref_int: u32) -> Self {
+        SlotWeights {
+            // lint: allow(D6) — constructor-time memo; `get` refreshes slots in place.
+            slots: vec![
+                SlotWeight {
+                    epoch: u32::MAX,
+                    hit: 0,
+                    miss: 0,
+                };
+                ref_int as usize
+            ],
+        }
+    }
+
+    /// The `(hit, miss)` shaped weights of phase `f_r` at `interval`,
+    /// recomputing the slot only when its epoch stamp is stale.
+    #[inline]
+    fn get(&mut self, interval: u32, f_r: u32, ref_int: u32, mode: WeightMode) -> (u32, u32) {
+        let slot = &mut self.slots[f_r as usize];
+        if slot.epoch != interval {
+            let w = linear_weight(interval, f_r, ref_int);
+            let (hit, miss) = match mode {
+                WeightMode::Linear => (w, w),
+                WeightMode::Logarithmic => (log_weight(w), log_weight(w)),
+                WeightMode::Hybrid => (w, log_weight(w)),
+            };
+            *slot = SlotWeight {
+                epoch: interval,
+                hit,
+                miss,
+            };
+        }
+        (slot.hit, slot.miss)
+    }
 }
 
 /// The shared engine of the three purely probabilistic TiVaPRoMi
@@ -48,6 +113,9 @@ pub struct TimeVarying {
     /// Per-bank LFSR streams — keyed by bank so each bank's draws depend
     /// only on that bank's traffic (bank-shardable determinism).
     rngs: BankRngs,
+    /// Memoised shaped weights keyed by refresh-slot phase — the
+    /// precomputed per-row weight vector both decision paths read.
+    slot_weights: SlotWeights,
     name: &'static str,
     /// Total triggers issued (diagnostic).
     triggers: u64,
@@ -64,13 +132,15 @@ impl TimeVarying {
         TimeVarying {
             histories: (0..config.banks)
                 .map(|_| HistoryTable::with_policy(config.history_entries, config.history_policy))
+                // lint: allow(D6) — constructor-time table allocation.
                 .collect(),
-            config,
             mode,
             interval: 0,
-            rngs: BankRngs::new(seed),
+            rngs: BankRngs::with_banks(seed, config.banks),
+            slot_weights: SlotWeights::new(config.ref_int),
             name,
             triggers: 0,
+            config,
         }
     }
 
@@ -142,31 +212,20 @@ impl Mitigation for TimeVarying {
         // The FSM's table search; under LRU it also refreshes recency.
         let found = self.histories[bank.index()].search(row);
         let base = found.unwrap_or_else(|| self.config.home_interval(row));
-        let w = linear_weight(
+        let (hit_w, miss_w) = self.slot_weights.get(
             self.interval,
             base % self.config.ref_int,
             self.config.ref_int,
+            self.mode,
         );
-        let weight = match self.mode {
-            WeightMode::Linear => w,
-            WeightMode::Logarithmic => log_weight(w),
-            WeightMode::Hybrid => {
-                if found.is_some() {
-                    w
-                } else {
-                    log_weight(w)
-                }
-            }
-        };
+        let weight = if found.is_some() { hit_w } else { miss_w };
         // Hardware-style Bernoulli draw: p = weight · 2^-exponent is
         // realised by comparing the weight against a uniform
         // `exponent`-bit pseudo-random number (an LFSR in the VHDL
-        // implementation).
-        let draw: u64 = self
-            .rngs
-            .get(bank)
-            .random_range(0..(1u64 << self.config.p_base_exponent));
-        if draw < u64::from(weight) {
+        // implementation) — the masked low bits of one stream word, the
+        // same one-word-per-event discipline the lane kernel prefetches.
+        let word = self.rngs.get(bank).next_u64();
+        if draw::masked(word, self.config.p_base_exponent) < u64::from(weight) {
             actions.push(MitigationAction::ActivateNeighbors { bank, row });
             self.histories[bank.index()].record(row, self.interval);
             self.triggers += 1;
@@ -177,40 +236,40 @@ impl Mitigation for TimeVarying {
     // far below u32::MAX.
     #[allow(clippy::cast_possible_truncation)]
     fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {
-        // The batched fast path: the interval clock, window length, mode
-        // and draw bound are constant across a whole segment, so they
-        // are hoisted out of the per-event loop (the scalar
-        // `on_activate` re-reads them on every activation).  State
-        // updates and RNG draws happen in the exact per-event order of
-        // the scalar path — the determinism contract depends on it.
+        // Lane kernel: the interval clock, window length, mode and draw
+        // mask are constant across a whole segment and hoisted; the
+        // segment is walked in per-bank runs so the bank's history table
+        // is resolved once per run and its stream words arrive in one
+        // block refill (one word per event).  History searches stay
+        // sequential — the LRU mutates — but the shaped weight comes
+        // from the memoised slot vector.  State updates and stream
+        // positions match the scalar path exactly — the determinism
+        // contract depends on it.
         let interval = self.interval;
         let config = self.config;
-        let bound = 1u64 << config.p_base_exponent;
+        let exponent = config.p_base_exponent;
         let mode = self.mode;
-        for i in range {
-            let (bank, row) = (batch.bank(i), batch.row(i));
-            let found = self.histories[bank.index()].search(row);
-            let base = match found {
-                Some(base) => base,
-                None => config.home_interval(row),
-            };
-            let w = linear_weight(interval, base % config.ref_int, config.ref_int);
-            let weight = match mode {
-                WeightMode::Linear => w,
-                WeightMode::Logarithmic => log_weight(w),
-                WeightMode::Hybrid => {
-                    if found.is_some() {
-                        w
-                    } else {
-                        log_weight(w)
-                    }
+        let (_, rows, _) = batch.columns();
+        for (bank, run) in batch.bank_runs(range) {
+            let words = self.rngs.draw_block(bank, run.len());
+            let history = &mut self.histories[bank.index()];
+            for (&word, i) in words.iter().zip(run) {
+                let row = rows[i];
+                let found = history.search(row);
+                let base = match found {
+                    Some(base) => base,
+                    None => config.home_interval(row),
+                };
+                let (hit_w, miss_w) =
+                    self.slot_weights
+                        .get(interval, base % config.ref_int, config.ref_int, mode);
+                let weight = if found.is_some() { hit_w } else { miss_w };
+                if draw::masked(word, exponent) < u64::from(weight) {
+                    // lint: allow(D5) — event tag: segment indices are bounded by the batch length.
+                    sink.push(i as u32, MitigationAction::ActivateNeighbors { bank, row });
+                    history.record(row, interval);
+                    self.triggers += 1;
                 }
-            };
-            let draw: u64 = self.rngs.get(bank).random_range(0..bound);
-            if draw < u64::from(weight) {
-                sink.push(i as u32, MitigationAction::ActivateNeighbors { bank, row });
-                self.histories[bank.index()].record(row, interval);
-                self.triggers += 1;
             }
         }
     }

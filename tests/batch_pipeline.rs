@@ -6,9 +6,12 @@
 //! for every technique and every batch size: the batch is a delivery
 //! granularity, never a semantic knob.  These tests pin that contract
 //! for all nine Table III techniques at batch sizes 1 (every interval
-//! alone), 7 (intervals split mid-stream), and 1024 (many intervals per
-//! batch), on both the paper-shaped mixed trace and arbitrary replayed
-//! traces.
+//! alone), 2 and 7 (intervals split mid-stream), 63 (odd split just
+//! under a power of two), 1024 and 4096 (many intervals per batch), on
+//! the paper-shaped mixed trace and on arbitrary replayed traces —
+//! including adversarially interleaved traffic whose bank column
+//! alternates every event, so every [`mem_trace::EventBatch::bank_runs`]
+//! run degenerates to a single event (the lane kernels' worst case).
 
 use dram_sim::{BankId, Geometry, RowAddr};
 use proptest::prelude::*;
@@ -20,7 +23,7 @@ use tivapromi_suite::trace::{
 };
 
 const BANKS: u32 = 4;
-const BATCH_SIZES: [usize; 3] = [1, 7, 1024];
+const BATCH_SIZES: [usize; 6] = [1, 2, 7, 63, 1024, 4096];
 
 /// A small multi-bank configuration on the sequential path (batching is
 /// orthogonal to sharding; determinism.rs covers the product).
@@ -119,6 +122,35 @@ fn trace_strategy() -> impl Strategy<Value = Vec<Vec<TraceEvent>>> {
     })
 }
 
+/// Adversarially interleaved traffic: consecutive events never share a
+/// bank, so every bank run the lane kernels see is a single event —
+/// maximal per-run overhead, and the strongest stream-interleaving
+/// stress for the per-bank RNG block refills.
+fn interleaved_strategy() -> impl Strategy<Value = Vec<Vec<TraceEvent>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..1024, any::<bool>()), 0..40),
+        1..30,
+    )
+    .prop_map(|intervals| {
+        intervals
+            .into_iter()
+            .map(|interval| {
+                interval
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (row, aggressor))| TraceEvent {
+                        // Cycling through all banks guarantees adjacent
+                        // events differ in bank whenever BANKS > 1.
+                        bank: BankId(u32::try_from(i).expect("fits") % BANKS),
+                        row: RowAddr(row),
+                        aggressor,
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -127,6 +159,38 @@ proptest! {
     #[test]
     fn batched_metrics_equal_scalar_metrics(
         intervals in trace_strategy(),
+        technique_index in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let technique = Technique::TABLE3[technique_index];
+        let base = config();
+        let mut scalar_mitigation = techniques::build_any(technique, &base, seed);
+        let scalar = engine::run_scalar(
+            ReplayTrace::new(intervals.clone()),
+            &mut scalar_mitigation,
+            &base,
+        );
+        for batch_events in BATCH_SIZES {
+            let batched_config = base.clone().with_batch_events(batch_events);
+            let mut mitigation = techniques::build_any(technique, &batched_config, seed);
+            let batched = engine::run_observed(
+                ReplayTrace::new(intervals.clone()),
+                &mut mitigation,
+                &batched_config,
+                &mut NullObserver,
+            );
+            prop_assert_eq!(
+                &scalar, &batched,
+                "{:?} diverged at batch_events={}", technique, batch_events
+            );
+        }
+    }
+
+    /// Single-event bank runs (the run-length grouping's worst case)
+    /// stay bit-identical to the scalar reference for every technique.
+    #[test]
+    fn interleaved_single_event_runs_equal_scalar_metrics(
+        intervals in interleaved_strategy(),
         technique_index in 0usize..9,
         seed in any::<u64>(),
     ) {
