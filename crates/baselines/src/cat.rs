@@ -73,7 +73,6 @@ struct Tree {
 impl Tree {
     fn new(rows: u32) -> Self {
         Tree {
-            // lint: allow(D6) — constructor: the node arena grows to max_nodes, then resets in place.
             nodes: vec![Node {
                 lo: 0,
                 hi: rows,
@@ -181,7 +180,6 @@ impl CounterTree {
         CounterTree {
             trees: (0..config.banks)
                 .map(|_| Tree::new(config.rows_per_bank))
-                // lint: allow(D6) — constructor-time tree allocation.
                 .collect(),
             config,
             interval: 0,

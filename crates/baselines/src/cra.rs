@@ -97,7 +97,6 @@ impl Cra {
         );
         Cra {
             counters: (0..config.banks)
-                // lint: allow(D6) — constructor-time per-row counter banks.
                 .map(|_| vec![0; config.rows_per_bank as usize])
                 .collect(),
             config,

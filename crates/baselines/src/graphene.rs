@@ -147,7 +147,6 @@ impl Graphene {
         assert!(config.entries > 0, "table must be nonempty");
         assert!(config.trigger_threshold > 0, "threshold must be nonzero");
         Graphene {
-            // lint: allow(D6) — constructor: summaries grow to `entries`, then reset in place.
             banks: (0..config.banks).map(|_| Summary::default()).collect(),
             config,
             interval: 0,

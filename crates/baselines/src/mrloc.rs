@@ -68,7 +68,6 @@ struct QueueFilter(Box<[u16; FILTER_SLOTS]>);
 
 impl QueueFilter {
     fn new() -> Self {
-        // lint: allow(D6) — constructor-time filter allocation.
         QueueFilter(Box::new([0; FILTER_SLOTS]))
     }
 
@@ -141,9 +140,7 @@ impl MrLoc {
             "probabilities must satisfy 0 ≤ min ≤ max ≤ 1"
         );
         MrLoc {
-            // lint: allow(D6) — constructor-time queue allocation.
             queues: (0..config.banks).map(|_| VecDeque::new()).collect(),
-            // lint: allow(D6) — constructor-time filter allocation.
             filters: (0..config.banks).map(|_| QueueFilter::new()).collect(),
             rngs: BankRngs::with_banks(seed, config.banks),
             config,

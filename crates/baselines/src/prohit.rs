@@ -140,7 +140,6 @@ impl ProHit {
             "probability must be in [0, 1]"
         );
         ProHit {
-            // lint: allow(D6) — constructor-time table allocation.
             banks: (0..config.banks).map(|_| Tables::default()).collect(),
             rngs: BankRngs::with_banks(seed, config.banks),
             config,

@@ -147,7 +147,6 @@ impl TwiCe {
         assert!(config.pruning_rate > 0, "pruning rate must be nonzero");
         assert!(config.max_entries > 0, "CAM must be nonempty");
         TwiCe {
-            // lint: allow(D6) — constructor: CAM tables grow to max_entries, then stay.
             tables: (0..config.banks).map(|_| Vec::new()).collect(),
             config,
             peak_entries: 0,

@@ -500,19 +500,15 @@ where
     B: DisturbanceBackend + ?Sized,
     O: Observer + ?Sized,
 {
-    // lint: allow(D6) — scalar reference path: per-run buffers made
-    // once; the event loop reuses them.
     let mut events: Vec<TraceEvent> = Vec::new();
     let mut actions: Vec<MitigationAction> = Vec::new();
     let mut ledger = AggressorLedger::default();
     let mut triggers = TriggerLedger {
         trigger_events: 0,
         false_positive_events: 0,
-        // lint: allow(D6) — ledger lanes grow to the bank count, then stay.
         bank_acts: Vec::new(),
         bank_first: Vec::new(),
         flips_seen: 0,
-        // lint: allow(D6) — ledger lanes grow to the bank count, then stay.
         bank_first_flip: Vec::new(),
         flip_log: Vec::new(),
     };
@@ -642,7 +638,6 @@ where
         return run_observed(trace, &mut mitigation, config, &mut NullObserver);
     }
     let shards: Vec<Box<dyn TraceSplit>> =
-        // lint: allow(D6) — shard setup, once per run.
         (0..banks).map(|b| trace.bank_shard(BankId(b))).collect();
     let workers = config.parallelism.effective_workers();
     let results = crate::parallel::map_workers(shards, workers, |shard| {
@@ -699,7 +694,6 @@ where
                 };
                 (info, trace.bank_shard(BankId(b)))
             })
-            // lint: allow(D6) — shard setup, once per run.
             .collect();
         let workers = config.parallelism.effective_workers();
         let results = crate::parallel::map_workers(shards, workers, |(info, shard)| {

@@ -1,0 +1,1257 @@
+//! A lightweight item/expression AST over the token stream of
+//! [`crate::lexer`], built by a tolerant recursive-descent parser.
+//!
+//! The parser exists for the interprocedural rules (D7–D9): they need
+//! to know *which function* a token lives in, what that function
+//! calls, and what its signature mentions — questions a flat token
+//! scan cannot answer across function boundaries.  It is **not** a
+//! full Rust parser; it recognizes exactly the shapes the rules
+//! consume and degrades gracefully everywhere else:
+//!
+//! * **Items**: `fn` (name, signature idents, body), `impl` (self
+//!   type, members), `mod`/`trait` (members), everything else skipped
+//!   as opaque `Other` items.  `#[cfg(test)]` and `#[test]` mark the
+//!   subtree as test code.
+//! * **Expressions**: call-shaped forms (`path(..)`, `.method(..)`,
+//!   `mac!(..)`), paths and field chains (`self.rngs`), literals,
+//!   compound assignment operators and bare `=` assignment markers.
+//!   Unknown operators are skipped; nesting (`(..)`, `[..]`, `{..}`)
+//!   becomes a [`Group`](ExprKind::Group) with comma/semicolon-split
+//!   statements.
+//!
+//! Every node carries a byte [`Span`] aligned on token boundaries:
+//! re-lexing `&source[span]` yields exactly the node's own tokens
+//! (pinned by the `ast_roundtrip` proptest).  Rules use spans to scope
+//! token-level checks (D5/D6) to the functions the call graph puts in
+//! scope, which is what replaced the hand-maintained file inventories
+//! of PR 5–9.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// A half-open byte range into the parsed source, token-aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether byte offset `at` lies inside the span.
+    pub fn contains_offset(&self, at: u32) -> bool {
+        self.start <= at && at < self.end
+    }
+}
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    pub items: Vec<Item>,
+}
+
+/// What an item is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    Mod,
+    Trait,
+    /// Structs, enums, consts, uses, macros — opaque to the rules.
+    Other,
+}
+
+/// One item.  `impl`/`mod`/`trait` items carry their members in
+/// `children`; `fn` items carry their `body` and `sig_idents`.
+#[derive(Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Function/mod/trait name; for impls, the self type.
+    pub name: String,
+    /// For `impl Trait for Type`, the trait path's last segment.
+    pub trait_name: Option<String>,
+    pub line: u32,
+    pub span: Span,
+    /// Marked `#[test]`, or nested under a `#[cfg(test)]` subtree.
+    pub is_test: bool,
+    /// Every identifier in the fn's generics, parameters, return type
+    /// and where clause — enough for "takes an `ActionSink`" tests
+    /// without modeling types.
+    pub sig_idents: Vec<String>,
+    pub body: Option<Block>,
+    pub children: Vec<Item>,
+}
+
+/// A braced block: `{ stmts }`.
+#[derive(Debug)]
+pub struct Block {
+    pub span: Span,
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement: a flat sequence of the expressions at its top
+/// nesting level, split on `;` (and `,` inside groups).
+#[derive(Debug, Default)]
+pub struct Stmt {
+    pub exprs: Vec<Expr>,
+}
+
+/// The expression shapes the rules consume.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// `a::b::c(args)` — a path-call; `path` holds the segments.
+    Call {
+        path: Vec<String>,
+        turbofish: Vec<String>,
+    },
+    /// `.method(args)` — receiver is the preceding expr in the stmt.
+    MethodCall {
+        method: String,
+        turbofish: Vec<String>,
+    },
+    /// `name!(…)` / `name![…]` / `name!{…}`.
+    Macro { name: String },
+    /// A bare path or field chain (`self.rngs`, `Ordering::Relaxed`).
+    Path { segments: Vec<String> },
+    /// An opaque literal.
+    Lit,
+    /// `+=`, `-=`, `*=`, … at statement level.
+    CompoundAssign { op: String },
+    /// A bare `=` at statement level.
+    Assign,
+    /// The `return` keyword.
+    Return,
+    /// `( … )`, `[ … ]`, `{ … }` nesting.
+    Group,
+}
+
+/// One expression node; `args` holds call arguments or group contents.
+#[derive(Debug)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+    pub span: Span,
+    pub args: Vec<Stmt>,
+}
+
+impl Expr {
+    /// The called name, if this expr is call-shaped: the last path
+    /// segment of a `Call`, the method of a `MethodCall`.
+    pub fn call_name(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Call { path, .. } => path.last().map(String::as_str),
+            ExprKind::MethodCall { method, .. } => Some(method.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `source`, lexing it first.
+pub fn parse(source: &str) -> Ast {
+    parse_lexed(&lex(source))
+}
+
+/// Parses an already-lexed token stream.
+pub fn parse_lexed(lexed: &Lexed) -> Ast {
+    let mut parser = Parser {
+        t: &lexed.tokens,
+        i: 0,
+    };
+    Ast {
+        items: parser.items(false, None),
+    }
+}
+
+/// Walks every `fn` item in the AST (including impl/mod/trait
+/// members), with the enclosing impl's self type (or trait's name).
+pub fn for_each_fn<'a>(ast: &'a Ast, f: &mut impl FnMut(&'a Item, Option<&'a str>)) {
+    fn rec<'a>(items: &'a [Item], self_ty: Option<&'a str>, f: &mut impl FnMut(&'a Item, Option<&'a str>)) {
+        for item in items {
+            match item.kind {
+                ItemKind::Fn => f(item, self_ty),
+                ItemKind::Impl | ItemKind::Trait => {
+                    rec(&item.children, Some(item.name.as_str()), f);
+                }
+                ItemKind::Mod => rec(&item.children, None, f),
+                ItemKind::Other => {}
+            }
+        }
+    }
+    rec(&ast.items, None, f);
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    i: usize,
+}
+
+/// Identifiers that begin a path expression.
+fn starts_path(tok: &Token) -> bool {
+    tok.kind == TokenKind::Ident
+}
+
+const COMPOUND_ASSIGN: [&str; 8] = ["+=", "-=", "*=", "/=", "%=", "^=", "&=", "|="];
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        self.t.get(self.i + ahead)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let tok = self.t.get(self.i);
+        if tok.is_some() {
+            self.i += 1;
+        }
+        tok
+    }
+
+    fn at(&self, text: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.text == text)
+    }
+
+    /// Byte offset one past the last consumed token.
+    fn end_offset(&self) -> u32 {
+        if self.i == 0 {
+            0
+        } else {
+            self.t[self.i - 1].end
+        }
+    }
+
+    // ----- items ---------------------------------------------------
+
+    /// Parses items until end of input or a closing `}` (when `closed`
+    /// is true, the `}` is consumed by the caller's group logic).
+    fn items(&mut self, in_test: bool, closer: Option<&str>) -> Vec<Item> {
+        let mut items = Vec::new();
+        while let Some(tok) = self.peek(0) {
+            if closer.is_some_and(|close| tok.text == close) {
+                break;
+            }
+            // Attributes: `#[…]` / `#![…]`; detect cfg(test) / test.
+            if tok.text == "#" {
+                let test_attr = self.attribute();
+                if test_attr {
+                    // The attribute marks the *next* item.
+                    if let Some(mut item) = self.item(true) {
+                        item.is_test = true;
+                        items.push(item);
+                    }
+                }
+                continue;
+            }
+            match self.item(in_test) {
+                Some(item) => items.push(item),
+                None => break,
+            }
+        }
+        for item in &mut items {
+            if in_test {
+                item.is_test = true;
+            }
+        }
+        items
+    }
+
+    /// Consumes one attribute; returns whether it was `#[cfg(test)]`
+    /// or `#[test]`.
+    fn attribute(&mut self) -> bool {
+        self.bump(); // `#`
+        if self.at("!") {
+            self.bump();
+        }
+        if !self.at("[") {
+            return false;
+        }
+        let start = self.i;
+        self.skip_delimited("[", "]");
+        let body = &self.t[start..self.i];
+        let is_cfg_test = body.len() >= 5
+            && body[1].text == "cfg"
+            && body.iter().any(|t| t.text == "test");
+        let is_test_attr = body.len() == 3 && body[1].text == "test";
+        is_cfg_test || is_test_attr
+    }
+
+    /// Parses one item, or skips one token if nothing item-like is
+    /// here (tolerance: half-edited files still parse).
+    fn item(&mut self, in_test: bool) -> Option<Item> {
+        let start_tok = self.peek(0)?;
+        let start = start_tok.start;
+        let line = start_tok.line;
+
+        // Qualifiers before the keyword.
+        let mut j = 0;
+        loop {
+            let tok = self.peek(j)?;
+            match tok.text.as_str() {
+                "pub" => {
+                    j += 1;
+                    if self.peek(j).is_some_and(|t| t.text == "(") {
+                        // `pub(crate)` — skip the group.
+                        let mut depth = 0;
+                        loop {
+                            let t = self.peek(j)?;
+                            match t.text.as_str() {
+                                "(" => depth += 1,
+                                ")" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        j += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+                "const" => {
+                    // `const fn` is a qualifier; `const NAME` is an item.
+                    if self.peek(j + 1).is_some_and(|t| t.text == "fn") {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                "async" | "unsafe" | "default" => j += 1,
+                "extern" => {
+                    j += 1;
+                    if self.peek(j).is_some_and(|t| t.kind == TokenKind::Literal) {
+                        j += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let kw = self.peek(j)?;
+        match kw.text.as_str() {
+            "fn" => {
+                for _ in 0..j {
+                    self.bump();
+                }
+                self.parse_fn(start, line, in_test)
+            }
+            "impl" => {
+                for _ in 0..j {
+                    self.bump();
+                }
+                self.parse_impl(start, line, in_test)
+            }
+            "mod" => {
+                for _ in 0..j {
+                    self.bump();
+                }
+                self.parse_mod(start, line, in_test)
+            }
+            "trait" => {
+                for _ in 0..j {
+                    self.bump();
+                }
+                self.parse_trait(start, line, in_test)
+            }
+            _ => {
+                for _ in 0..j {
+                    self.bump();
+                }
+                self.skip_other_item();
+                Some(Item {
+                    kind: ItemKind::Other,
+                    name: String::new(),
+                    trait_name: None,
+                    line,
+                    span: Span {
+                        start,
+                        end: self.end_offset(),
+                    },
+                    is_test: in_test,
+                    sig_idents: Vec::new(),
+                    body: None,
+                    children: Vec::new(),
+                })
+            }
+        }
+    }
+
+    /// Skips a non-fn/impl/mod/trait item: to the first `;` at depth 0,
+    /// or past its top-level brace group (struct/enum bodies, macros).
+    fn skip_other_item(&mut self) {
+        let mut depth: i32 = 0;
+        while let Some(tok) = self.bump() {
+            match tok.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => {
+                    self.finish_delimited("{", "}");
+                    if depth == 0 {
+                        // `struct Foo { … }` ends with its body…
+                        // unless a `;` follows immediately (rare).
+                        if self.at(";") {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                ";" if depth <= 0 => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Cursor sits at `fn`.
+    fn parse_fn(&mut self, start: u32, line: u32, in_test: bool) -> Option<Item> {
+        self.bump(); // `fn`
+        let name = match self.peek(0) {
+            Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+            _ => String::new(),
+        };
+        if !name.is_empty() {
+            self.bump();
+        }
+        let mut sig_idents = Vec::new();
+        if self.at("<") {
+            self.angles(&mut sig_idents);
+        }
+        if self.at("(") {
+            let from = self.i;
+            self.skip_delimited("(", ")");
+            for tok in &self.t[from..self.i] {
+                if tok.kind == TokenKind::Ident {
+                    sig_idents.push(tok.text.clone());
+                }
+            }
+        }
+        // Return type + where clause: everything up to `{` or `;`.
+        while let Some(tok) = self.peek(0) {
+            match tok.text.as_str() {
+                "{" | ";" => break,
+                "<" => {
+                    self.angles(&mut sig_idents);
+                    continue;
+                }
+                "(" => {
+                    let from = self.i;
+                    self.skip_delimited("(", ")");
+                    for t in &self.t[from..self.i] {
+                        if t.kind == TokenKind::Ident {
+                            sig_idents.push(t.text.clone());
+                        }
+                    }
+                    continue;
+                }
+                _ => {
+                    if tok.kind == TokenKind::Ident {
+                        sig_idents.push(tok.text.clone());
+                    }
+                    self.bump();
+                }
+            }
+        }
+        let body = if self.at("{") {
+            Some(self.block())
+        } else {
+            if self.at(";") {
+                self.bump();
+            }
+            None
+        };
+        Some(Item {
+            kind: ItemKind::Fn,
+            name,
+            trait_name: None,
+            line,
+            span: Span {
+                start,
+                end: self.end_offset(),
+            },
+            is_test: in_test,
+            sig_idents,
+            body,
+            children: Vec::new(),
+        })
+    }
+
+    /// Cursor sits at `impl`.
+    fn parse_impl(&mut self, start: u32, line: u32, in_test: bool) -> Option<Item> {
+        self.bump(); // `impl`
+        let mut scratch = Vec::new();
+        if self.at("<") {
+            self.angles(&mut scratch);
+        }
+        // Tokens up to `{`: `TraitPath for TypePath where …` or just
+        // `TypePath …`.  The self type is the first ident after `for`
+        // when present, else the first ident of the head.
+        let mut head: Vec<&'a Token> = Vec::new();
+        let mut for_at: Option<usize> = None;
+        while let Some(tok) = self.peek(0) {
+            match tok.text.as_str() {
+                "{" => break,
+                "<" => {
+                    self.angles(&mut scratch);
+                    continue;
+                }
+                "(" => {
+                    self.skip_delimited("(", ")");
+                    continue;
+                }
+                "where" => {
+                    // Where clause runs to the `{`.
+                    while let Some(t) = self.peek(0) {
+                        if t.text == "{" {
+                            break;
+                        }
+                        if t.text == "<" {
+                            self.angles(&mut scratch);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    break;
+                }
+                _ => {
+                    if tok.kind == TokenKind::Ident && tok.text == "for" {
+                        for_at = Some(head.len());
+                    }
+                    head.push(tok);
+                    self.bump();
+                }
+            }
+        }
+        let pick_first_ident = |slice: &[&Token]| -> String {
+            slice
+                .iter()
+                .find(|t| t.kind == TokenKind::Ident && t.text != "dyn" && t.text != "for")
+                .map_or(String::new(), |t| t.text.clone())
+        };
+        let (name, trait_name) = match for_at {
+            Some(at) => {
+                // Type path after `for`, trait path before it; the
+                // type's *last* plain segment is the nominal type
+                // (`dram_sim::BankId` → `BankId`).
+                let ty = head[at + 1..]
+                    .iter()
+                    .rfind(|t| t.kind == TokenKind::Ident && t.text != "dyn")
+                    .map_or(String::new(), |t| t.text.clone());
+                let tr = head[..at]
+                    .iter()
+                    .rfind(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone());
+                (ty, tr)
+            }
+            None => (pick_first_ident(&head), None),
+        };
+        let children = if self.at("{") {
+            self.bump();
+            let children = self.items(in_test, Some("}"));
+            if self.at("}") {
+                self.bump();
+            }
+            children
+        } else {
+            Vec::new()
+        };
+        Some(Item {
+            kind: ItemKind::Impl,
+            name,
+            trait_name,
+            line,
+            span: Span {
+                start,
+                end: self.end_offset(),
+            },
+            is_test: in_test,
+            sig_idents: Vec::new(),
+            body: None,
+            children,
+        })
+    }
+
+    /// Cursor sits at `mod`.
+    fn parse_mod(&mut self, start: u32, line: u32, in_test: bool) -> Option<Item> {
+        self.bump(); // `mod`
+        let name = match self.peek(0) {
+            Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+            _ => String::new(),
+        };
+        if !name.is_empty() {
+            self.bump();
+        }
+        let children = if self.at("{") {
+            self.bump();
+            let children = self.items(in_test, Some("}"));
+            if self.at("}") {
+                self.bump();
+            }
+            children
+        } else {
+            if self.at(";") {
+                self.bump();
+            }
+            Vec::new()
+        };
+        Some(Item {
+            kind: ItemKind::Mod,
+            name,
+            trait_name: None,
+            line,
+            span: Span {
+                start,
+                end: self.end_offset(),
+            },
+            is_test: in_test,
+            sig_idents: Vec::new(),
+            body: None,
+            children,
+        })
+    }
+
+    /// Cursor sits at `trait`.
+    fn parse_trait(&mut self, start: u32, line: u32, in_test: bool) -> Option<Item> {
+        self.bump(); // `trait`
+        let name = match self.peek(0) {
+            Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+            _ => String::new(),
+        };
+        if !name.is_empty() {
+            self.bump();
+        }
+        let mut scratch = Vec::new();
+        while let Some(tok) = self.peek(0) {
+            match tok.text.as_str() {
+                "{" | ";" => break,
+                "<" => {
+                    self.angles(&mut scratch);
+                    continue;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let children = if self.at("{") {
+            self.bump();
+            let children = self.items(in_test, Some("}"));
+            if self.at("}") {
+                self.bump();
+            }
+            children
+        } else {
+            if self.at(";") {
+                self.bump();
+            }
+            Vec::new()
+        };
+        Some(Item {
+            kind: ItemKind::Trait,
+            name,
+            trait_name: None,
+            line,
+            span: Span {
+                start,
+                end: self.end_offset(),
+            },
+            is_test: in_test,
+            sig_idents: Vec::new(),
+            body: None,
+            children,
+        })
+    }
+
+    // ----- delimiters ----------------------------------------------
+
+    /// Cursor sits at `open`; consumes through the matching `close`.
+    fn skip_delimited(&mut self, open: &str, close: &str) {
+        let mut depth = 0usize;
+        while let Some(tok) = self.bump() {
+            if tok.text == open {
+                depth += 1;
+            } else if tok.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Cursor is *past* an `open` already consumed elsewhere; consumes
+    /// through the matching `close` starting from depth 1.
+    fn finish_delimited(&mut self, open: &str, close: &str) {
+        let mut depth = 1usize;
+        while let Some(tok) = self.bump() {
+            if tok.text == open {
+                depth += 1;
+            } else if tok.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Cursor sits at `<`; consumes a balanced angle group, collecting
+    /// the identifiers inside.  `->`/`=>`/`>=`/`<=` are single tokens,
+    /// so the only `>` forms seen here are real closers.
+    fn angles(&mut self, idents: &mut Vec<String>) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.bump() {
+            match tok.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                "(" => {
+                    self.finish_delimited("(", ")");
+                }
+                "[" => {
+                    self.finish_delimited("[", "]");
+                }
+                _ => {
+                    if tok.kind == TokenKind::Ident {
+                        idents.push(tok.text.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- expressions ---------------------------------------------
+
+    /// Cursor sits at `{`; parses a block.
+    fn block(&mut self) -> Block {
+        let start = self.peek(0).map_or(0, |t| t.start);
+        self.bump(); // `{`
+        let stmts = self.stmts("}");
+        if self.at("}") {
+            self.bump();
+        }
+        Block {
+            span: Span {
+                start,
+                end: self.end_offset(),
+            },
+            stmts,
+        }
+    }
+
+    /// Parses statements until the closing delimiter (not consumed).
+    fn stmts(&mut self, close: &str) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        let mut current = Stmt::default();
+        while let Some(tok) = self.peek(0) {
+            if tok.text == close {
+                break;
+            }
+            match tok.text.as_str() {
+                ";" | "," => {
+                    self.bump();
+                    if !current.exprs.is_empty() {
+                        stmts.push(std::mem::take(&mut current));
+                    }
+                }
+                // A nested item inside a body: parse it as opaque so
+                // its braces stay balanced (`fn` inside `fn` is rare
+                // and the rules treat the outer fn as owning it).
+                "#" => {
+                    self.attribute();
+                }
+                "(" => {
+                    let expr = self.group("(", ")");
+                    current.exprs.push(expr);
+                    self.chain(&mut current);
+                }
+                "[" => {
+                    let expr = self.group("[", "]");
+                    current.exprs.push(expr);
+                    self.chain(&mut current);
+                }
+                "{" => {
+                    let expr = self.group("{", "}");
+                    current.exprs.push(expr);
+                    self.chain(&mut current);
+                }
+                ")" | "]" | "}" => {
+                    // Unbalanced closer: bail to the caller.
+                    break;
+                }
+                "=" => {
+                    let line = tok.line;
+                    let span = Span {
+                        start: tok.start,
+                        end: tok.end,
+                    };
+                    self.bump();
+                    current.exprs.push(Expr {
+                        kind: ExprKind::Assign,
+                        line,
+                        span,
+                        args: Vec::new(),
+                    });
+                }
+                text if COMPOUND_ASSIGN.contains(&text) => {
+                    let line = tok.line;
+                    let span = Span {
+                        start: tok.start,
+                        end: tok.end,
+                    };
+                    let op = tok.text.clone();
+                    self.bump();
+                    current.exprs.push(Expr {
+                        kind: ExprKind::CompoundAssign { op },
+                        line,
+                        span,
+                        args: Vec::new(),
+                    });
+                }
+                _ => {
+                    if tok.kind == TokenKind::Ident && tok.text == "return" {
+                        current.exprs.push(Expr {
+                            kind: ExprKind::Return,
+                            line: tok.line,
+                            span: Span {
+                                start: tok.start,
+                                end: tok.end,
+                            },
+                            args: Vec::new(),
+                        });
+                        self.bump();
+                    } else if starts_path(tok) {
+                        self.path_expr(&mut current);
+                    } else if tok.kind == TokenKind::Literal {
+                        current.exprs.push(Expr {
+                            kind: ExprKind::Lit,
+                            line: tok.line,
+                            span: Span {
+                                start: tok.start,
+                                end: tok.end,
+                            },
+                            args: Vec::new(),
+                        });
+                        self.bump();
+                        self.chain(&mut current);
+                    } else {
+                        // Operators, lifetimes, `&`, `?`, `|`, … are
+                        // transparent to the rules.
+                        self.bump();
+                    }
+                }
+            }
+        }
+        if !current.exprs.is_empty() {
+            stmts.push(current);
+        }
+        stmts
+    }
+
+    /// Cursor sits at an opening delimiter; builds a Group expr.
+    fn group(&mut self, open: &str, close: &str) -> Expr {
+        let start_tok = self.peek(0).expect("caller checked");
+        let start = start_tok.start;
+        let line = start_tok.line;
+        self.bump();
+        let stmts = self.stmts(close);
+        if self.at(close) {
+            self.bump();
+        }
+        let _ = open;
+        Expr {
+            kind: ExprKind::Group,
+            line,
+            span: Span {
+                start,
+                end: self.end_offset(),
+            },
+            args: stmts,
+        }
+    }
+
+    /// Cursor sits at an identifier: parses a path, then dispatches to
+    /// call/macro/field forms and trailing method chains.
+    fn path_expr(&mut self, current: &mut Stmt) {
+        let first = self.peek(0).expect("caller checked");
+        let start = first.start;
+        let line = first.line;
+        let mut segments = vec![first.text.clone()];
+        self.bump();
+        // `a::b::c`, with optional turbofish at the end.
+        let mut turbofish = Vec::new();
+        while self.at("::") {
+            match self.peek(1) {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    self.bump();
+                    segments.push(t.text.clone());
+                    self.bump();
+                }
+                Some(t) if t.text == "<" => {
+                    self.bump(); // `::`
+                    self.angles(&mut turbofish);
+                    break;
+                }
+                _ => {
+                    self.bump();
+                    break;
+                }
+            }
+        }
+        if self.at("(") {
+            let args_group = self.group("(", ")");
+            current.exprs.push(Expr {
+                kind: ExprKind::Call {
+                    path: segments,
+                    turbofish,
+                },
+                line,
+                span: Span {
+                    start,
+                    end: self.end_offset(),
+                },
+                args: args_group.args,
+            });
+            self.chain(current);
+            return;
+        }
+        if self.at("!") {
+            // Macro invocation (only when a delimiter follows — `a !=`
+            // is a single `!=` token, so no ambiguity here).
+            if self
+                .peek(1)
+                .is_some_and(|t| t.text == "(" || t.text == "[" || t.text == "{")
+            {
+                self.bump(); // `!`
+                let (open, close) = match self.peek(0).map(|t| t.text.as_str()) {
+                    Some("(") => ("(", ")"),
+                    Some("[") => ("[", "]"),
+                    _ => ("{", "}"),
+                };
+                let args_group = self.group(open, close);
+                current.exprs.push(Expr {
+                    kind: ExprKind::Macro {
+                        name: segments.pop().unwrap_or_default(),
+                    },
+                    line,
+                    span: Span {
+                        start,
+                        end: self.end_offset(),
+                    },
+                    args: args_group.args,
+                });
+                self.chain(current);
+                return;
+            }
+        }
+        // Bare path; absorb field accesses (`self.rngs`) so the chain
+        // handler sees one receiver path, but stop at method calls.
+        while self.at(".") {
+            match self.peek(1) {
+                Some(t)
+                    if t.kind == TokenKind::Ident
+                        && self.peek(2).is_none_or(|n| n.text != "(" && n.text != "::") =>
+                {
+                    self.bump(); // `.`
+                    segments.push(t.text.clone());
+                    self.bump();
+                }
+                Some(t) if t.kind == TokenKind::Literal => {
+                    // Tuple index `pair.0`.
+                    self.bump();
+                    self.bump();
+                    let _ = t;
+                }
+                _ => break,
+            }
+        }
+        current.exprs.push(Expr {
+            kind: ExprKind::Path { segments },
+            line,
+            span: Span {
+                start,
+                end: self.end_offset(),
+            },
+            args: Vec::new(),
+        });
+        self.chain(current);
+    }
+
+    /// Parses a trailing `.method(args)` chain after any primary.
+    fn chain(&mut self, current: &mut Stmt) {
+        while self.at(".") {
+            let Some(next) = self.peek(1) else { return };
+            if next.kind == TokenKind::Literal {
+                // Tuple index.
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if next.kind != TokenKind::Ident {
+                return;
+            }
+            let method = next.text.clone();
+            let line = next.line;
+            let start = self.peek(0).map_or(0, |t| t.start);
+            // `.await` and plain field hops continue the chain.
+            let mut after = 2;
+            let mut turbofish = Vec::new();
+            let has_turbofish = self.peek(2).is_some_and(|t| t.text == "::")
+                && self.peek(3).is_some_and(|t| t.text == "<");
+            if has_turbofish {
+                self.bump(); // `.`
+                self.bump(); // ident
+                self.bump(); // `::`
+                self.angles(&mut turbofish);
+                after = 0;
+            }
+            let calls = self.peek(after).is_some_and(|t| t.text == "(");
+            if calls {
+                if !has_turbofish {
+                    self.bump(); // `.`
+                    self.bump(); // ident
+                }
+                let args_group = self.group("(", ")");
+                current.exprs.push(Expr {
+                    kind: ExprKind::MethodCall { method, turbofish },
+                    line,
+                    span: Span {
+                        start,
+                        end: self.end_offset(),
+                    },
+                    args: args_group.args,
+                });
+            } else {
+                if !has_turbofish {
+                    // A plain field hop after a non-path primary:
+                    // consume and continue.
+                    self.bump();
+                    self.bump();
+                }
+                continue;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(ast: &Ast) -> Vec<(String, Option<String>)> {
+        let mut out = Vec::new();
+        for_each_fn(ast, &mut |item, self_ty| {
+            out.push((item.name.clone(), self_ty.map(str::to_string)));
+        });
+        out
+    }
+
+    /// All call-shaped names in one fn body, in order.
+    fn calls_of(item: &Item) -> Vec<String> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+            for stmt in stmts {
+                for expr in &stmt.exprs {
+                    if let Some(name) = expr.call_name() {
+                        out.push(name.to_string());
+                    }
+                    walk(&expr.args, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(body) = &item.body {
+            walk(&body.stmts, &mut out);
+        }
+        out
+    }
+
+    fn first_fn<'a>(ast: &'a Ast, name: &str) -> &'a Item {
+        let mut found = None;
+        for_each_fn(ast, &mut |item, _| {
+            if item.name == name && found.is_none() {
+                found = Some(item as *const Item);
+            }
+        });
+        // lint: allow(D4) — test helper; the pointer was just taken
+        // from a live borrow of `ast` and is immediately re-borrowed.
+        unsafe { &*found.expect("fn not found") }
+    }
+
+    #[test]
+    fn items_and_impls_are_discovered() {
+        let ast = parse(
+            "pub struct S { x: u32 }\n\
+             impl S { pub fn get(&self) -> u32 { self.x } }\n\
+             impl Display for S { fn fmt(&self, f: &mut Formatter) -> fmt::Result { todo!() } }\n\
+             mod inner { pub fn helper() {} }\n\
+             trait T { fn req(&self); fn prov(&self) { self.req() } }\n\
+             fn free() {}",
+        );
+        assert_eq!(
+            fns(&ast),
+            vec![
+                ("get".into(), Some("S".into())),
+                ("fmt".into(), Some("S".into())),
+                ("helper".into(), None),
+                ("req".into(), Some("T".into())),
+                ("prov".into(), Some("T".into())),
+                ("free".into(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_records_both_names() {
+        let ast = parse("impl Mitigation for Para { fn on_batch(&mut self) {} }");
+        let item = &ast.items[0];
+        assert_eq!(item.kind, ItemKind::Impl);
+        assert_eq!(item.name, "Para");
+        assert_eq!(item.trait_name.as_deref(), Some("Mitigation"));
+    }
+
+    #[test]
+    fn qualified_impl_paths_take_the_last_segment() {
+        let ast = parse("impl rand::RngCore for MyRng { fn next_u64(&mut self) -> u64 { 0 } }");
+        assert_eq!(ast.items[0].name, "MyRng");
+        assert_eq!(ast.items[0].trait_name.as_deref(), Some("RngCore"));
+    }
+
+    #[test]
+    fn signature_idents_are_collected() {
+        let ast = parse(
+            "fn on_batch(&mut self, batch: &EventBatch, range: Range<usize>, sink: &mut ActionSink) {}",
+        );
+        let item = first_fn(&ast, "on_batch");
+        assert!(item.sig_idents.iter().any(|s| s == "ActionSink"));
+        assert!(item.sig_idents.iter().any(|s| s == "EventBatch"));
+    }
+
+    #[test]
+    fn calls_method_calls_and_macros_are_seen() {
+        let ast = parse(
+            "fn f(&mut self) { let w = self.rngs.draw_block(bank, n); helper(w); Type::assoc(1); assert!(ok); }",
+        );
+        let item = first_fn(&ast, "f");
+        assert_eq!(calls_of(item), vec!["draw_block", "helper", "assoc"]);
+    }
+
+    #[test]
+    fn field_chains_become_receiver_paths() {
+        let ast = parse("fn f(&mut self) { self.rngs.draw_block(bank, n); }");
+        let item = first_fn(&ast, "f");
+        let stmt = &item.body.as_ref().unwrap().stmts[0];
+        match &stmt.exprs[0].kind {
+            ExprKind::Path { segments } => assert_eq!(segments, &["self", "rngs"]),
+            other => panic!("expected receiver path, got {other:?}"),
+        }
+        match &stmt.exprs[1].kind {
+            ExprKind::MethodCall { method, .. } => assert_eq!(method, "draw_block"),
+            other => panic!("expected method call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assign_and_assign_markers() {
+        let ast = parse("fn f(&mut self, x: f64) { self.mean += x; self.last = x; }");
+        let item = first_fn(&ast, "f");
+        let stmts = &item.body.as_ref().unwrap().stmts;
+        assert!(stmts[0]
+            .exprs
+            .iter()
+            .any(|e| matches!(&e.kind, ExprKind::CompoundAssign { op } if op == "+=")));
+        assert!(stmts[1].exprs.iter().any(|e| matches!(e.kind, ExprKind::Assign)));
+    }
+
+    #[test]
+    fn turbofish_idents_are_captured() {
+        let ast = parse("fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }");
+        let item = first_fn(&ast, "f");
+        let mut found = false;
+        fn walk(stmts: &[Stmt], found: &mut bool) {
+            for stmt in stmts {
+                for expr in &stmt.exprs {
+                    if let ExprKind::MethodCall { method, turbofish } = &expr.kind {
+                        if method == "sum" && turbofish.iter().any(|t| t == "f64") {
+                            *found = true;
+                        }
+                    }
+                    walk(&expr.args, found);
+                }
+            }
+        }
+        walk(&item.body.as_ref().unwrap().stmts, &mut found);
+        assert!(found, "sum::<f64> turbofish not captured");
+    }
+
+    #[test]
+    fn cfg_test_marks_the_subtree() {
+        let ast = parse(
+            "fn prod() {}\n#[cfg(test)]\nmod tests { fn helper() {} #[test] fn case() {} }",
+        );
+        let mut seen = Vec::new();
+        for_each_fn(&ast, &mut |item, _| {
+            seen.push((item.name.clone(), item.is_test));
+        });
+        assert_eq!(
+            seen,
+            vec![
+                ("prod".into(), false),
+                ("helper".into(), true),
+                ("case".into(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_attribute_marks_a_single_fn() {
+        let ast = parse("#[test]\nfn case() {}\nfn prod() {}");
+        let mut seen = Vec::new();
+        for_each_fn(&ast, &mut |item, _| {
+            seen.push((item.name.clone(), item.is_test));
+        });
+        assert_eq!(seen, vec![("case".into(), true), ("prod".into(), false)]);
+    }
+
+    #[test]
+    fn ranges_do_not_fake_assignments() {
+        let ast = parse("fn f(n: u64) -> u64 { let mut s = 0; for i in 0..=n { s += i; } s }");
+        let item = first_fn(&ast, "f");
+        // Exactly one Assign marker (the `let s = 0`), none from `..=`.
+        fn count_assigns(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .flat_map(|s| &s.exprs)
+                .map(|e| {
+                    usize::from(matches!(e.kind, ExprKind::Assign)) + count_assigns(&e.args)
+                })
+                .sum()
+        }
+        assert_eq!(count_assigns(&item.body.as_ref().unwrap().stmts), 1);
+    }
+
+    #[test]
+    fn spans_cover_their_tokens() {
+        let src = "fn f(a: u32) -> u32 { g(a) + 1 }\nfn g(x: u32) -> u32 { x }";
+        let ast = parse(src);
+        assert_eq!(ast.items.len(), 2);
+        let f = &ast.items[0];
+        assert_eq!(&src[f.span.start as usize..f.span.end as usize], "fn f(a: u32) -> u32 { g(a) + 1 }");
+        let body = f.body.as_ref().unwrap();
+        assert_eq!(
+            &src[body.span.start as usize..body.span.end as usize],
+            "{ g(a) + 1 }"
+        );
+    }
+
+    #[test]
+    fn tolerates_unbalanced_input() {
+        // Must not panic or loop forever.
+        let _ = parse("fn broken( { ) } impl X fn ");
+        let _ = parse("} } )");
+        let _ = parse("fn f() { loop { }");
+    }
+}

@@ -1,0 +1,655 @@
+//! The workspace call graph and the reachability-derived rule scopes.
+//!
+//! Nodes are every `fn` item the parser finds (free functions, impl
+//! methods, trait methods with default bodies).  Edges over-approximate
+//! calls by name resolution — the linter needs soundness in the
+//! *coverage* direction (a function that might be on a hot path is
+//! treated as on it), never type-accurate dispatch:
+//!
+//! * `Type::name(..)` resolves to workspace fns of that self type (or
+//!   of impls of that trait, when `Type` names a trait); unknown types
+//!   resolve to nothing (external calls are not workspace edges).
+//! * `self.name(..)` prefers the caller's own type, then any trait it
+//!   implements, then every method of that name.
+//! * `.name(..)` on any other receiver resolves to every workspace
+//!   method of that name.
+//! * `name(..)` resolves to every workspace free fn of that name.
+//!
+//! On top of reachability, [`derive_scopes`] computes the rule scopes
+//! that PR 5–9 maintained as hand-curated file inventories (rule D9):
+//!
+//! * **hot** (D6): transitive callees of the `on_batch` lane kernels
+//!   (an `on_batch` fn taking an `ActionSink`) and of the engine
+//!   drivers that invoke `on_batch`.
+//! * **merge** (D8): transitive callees of the `RunMetrics` /
+//!   `QuantileSketch` merge roots (`merge`, `merge_population`).
+//! * **counter** (D5): the union of both — everything that feeds
+//!   counter/flip arithmetic into reports.
+//! * **seeded** (D7): functions with a seeded-RNG lineage — they call
+//!   (or are called by something that calls) `seed_from_u64` /
+//!   `bank_seed` / `device_seed`, or belong to a type whose
+//!   constructor does, or are transitively called from such a
+//!   function.  RNG draws outside this set have no provenance story.
+
+use crate::ast::{Ast, Expr, ExprKind, Item, ItemKind, Span, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Calls that derive one stream seed from another — the roots of every
+/// legitimate RNG lineage in the workspace.
+pub const SEED_ORIGINS: [&str; 4] = ["seed_from_u64", "from_seed", "bank_seed", "device_seed"];
+
+/// Std iterator-adapter / combinator / reduction names.  A bare
+/// `.collect()` or `.map(..)` is overwhelmingly a std call; fanning it
+/// out to every workspace fn that happens to share the name (e.g.
+/// `TraceStats::collect`) floods the graph with false edges, so these
+/// resolve only against the caller's own type.  Workspace-flavored
+/// container names (`insert`, `push`, `drain`, `get`, …) are *not*
+/// here — their fan-out carries the real kernel→table edges.
+const PRELUDE_METHODS: [&str; 38] = [
+    "abs",
+    "as_mut",
+    "as_ref",
+    "chain",
+    "clone",
+    "cloned",
+    "collect",
+    "copied",
+    "count",
+    "enumerate",
+    "expect",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "fold",
+    "for_each",
+    "into",
+    "into_iter",
+    "iter",
+    "iter_mut",
+    "last",
+    "map",
+    "max",
+    "max_by_key",
+    "min",
+    "min_by_key",
+    "product",
+    "rev",
+    "skip",
+    "sum",
+    "take",
+    "to_string",
+    "to_vec",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "zip",
+];
+
+/// One call site, as resolvable a shape as the parser could recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `name(..)` — a free-function call.
+    Free { name: String },
+    /// `Type::name(..)` (with `Self` already substituted).
+    Qualified { ty: String, name: String },
+    /// `recv.name(..)`; `on_self` when the receiver chain starts at
+    /// `self`.
+    Method { name: String, on_self: bool },
+}
+
+impl Callee {
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Free { name } | Callee::Qualified { name, .. } | Callee::Method { name, .. } => {
+                name
+            }
+        }
+    }
+}
+
+/// One function node.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into [`CallGraph::files`].
+    pub file: usize,
+    pub name: String,
+    /// Enclosing impl's self type (or trait's name for trait items).
+    pub self_ty: Option<String>,
+    /// Enclosing impl's trait, for `impl Trait for Type` members.
+    pub trait_name: Option<String>,
+    pub line: u32,
+    pub span: Span,
+    pub body_span: Option<Span>,
+    pub is_test: bool,
+    pub sig_idents: Vec<String>,
+    pub calls: Vec<Callee>,
+}
+
+/// The reachability-derived rule scopes (see module docs).
+#[derive(Debug, Default)]
+pub struct Scopes {
+    pub hot: BTreeSet<usize>,
+    pub merge: BTreeSet<usize>,
+    pub counter: BTreeSet<usize>,
+    pub seeded: BTreeSet<usize>,
+}
+
+/// The workspace (or single-file) call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Repo-relative paths, parallel to [`FnNode::file`].
+    pub files: Vec<String>,
+    pub fns: Vec<FnNode>,
+    edges: Vec<Vec<usize>>,
+    reverse: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files.  `is_test` marks whole
+    /// files (tests/, benches) whose fns must never seed rule scopes.
+    pub fn build(files: Vec<(String, &Ast, bool)>) -> CallGraph {
+        let mut graph = CallGraph::default();
+        for (path, ast, is_test) in files {
+            let file_index = graph.files.len();
+            graph.files.push(path);
+            collect_fns(&ast.items, file_index, None, None, is_test, &mut graph.fns);
+        }
+        graph.resolve();
+        graph
+    }
+
+    /// Resolved callee indices of `fn_id`.
+    pub fn callees(&self, fn_id: usize) -> &[usize] {
+        &self.edges[fn_id]
+    }
+
+    /// Function ids defined in `file` (by graph file index).
+    pub fn fns_in_file(&self, file: usize) -> impl Iterator<Item = usize> + '_ {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.file == file)
+            .map(|(i, _)| i)
+    }
+
+    /// Index of `path` in [`CallGraph::files`].
+    pub fn file_index(&self, path: &str) -> Option<usize> {
+        self.files.iter().position(|f| f == path)
+    }
+
+    fn resolve(&mut self) {
+        // Name → candidate indices, split by call shape.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_ty: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_trait: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            match &f.self_ty {
+                None => free.entry(&f.name).or_default().push(i),
+                Some(ty) => {
+                    methods.entry(&f.name).or_default().push(i);
+                    by_ty.entry((ty, &f.name)).or_default().push(i);
+                    if let Some(tr) = &f.trait_name {
+                        by_trait.entry((tr, &f.name)).or_default().push(i);
+                    }
+                }
+            }
+        }
+
+        let mut edges = Vec::with_capacity(self.fns.len());
+        for f in &self.fns {
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for call in &f.calls {
+                match call {
+                    Callee::Free { name } => {
+                        if let Some(ids) = free.get(name.as_str()) {
+                            out.extend(ids);
+                        }
+                    }
+                    Callee::Qualified { ty, name } => {
+                        let direct = by_ty.get(&(ty.as_str(), name.as_str()));
+                        let via_trait = by_trait.get(&(ty.as_str(), name.as_str()));
+                        match (direct, via_trait) {
+                            (None, None) => {}
+                            (direct, via_trait) => {
+                                out.extend(direct.into_iter().flatten());
+                                out.extend(via_trait.into_iter().flatten());
+                            }
+                        }
+                    }
+                    Callee::Method { name, on_self } => {
+                        let own = f.self_ty.as_deref().and_then(|ty| {
+                            by_ty.get(&(ty, name.as_str())).filter(|v| !v.is_empty())
+                        });
+                        match own {
+                            Some(ids) if *on_self => out.extend(ids),
+                            _ if PRELUDE_METHODS.contains(&name.as_str()) => {}
+                            _ => {
+                                if let Some(ids) = methods.get(name.as_str()) {
+                                    out.extend(ids);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            edges.push(out.into_iter().collect::<Vec<_>>());
+        }
+        let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); self.fns.len()];
+        for (from, outs) in edges.iter().enumerate() {
+            for &to in outs {
+                reverse[to].push(from);
+            }
+        }
+        self.edges = edges;
+        self.reverse = reverse;
+    }
+
+    /// Everything reachable from `roots` by following call edges
+    /// forward (callees), roots included.
+    pub fn forward_reach(&self, roots: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
+        self.reach(roots, &self.edges)
+    }
+
+    /// Everything that can reach `roots` (transitive callers), roots
+    /// included.
+    pub fn reverse_reach(&self, roots: impl IntoIterator<Item = usize>) -> BTreeSet<usize> {
+        self.reach(roots, &self.reverse)
+    }
+
+    fn reach(
+        &self,
+        roots: impl IntoIterator<Item = usize>,
+        edges: &[Vec<usize>],
+    ) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: Vec<usize> = roots.into_iter().collect();
+        while let Some(id) = queue.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            for &next in &edges[id] {
+                if !seen.contains(&next) {
+                    queue.push(next);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Derives the D5/D6/D7/D8 scopes from the graph (rule D9).
+pub fn derive_scopes(graph: &CallGraph) -> Scopes {
+    let ids = 0..graph.fns.len();
+
+    // Hot scope: the lane kernels (an `on_batch` taking an ActionSink)
+    // and everything they transitively call, plus the engine drivers
+    // that deliver batches to them.  Drivers are hot *themselves* —
+    // their loop bodies run per batch — but their non-kernel callees
+    // (trace synthesis, run setup, metric finalization) are pre/post
+    // batch work, not the steady-state decision path, so the closure
+    // is taken over kernels only.
+    let kernel_roots: Vec<usize> = ids
+        .clone()
+        .filter(|&i| {
+            let f = &graph.fns[i];
+            !f.is_test && f.name == "on_batch" && f.sig_idents.iter().any(|s| s == "ActionSink")
+        })
+        .collect();
+    let drivers: Vec<usize> = ids
+        .clone()
+        .filter(|&i| {
+            let f = &graph.fns[i];
+            !f.is_test && f.calls.iter().any(|c| c.name() == "on_batch")
+        })
+        .collect();
+    let mut hot = graph.forward_reach(kernel_roots);
+    hot.extend(drivers);
+
+    // Merge roots: the shard/population metric folds.
+    let merge_roots: Vec<usize> = ids
+        .clone()
+        .filter(|&i| {
+            let f = &graph.fns[i];
+            !f.is_test && (f.name == "merge" || f.name == "merge_population")
+        })
+        .collect();
+    let merge = graph.forward_reach(merge_roots);
+
+    let counter: BTreeSet<usize> = hot.union(&merge).copied().collect();
+
+    // Seeded lineage: fns that transitively reach a seed-derivation
+    // call, every fn of a type one of those belongs to (constructors
+    // seed the stream a sibling method draws from), and everything
+    // such functions transitively call (they hand seeded generators
+    // down as arguments).
+    let s0: Vec<usize> = ids
+        .filter(|&i| {
+            graph.fns[i]
+                .calls
+                .iter()
+                .any(|c| SEED_ORIGINS.contains(&c.name()))
+        })
+        .collect();
+    let s1 = graph.reverse_reach(s0);
+    let seeded_types: BTreeSet<&str> = s1
+        .iter()
+        .filter_map(|&i| graph.fns[i].self_ty.as_deref())
+        .collect();
+    let s2: Vec<usize> = (0..graph.fns.len())
+        .filter(|&i| {
+            s1.contains(&i)
+                || graph.fns[i]
+                    .self_ty
+                    .as_deref()
+                    .is_some_and(|ty| seeded_types.contains(ty))
+        })
+        .collect();
+    let seeded = graph.forward_reach(s2);
+
+    Scopes {
+        hot,
+        merge,
+        counter,
+        seeded,
+    }
+}
+
+fn collect_fns(
+    items: &[Item],
+    file: usize,
+    self_ty: Option<&str>,
+    trait_name: Option<&str>,
+    in_test: bool,
+    out: &mut Vec<FnNode>,
+) {
+    for item in items {
+        let is_test = in_test || item.is_test;
+        match item.kind {
+            ItemKind::Fn => {
+                let mut calls = Vec::new();
+                if let Some(body) = &item.body {
+                    collect_calls(&body.stmts, self_ty, &mut calls);
+                }
+                out.push(FnNode {
+                    file,
+                    name: item.name.clone(),
+                    self_ty: self_ty.map(str::to_string),
+                    trait_name: trait_name.map(str::to_string),
+                    line: item.line,
+                    span: item.span,
+                    body_span: item.body.as_ref().map(|b| b.span),
+                    is_test,
+                    sig_idents: item.sig_idents.clone(),
+                    calls,
+                });
+            }
+            ItemKind::Impl => collect_fns(
+                &item.children,
+                file,
+                Some(&item.name),
+                item.trait_name.as_deref(),
+                is_test,
+                out,
+            ),
+            ItemKind::Trait => {
+                collect_fns(&item.children, file, Some(&item.name), None, is_test, out);
+            }
+            ItemKind::Mod => collect_fns(&item.children, file, self_ty, trait_name, is_test, out),
+            ItemKind::Other => {}
+        }
+    }
+}
+
+/// Extracts call-shaped expressions from a body, tracking whether a
+/// method call's receiver chain starts at `self`.
+fn collect_calls(stmts: &[Stmt], self_ty: Option<&str>, out: &mut Vec<Callee>) {
+    for stmt in stmts {
+        let mut receiver_is_self = false;
+        for expr in &stmt.exprs {
+            match &expr.kind {
+                ExprKind::Call { path, .. } => {
+                    receiver_is_self = false;
+                    out.push(call_from_path(path, self_ty));
+                }
+                ExprKind::MethodCall { method, .. } => {
+                    out.push(Callee::Method {
+                        name: method.clone(),
+                        on_self: receiver_is_self,
+                    });
+                    // A chained call's result is no longer `self`.
+                    receiver_is_self = false;
+                }
+                ExprKind::Path { segments } => {
+                    receiver_is_self = segments.first().is_some_and(|s| s == "self");
+                }
+                _ => {
+                    receiver_is_self = false;
+                }
+            }
+            collect_calls(&expr.args, self_ty, out);
+        }
+    }
+}
+
+fn call_from_path(path: &[String], self_ty: Option<&str>) -> Callee {
+    match path {
+        [name] => Callee::Free { name: name.clone() },
+        [.., ty, name] => {
+            let ty = if ty == "Self" {
+                self_ty.unwrap_or("Self").to_string()
+            } else {
+                ty.clone()
+            };
+            Callee::Qualified {
+                ty,
+                name: name.clone(),
+            }
+        }
+        [] => Callee::Free {
+            name: String::new(),
+        },
+    }
+}
+
+/// Walks every expression in a body, depth-first, statement order.
+pub fn for_each_expr<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt, &'a Expr)) {
+    for stmt in stmts {
+        for expr in &stmt.exprs {
+            f(stmt, expr);
+            for_each_expr(&expr.args, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn graph_of(sources: &[(&str, &str)]) -> (Vec<Ast>, CallGraph) {
+        let asts: Vec<Ast> = sources.iter().map(|(_, src)| parse(src)).collect();
+        let graph = CallGraph::build(
+            sources
+                .iter()
+                .zip(&asts)
+                .map(|((path, _), ast)| (path.to_string(), ast, false))
+                .collect(),
+        );
+        (asts, graph)
+    }
+
+    fn id(graph: &CallGraph, name: &str) -> usize {
+        graph
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not in graph"))
+    }
+
+    #[test]
+    fn free_calls_resolve_across_files() {
+        let (_a, g) = graph_of(&[
+            ("a.rs", "pub fn top() { helper(1); }"),
+            ("b.rs", "pub fn helper(x: u32) -> u32 { x }"),
+        ]);
+        let top = id(&g, "top");
+        let helper = id(&g, "helper");
+        assert_eq!(g.callees(top), &[helper]);
+        assert!(g.forward_reach([top]).contains(&helper));
+        assert!(g.reverse_reach([helper]).contains(&top));
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_type() {
+        let (_a, g) = graph_of(&[(
+            "a.rs",
+            "struct A; struct B;\n\
+             impl A { pub fn make() -> A { A } }\n\
+             impl B { pub fn make() -> B { B } }\n\
+             fn build() { A::make(); }",
+        )]);
+        let build = id(&g, "build");
+        let callees = g.callees(build);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(g.fns[callees[0]].self_ty.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn self_method_calls_stay_on_their_type() {
+        let (_a, g) = graph_of(&[(
+            "a.rs",
+            "struct A; struct B;\n\
+             impl A { pub fn step(&self) { self.leaf(); } fn leaf(&self) {} }\n\
+             impl B { fn leaf(&self) {} }",
+        )]);
+        let step = id(&g, "step");
+        let callees = g.callees(step);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(g.fns[callees[0]].self_ty.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn foreign_method_calls_fan_out_to_all_candidates() {
+        let (_a, g) = graph_of(&[(
+            "a.rs",
+            "struct A; struct B;\n\
+             impl A { fn leaf(&self) {} }\n\
+             impl B { fn leaf(&self) {} }\n\
+             fn drive(x: &A) { x.leaf(); }",
+        )]);
+        let drive = id(&g, "drive");
+        assert_eq!(g.callees(drive).len(), 2);
+    }
+
+    #[test]
+    fn trait_qualified_calls_reach_every_impl() {
+        let (_a, g) = graph_of(&[(
+            "a.rs",
+            "trait Run { fn go(&self); }\n\
+             struct A; impl Run for A { fn go(&self) {} }\n\
+             struct B; impl Run for B { fn go(&self) {} }\n\
+             fn drive(x: &dyn Run) { Run::go(x); }",
+        )]);
+        let drive = id(&g, "drive");
+        // Resolution set: the trait decl node plus both impls.
+        let impls = g
+            .callees(drive)
+            .iter()
+            .filter(|&&c| g.fns[c].trait_name.as_deref() == Some("Run"))
+            .count();
+        assert_eq!(impls, 2);
+    }
+
+    #[test]
+    fn hot_scope_covers_kernels_their_callees_and_drivers() {
+        let (_a, g) = graph_of(&[(
+            "k.rs",
+            "struct K;\n\
+             impl K {\n\
+               pub fn on_batch(&mut self, batch: &EventBatch, sink: &mut ActionSink) { self.step() }\n\
+               fn step(&mut self) { leaf() }\n\
+             }\n\
+             fn leaf() {}\n\
+             fn engine(k: &mut K) { k.on_batch(b, s); synth_events() }\n\
+             fn synth_events() {}\n\
+             fn unrelated() {}",
+        )]);
+        let scopes = derive_scopes(&g);
+        for name in ["on_batch", "step", "leaf", "engine"] {
+            assert!(scopes.hot.contains(&id(&g, name)), "{name} must be hot");
+        }
+        // The driver's own body is hot, but its non-kernel callees
+        // (trace synthesis, setup) are pre/post batch work.
+        assert!(!scopes.hot.contains(&id(&g, "synth_events")));
+        assert!(!scopes.hot.contains(&id(&g, "unrelated")));
+    }
+
+    #[test]
+    fn merge_scope_is_forward_closure_of_merge_roots() {
+        let (_a, g) = graph_of(&[(
+            "m.rs",
+            "impl M { pub fn merge(self, o: M) -> M { combine(self, o) } }\n\
+             fn combine(a: M, b: M) -> M { a }\n\
+             fn caller(a: M, b: M) -> M { a.merge(b) }",
+        )]);
+        let scopes = derive_scopes(&g);
+        assert!(scopes.merge.contains(&id(&g, "merge")));
+        assert!(scopes.merge.contains(&id(&g, "combine")));
+        // Callers of merge are not themselves merge-scope.
+        assert!(!scopes.merge.contains(&id(&g, "caller")));
+        // Counter scope is the union of hot and merge.
+        assert!(scopes.counter.contains(&id(&g, "combine")));
+    }
+
+    #[test]
+    fn seeded_scope_covers_constructor_seeded_types_and_param_passing() {
+        let (_a, g) = graph_of(&[(
+            "r.rs",
+            "struct Pool;\n\
+             impl Pool {\n\
+               pub fn with_banks(seed: u64) -> Pool { StdRng::seed_from_u64(bank_seed(seed, 0)); Pool }\n\
+               pub fn draw(&mut self) -> u64 { self.raw() }\n\
+               fn raw(&mut self) -> u64 { 0 }\n\
+             }\n\
+             fn run_device(seed: u64) { let mut r = StdRng::seed_from_u64(seed); sample(&mut r); }\n\
+             fn sample(rng: &mut StdRng) -> u64 { rng.next_u64() }\n\
+             struct Orphan;\n\
+             impl Orphan { pub fn draw(&mut self) -> u64 { self.rng.next_u64() } }",
+        )]);
+        let scopes = derive_scopes(&g);
+        // Constructor-seeded type: every Pool method is seed-connected.
+        for name in ["with_banks", "draw", "raw"] {
+            let pool_fn = g
+                .fns
+                .iter()
+                .position(|f| f.name == name && f.self_ty.as_deref() == Some("Pool"))
+                .unwrap();
+            assert!(scopes.seeded.contains(&pool_fn), "Pool::{name}");
+        }
+        // Param-passing lineage: run_device seeds, sample draws.
+        assert!(scopes.seeded.contains(&id(&g, "run_device")));
+        assert!(scopes.seeded.contains(&id(&g, "sample")));
+        // The orphan type never seeds anything.
+        let orphan_draw = g
+            .fns
+            .iter()
+            .position(|f| f.name == "draw" && f.self_ty.as_deref() == Some("Orphan"))
+            .unwrap();
+        assert!(!scopes.seeded.contains(&orphan_draw));
+    }
+
+    #[test]
+    fn test_fns_are_not_roots() {
+        let (_a, g) = graph_of(&[(
+            "t.rs",
+            "#[cfg(test)]\nmod tests {\n\
+               fn on_batch(b: &EventBatch, sink: &mut ActionSink) { helper() }\n\
+               fn helper() {}\n\
+             }",
+        )]);
+        let scopes = derive_scopes(&g);
+        assert!(scopes.hot.is_empty(), "test kernels must not seed scope");
+    }
+}

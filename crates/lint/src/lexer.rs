@@ -27,12 +27,23 @@ pub enum TokenKind {
     Lifetime,
 }
 
-/// One code token with its 1-based source line.
+/// One code token with its 1-based source line and byte span.
+///
+/// Spans are half-open byte ranges into the lexed source
+/// (`&source[start as usize..end as usize]` is the token's spelling,
+/// except for opaque literals whose `text` is a placeholder).  The
+/// parser in [`crate::ast`] builds every AST node span out of token
+/// spans, so node ranges are always token-aligned: re-lexing a node's
+/// byte range yields exactly the node's own tokens.
 #[derive(Debug, Clone)]
 pub struct Token {
     pub kind: TokenKind,
     pub text: String,
     pub line: u32,
+    /// Byte offset of the token's first byte.
+    pub start: u32,
+    /// Byte offset one past the token's last byte.
+    pub end: u32,
 }
 
 /// One comment (line or block) with the 1-based line it starts on.
@@ -66,6 +77,8 @@ pub fn lex(source: &str) -> Lexed {
     Lexer {
         chars: source.chars().collect(),
         pos: 0,
+        byte: 0,
+        tok_start: 0,
         line: 1,
         out: Lexed::default(),
     }
@@ -75,6 +88,10 @@ pub fn lex(source: &str) -> Lexed {
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
+    /// Byte offset of `pos` into the original source.
+    byte: usize,
+    /// Byte offset where the token being lexed began.
+    tok_start: usize,
     line: u32,
     out: Lexed,
 }
@@ -88,6 +105,7 @@ impl Lexer {
         let c = self.chars.get(self.pos).copied();
         if let Some(c) = c {
             self.pos += 1;
+            self.byte += c.len_utf8();
             if c == '\n' {
                 self.line += 1;
             }
@@ -96,12 +114,29 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.tokens.push(Token { kind, text, line });
+        let start = u32::try_from(self.tok_start).unwrap_or(u32::MAX);
+        let end = u32::try_from(self.byte).unwrap_or(u32::MAX);
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            start,
+            end,
+        });
+    }
+
+    /// Consumes `n` characters and pushes them as one punct token.
+    fn punct(&mut self, n: usize, text: &str, line: u32) {
+        for _ in 0..n {
+            self.bump();
+        }
+        self.push(TokenKind::Punct, text.into(), line);
     }
 
     fn run(mut self) -> Lexed {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            self.tok_start = self.byte;
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
@@ -113,21 +148,28 @@ impl Lexer {
                 '\'' => self.char_or_lifetime(line),
                 c if c.is_alphabetic() || c == '_' => self.ident(line),
                 c if c.is_ascii_digit() => self.number(line),
-                ':' if self.peek(1) == Some(':') => {
-                    self.bump();
-                    self.bump();
-                    self.push(TokenKind::Punct, "::".into(), line);
+                ':' if self.peek(1) == Some(':') => self.punct(2, "::", line),
+                '-' if self.peek(1) == Some('>') => self.punct(2, "->", line),
+                '=' if self.peek(1) == Some('>') => self.punct(2, "=>", line),
+                '=' if self.peek(1) == Some('=') => self.punct(2, "==", line),
+                '!' if self.peek(1) == Some('=') => self.punct(2, "!=", line),
+                '<' if self.peek(1) == Some('=') => self.punct(2, "<=", line),
+                '>' if self.peek(1) == Some('=') => self.punct(2, ">=", line),
+                '.' if self.peek(1) == Some('.') => {
+                    // Range operators, so a bare `=` token always means
+                    // assignment to the parser: `..=` must not shed a
+                    // loose `=`, and `...` is the legacy spelling.
+                    match self.peek(2) {
+                        Some('=') => self.punct(3, "..=", line),
+                        Some('.') => self.punct(3, "...", line),
+                        _ => self.punct(2, "..", line),
+                    }
                 }
-                '-' if self.peek(1) == Some('>') => {
-                    self.bump();
-                    self.bump();
-                    self.push(TokenKind::Punct, "->".into(), line);
+                '+' | '-' | '*' | '%' | '^' | '&' | '|' if self.peek(1) == Some('=') => {
+                    let text = format!("{c}=");
+                    self.punct(2, &text, line);
                 }
-                '=' if self.peek(1) == Some('>') => {
-                    self.bump();
-                    self.bump();
-                    self.push(TokenKind::Punct, "=>".into(), line);
-                }
+                '/' if self.peek(1) == Some('=') => self.punct(2, "/=", line),
                 _ => {
                     self.bump();
                     self.push(TokenKind::Punct, c.to_string(), line);
@@ -435,5 +477,57 @@ mod tests {
         let lexed = lex("a\nb\n\nc");
         let lines: Vec<_> = lexed.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let lexed = lex("a += 1; b == c; d != e; f <= g; h >= i; j -= k; l /= m; n..=o; p..q");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text != ";")
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            puncts,
+            vec!["+=", "==", "!=", "<=", ">=", "-=", "/=", "..=", ".."]
+        );
+    }
+
+    #[test]
+    fn shift_assign_never_sheds_a_loose_equals() {
+        // `<<=` lexes as `<`, `<=` — inelegant but it must not produce
+        // a bare `=` the parser would read as an assignment.
+        let lexed = lex("a <<= 1; b >>= 2;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "="));
+    }
+
+    #[test]
+    fn spans_slice_back_to_the_token_spelling() {
+        let src = "fn add(a: u32) -> u32 { a += 1; a }";
+        let lexed = lex(src);
+        for tok in &lexed.tokens {
+            let slice = &src[tok.start as usize..tok.end as usize];
+            if tok.kind != TokenKind::Literal {
+                assert_eq!(slice, tok.text, "span of {tok:?}");
+            }
+        }
+        // Literals keep their span even though the text is opaque.
+        let lit = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .expect("literal");
+        assert_eq!(&src[lit.start as usize..lit.end as usize], "1");
+    }
+
+    #[test]
+    fn spans_are_byte_offsets_even_after_multibyte_text() {
+        // The em-dash in the comment is multi-byte; spans must stay
+        // aligned with byte offsets, not char counts.
+        let src = "// — dash\nlet x = 1;";
+        let lexed = lex(src);
+        let let_tok = &lexed.tokens[0];
+        assert_eq!(&src[let_tok.start as usize..let_tok.end as usize], "let");
     }
 }

@@ -6,11 +6,14 @@
 //! the source level, so a refactor cannot silently reintroduce a
 //! source of nondeterminism that the sampled tests happen to miss.
 //!
-//! The engine is a hand-rolled token-level scanner ([`lexer`]) feeding
-//! a rule set of five invariants ([`rules`], D1–D5) over a sorted walk
-//! of every workspace source file ([`walk`]), producing a byte-stable
-//! table or JSON report ([`report`]).  See `DESIGN.md` §11 for the
-//! rule catalog and the annotation grammar.
+//! The engine is a hand-rolled token-level lexer ([`lexer`]) feeding a
+//! tolerant recursive-descent parser ([`ast`]) and a workspace call
+//! graph ([`graph`]).  Rules D1–D4 are token patterns; D5–D8 are
+//! interprocedural, scoped per *function* by reachability over the
+//! call graph rather than per file by hand-maintained inventories
+//! (rule D9).  A sorted walk of every workspace source file ([`walk`])
+//! produces a byte-stable table or JSON report ([`report`]).  See
+//! `DESIGN.md` §16 for the rule catalog and the annotation grammar.
 //!
 //! ```
 //! use rh_lint::{lint_source, FileClass};
@@ -23,28 +26,84 @@
 //! assert_eq!(report.findings[0].rule, "D1");
 //! ```
 
+pub mod ast;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod walk;
 
+pub use graph::{derive_scopes, CallGraph, Scopes};
 pub use report::LintReport;
 pub use rules::{
-    lint_source, Annotation, FileClass, FileReport, Finding, RULE_IDS, RULE_SUMMARIES,
+    lint_parsed, lint_source, Annotation, FileClass, FileReport, FileScopes, Finding, FnScope,
+    RULE_IDS, RULE_SUMMARIES,
 };
 pub use walk::{classify, relative, workspace_files};
 
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Lints every workspace source file under `root` and returns the
 /// aggregated, sorted report.
+///
+/// This is the two-pass pipeline: every file is lexed and parsed once,
+/// the workspace call graph is built over all of them, the rule scopes
+/// are derived from reachability, and only then do the per-file rules
+/// run.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    lint_filtered(root, None)
+}
+
+/// Incremental mode: lints only the `changed` repo-relative paths, but
+/// still builds the call graph over the *whole* workspace — a changed
+/// file's rule scopes depend on callers and callees that did not
+/// change.  Changed paths outside the lint walk (non-`.rs`, excluded
+/// dirs) are silently skipped; `files_scanned` counts only the files
+/// actually linted.
+pub fn lint_changed(root: &Path, changed: &[String]) -> std::io::Result<LintReport> {
+    let filter: BTreeSet<String> = changed.iter().map(|c| c.replace('\\', "/")).collect();
+    lint_filtered(root, Some(&filter))
+}
+
+fn lint_filtered(root: &Path, filter: Option<&BTreeSet<String>>) -> std::io::Result<LintReport> {
     let files = workspace_files(root)?;
-    let mut results = Vec::with_capacity(files.len());
+    let mut rels = Vec::with_capacity(files.len());
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
-        let rel = relative(root, path);
-        let source = std::fs::read_to_string(path)?;
-        results.push(lint_source(&rel, &source, &classify(&rel)));
+        rels.push(relative(root, path));
+        sources.push(std::fs::read_to_string(path)?);
     }
-    Ok(LintReport::from_files(results, files.len() as u64))
+    let classes: Vec<FileClass> = rels.iter().map(|rel| classify(rel)).collect();
+    let lexed: Vec<lexer::Lexed> = sources.iter().map(|s| lexer::lex(s)).collect();
+    let asts: Vec<ast::Ast> = lexed.iter().map(ast::parse_lexed).collect();
+
+    let graph = CallGraph::build(
+        rels.iter()
+            .zip(&asts)
+            .zip(&classes)
+            .map(|((rel, ast), class)| (rel.clone(), ast, class.is_test || class.is_bench))
+            .collect(),
+    );
+    let scopes = derive_scopes(&graph);
+
+    let mut results = Vec::new();
+    let mut scanned = 0u64;
+    for i in 0..rels.len() {
+        if let Some(filter) = filter {
+            if !filter.contains(&rels[i]) {
+                continue;
+            }
+        }
+        scanned += 1;
+        let file_scopes = FileScopes::from_graph(&graph, &scopes, i);
+        results.push(lint_parsed(
+            &rels[i],
+            &lexed[i],
+            &asts[i],
+            &classes[i],
+            &file_scopes,
+        ));
+    }
+    Ok(LintReport::from_files(results, scanned))
 }

@@ -2,41 +2,62 @@
 //!
 //! ```text
 //! rh-lint --workspace [--json] [--root PATH]
+//! rh-lint --changed FILE... [--json] [--root PATH]
 //! ```
 //!
-//! Scans every workspace source file for violations of the
-//! determinism/soundness rules D1–D5 (see `DESIGN.md` §11).  Exits 0
+//! Scans workspace source files for violations of the
+//! determinism/soundness rules D1–D8 (see `DESIGN.md` §16).  Exits 0
 //! when clean, 1 when findings exist, 2 on usage or I/O errors.  With
 //! `--json` the report is printed as JSON after a round-trip
 //! self-check (serialize → parse → compare), mirroring the pattern of
 //! `bin/redteam.rs` and `bin/timeline.rs`.
+//!
+//! `--changed` is the incremental mode: only the named files (paths
+//! relative to the root, forward or backslashes) are linted, but the
+//! call graph is still built over the whole workspace — a changed
+//! file's rule scopes depend on callers and callees that did not
+//! change, so there is no cheaper sound option.
 
-use rh_lint::{lint_workspace, LintReport};
+use rh_lint::{lint_changed, lint_workspace, LintReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rh-lint --workspace [--json] [--root PATH]");
+    eprintln!(
+        "usage: rh-lint --workspace [--json] [--root PATH]\n\
+         \u{20}      rh-lint --changed FILE... [--json] [--root PATH]"
+    );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut workspace = false;
+    let mut changed: Option<Vec<String>> = None;
     let mut json = false;
     let mut root = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--changed" => changed = Some(Vec::new()),
             "--json" => json = true,
             "--root" => match args.next() {
                 Some(path) => root = PathBuf::from(path),
                 None => return usage(),
             },
-            _ => return usage(),
+            _ if arg.starts_with('-') => return usage(),
+            _ => match &mut changed {
+                Some(files) => files.push(arg),
+                None => return usage(),
+            },
         }
     }
-    if !workspace {
+    match (workspace, &changed) {
+        (true, None) | (false, Some(_)) => {}
+        _ => return usage(),
+    }
+    if changed.as_ref().is_some_and(|files| files.is_empty()) {
+        eprintln!("rh-lint: --changed needs at least one file");
         return usage();
     }
     if !root.join("Cargo.toml").is_file() {
@@ -44,7 +65,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = match lint_workspace(&root) {
+    let report = match &changed {
+        Some(files) => lint_changed(&root, files),
+        None => lint_workspace(&root),
+    };
+    let report = match report {
         Ok(report) => report,
         Err(err) => {
             eprintln!("rh-lint: scan failed: {err}");

@@ -17,7 +17,10 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    pub const SCHEMA_VERSION: u32 = 1;
+    /// v2: interprocedural rules D7/D8, call-graph-derived scopes (D9)
+    /// and the `--changed` incremental mode (v1 was the token-only
+    /// D1–D6 scanner with file-inventory scoping).
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// Merges per-file results into one sorted report.
     pub fn from_files(results: Vec<crate::rules::FileReport>, files_scanned: u64) -> Self {

@@ -1,9 +1,11 @@
-//! The determinism/soundness rule set (D1–D5) and the allow-annotation
+//! The determinism/soundness rule set (D1–D9) and the allow-annotation
 //! grammar.
 //!
-//! Every rule is a pattern over the code-token stream of
-//! [`crate::lexer::lex`]; none needs a full parse.  The rules encode
-//! the workspace's core contract — sequential ≡ sharded ≡ batched,
+//! D1–D4 are patterns over the code-token stream of
+//! [`crate::lexer::lex`].  D5–D8 are *interprocedural*: their scope is
+//! not the file but the function, decided by reachability over the
+//! workspace call graph ([`crate::graph`]).  The rules encode the
+//! workspace's core contract — sequential ≡ sharded ≡ batched,
 //! bit-identical at every worker count — at the source level:
 //!
 //! * **D1** `hash-iteration`: no iteration over `HashMap`/`HashSet`
@@ -26,16 +28,41 @@
 //!   `Ordering::Relaxed` site must carry an allow annotation with a
 //!   justification; the linter inventories them.
 //! * **D5** `narrowing-cast`: no `as` casts to ≤32-bit integer types
-//!   in counter/flip-arithmetic files (use `try_from`/checked ops).
+//!   in counter scope — the functions reachable from the lane kernels
+//!   or the metric merge roots (use `try_from`/checked ops).
 //! * **D6** `hot-loop-alloc`: `Vec::new`/`vec![`/`Box::new`/`.collect()`
-//!   in the inventoried hot-loop files (the lane kernels, the batched
-//!   engine loop, the arena) must carry an allow annotation.  The
-//!   steady-state contract (`tests/alloc_free.rs`) promises zero heap
-//!   allocations per batch; every allocation-adjacent construction in
-//!   those files is either construction-time (annotate it, saying so)
-//!   or a regression.  `Vec::with_capacity` is the blessed idiom and
-//!   is never flagged — preallocation *is* the contract; a bare
-//!   `Vec::new` signals a buffer that will grow inside the loop.
+//!   in hot scope — the transitive callees of the `on_batch` lane
+//!   kernels and their engine drivers — must carry an allow
+//!   annotation.  The steady-state contract (`tests/alloc_free.rs`)
+//!   promises zero heap allocations per batch; every
+//!   allocation-adjacent construction on those paths is either
+//!   construction-time (annotate it, saying so) or a regression.
+//!   `Vec::with_capacity` is the blessed idiom and is never flagged —
+//!   preallocation *is* the contract; a bare `Vec::new` signals a
+//!   buffer that will grow inside the loop.
+//! * **D7** `rng-provenance`: every RNG draw (`next_u64`, `gen_range`,
+//!   `sample`, `draw_block`, …) must sit in a function with a seeded
+//!   lineage — one that transitively derives its generator from
+//!   `bank_seed`/`device_seed`/`StdRng::seed_from_u64`, belongs to a
+//!   type whose constructor does, or is called from such a function
+//!   (see [`crate::graph::derive_scopes`]).  A draw outside that set
+//!   has no provenance story: nothing ties its stream to the
+//!   run/bank/device seed tree, so shard order can change its values.
+//!   Additionally, a `draw_block` refill must be consumed within its
+//!   originating run: storing the refill into `self` state is flagged,
+//!   because a block drawn in one run and drained in another desyncs
+//!   the per-bank streams between sequential and sharded execution.
+//! * **D8** `float-reduction`: on functions reachable from the
+//!   `merge`/`merge_population` metric folds, order-dependent `f64`
+//!   accumulation (`+=`/`-=`/`*=` with float operands, `.sum::<f64>()`,
+//!   running means) is flagged unless annotated.  Float addition is
+//!   not associative; a merge that folds shard results in worker
+//!   order produces different bits at different worker counts.
+//! * **D9** `scope-inventory`: the D5–D8 scopes are *derived* from the
+//!   call graph — there is no hand-maintained file inventory to drift
+//!   out of date.  D9 never fires on code; it names the derivation so
+//!   the report catalog and docs can reference it.  `allow(D9)` is
+//!   rejected: you cannot annotate your way out of reachability.
 //!
 //! # Annotation grammar
 //!
@@ -50,22 +77,34 @@
 //!
 //! [`PerfCounters`]: ../../rh_harness/observe/struct.PerfCounters.html
 
+use crate::ast::{parse_lexed, Ast, ExprKind, Item, ItemKind, Span, Stmt};
+use crate::graph::{derive_scopes, CallGraph, Scopes};
 use crate::lexer::{lex, Lexed, Token, TokenKind};
 use serde::{Deserialize, Serialize};
 
 /// Rule identifiers, in catalog order.
-pub const RULE_IDS: [&str; 7] = ["D1", "D2", "D3", "D4", "D5", "D6", "ANN"];
+pub const RULE_IDS: [&str; 10] = [
+    "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "ANN",
+];
 
 /// One-line description per rule, aligned with [`RULE_IDS`].
-pub const RULE_SUMMARIES: [&str; 7] = [
+pub const RULE_SUMMARIES: [&str; 10] = [
     "hash-ordered iteration (HashMap/HashSet) in non-test code",
     "wall-clock read (Instant/SystemTime) outside PerfCounters/bench",
     "unseeded randomness (thread_rng/rand::random/OS entropy)",
     "unsafe or Ordering::Relaxed site without allow annotation",
-    "narrowing `as` cast in counter/flip arithmetic",
-    "unannotated allocation call in a hot-loop file",
+    "narrowing `as` cast in counter scope (kernel/merge-reachable)",
+    "unannotated allocation call in hot scope (on_batch-reachable)",
+    "RNG draw outside a seeded lineage, or escaping draw_block refill",
+    "order-dependent float accumulation on a merge-reachable path",
+    "rule scopes are call-graph-derived; no file inventories (meta)",
     "malformed lint annotation (missing justification)",
 ];
+
+/// Rules that can never be annotated away: `ANN` (an annotation cannot
+/// excuse itself) and `D9` (scope derivation is structural — there is
+/// no site to justify).
+const UNANNOTATABLE: [&str; 2] = ["D9", "ANN"];
 
 /// How many lines above a site an annotation still covers.
 const ANNOTATION_REACH: u32 = 2;
@@ -77,7 +116,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based source line.
     pub line: u32,
-    /// Rule id (`D1`…`D5`, `ANN`).
+    /// Rule id (`D1`…`D8`, `ANN`).
     pub rule: String,
     /// Human-readable explanation of the violation.
     pub message: String,
@@ -101,22 +140,74 @@ pub struct FileReport {
     pub annotations: Vec<Annotation>,
 }
 
-/// Path-derived rule scoping for one file.
+/// Path-derived rule scoping for one file.  Counter/hot-loop scoping
+/// is **not** here any more — it is derived per *function* from the
+/// call graph (see [`FileScopes`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FileClass {
     /// Test code: files under a `tests/` directory.  In `src/` files
     /// the trailing `#[cfg(test)]` module is detected separately.
     pub is_test: bool,
-    /// Bench code (`crates/bench`, `benches/`): D2 and D5 exempt.
+    /// Bench code (`crates/bench`, `benches/`): D2, D5, D6 and D8
+    /// exempt.
     pub is_bench: bool,
     /// The designated wall-clock home (`PerfCounters`): D2 exempt.
     pub timing_exempt: bool,
-    /// Counter/flip-arithmetic file: D5 applies.
-    pub counter_scope: bool,
-    /// Hot-loop file (lane kernels, batched engine loop, arena): D6
-    /// applies — allocation calls must be annotated construction-time
-    /// sites, never steady-loop code.
-    pub hot_loop: bool,
+}
+
+/// One function's reachability-derived rule memberships.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    pub name: String,
+    /// The function's body span; rule sites are attributed to the
+    /// innermost enclosing body.
+    pub body: Span,
+    pub is_test: bool,
+    /// D5 applies (reachable from a kernel or a merge root).
+    pub counter: bool,
+    /// D6 applies (reachable from an `on_batch` kernel or driver).
+    pub hot: bool,
+    /// D8 applies (reachable from `merge`/`merge_population`).
+    pub merge: bool,
+    /// D7-quiet: the function has a seeded-RNG lineage.
+    pub seeded: bool,
+}
+
+/// The per-file slice of the workspace scope derivation.
+#[derive(Debug, Clone, Default)]
+pub struct FileScopes {
+    pub fns: Vec<FnScope>,
+}
+
+impl FileScopes {
+    /// Extracts the scopes of every function defined in graph file
+    /// `file`.
+    pub fn from_graph(graph: &CallGraph, scopes: &Scopes, file: usize) -> FileScopes {
+        let mut fns = Vec::new();
+        for id in graph.fns_in_file(file) {
+            let f = &graph.fns[id];
+            let Some(body) = f.body_span else { continue };
+            fns.push(FnScope {
+                name: f.name.clone(),
+                body,
+                is_test: f.is_test,
+                counter: scopes.counter.contains(&id),
+                hot: scopes.hot.contains(&id),
+                merge: scopes.merge.contains(&id),
+                seeded: scopes.seeded.contains(&id),
+            });
+        }
+        FileScopes { fns }
+    }
+
+    /// The innermost function body containing byte `offset` (functions
+    /// nest inside functions; the tightest span wins).
+    pub fn innermost(&self, offset: u32) -> Option<&FnScope> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains_offset(offset))
+            .min_by_key(|f| f.body.end - f.body.start)
+    }
 }
 
 const ITER_METHODS: [&str; 10] = [
@@ -167,19 +258,61 @@ const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getra
 
 const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
-/// Lints one file's source under `class` scoping.  `path` is only
-/// recorded into findings/annotations, never re-classified.
+/// The draw surface of the seeded generators: a call to any of these
+/// consumes randomness and therefore needs a seeded lineage (D7).
+const DRAW_CALLS: [&str; 9] = [
+    "next_u64",
+    "next_u32",
+    "fill_bytes",
+    "gen",
+    "gen_range",
+    "random",
+    "random_range",
+    "sample",
+    "draw_block",
+];
+
+/// Compound assignments whose result depends on evaluation order when
+/// the operands are floats.
+const ORDER_DEPENDENT_OPS: [&str; 3] = ["+=", "-=", "*="];
+
+/// Lints one file's source under `class` scoping, deriving the
+/// function scopes from the file's own call graph.  This is the
+/// single-file mode (fixtures, tests, `--changed` without workspace
+/// context is *not* this — see `lint_workspace`); files whose scope
+/// roots live elsewhere in the workspace need the workspace pass.
 pub fn lint_source(path: &str, source: &str, class: &FileClass) -> FileReport {
     let lexed = lex(source);
+    let ast = parse_lexed(&lexed);
+    let graph = CallGraph::build(vec![(
+        path.to_string(),
+        &ast,
+        class.is_test || class.is_bench,
+    )]);
+    let scopes = derive_scopes(&graph);
+    let file_scopes = FileScopes::from_graph(&graph, &scopes, 0);
+    lint_parsed(path, &lexed, &ast, class, &file_scopes)
+}
+
+/// Lints one already-lexed/parsed file against precomputed function
+/// scopes.  The workspace driver parses every file once, builds the
+/// global call graph, then calls this per file.
+pub fn lint_parsed(
+    path: &str,
+    lexed: &Lexed,
+    ast: &Ast,
+    class: &FileClass,
+    scopes: &FileScopes,
+) -> FileReport {
     let mut report = FileReport::default();
-    parse_annotations(path, &lexed, &mut report);
+    parse_annotations(path, lexed, &mut report);
 
     // The trailing-test-module convention: everything at or after the
     // first `#[cfg(test)]` counts as test code.
     let test_start = if class.is_test {
         0
     } else {
-        cfg_test_line(&lexed).unwrap_or(u32::MAX)
+        cfg_test_line(lexed).unwrap_or(u32::MAX)
     };
 
     // A multi-line annotation comment covers code below the whole
@@ -187,7 +320,7 @@ pub fn lint_source(path: &str, source: &str, class: &FileClass) -> FileReport {
     let coverage: Vec<u32> = report
         .annotations
         .iter()
-        .map(|a| comment_block_end(&lexed, a.line))
+        .map(|a| comment_block_end(lexed, a.line))
         .collect();
 
     let mut ctx = Ctx {
@@ -195,26 +328,26 @@ pub fn lint_source(path: &str, source: &str, class: &FileClass) -> FileReport {
         report: &mut report,
         coverage: &coverage,
     };
-    rule_d1(&lexed, test_start, &mut ctx);
+    rule_d1(lexed, test_start, &mut ctx);
     if !class.is_bench && !class.timing_exempt {
-        rule_d2(&lexed, test_start, &mut ctx);
+        rule_d2(lexed, test_start, &mut ctx);
     }
-    rule_d3(&lexed, &mut ctx);
-    rule_d4(&lexed, &mut ctx);
-    if class.counter_scope && !class.is_bench {
-        rule_d5(&lexed, test_start, &mut ctx);
+    rule_d3(lexed, &mut ctx);
+    rule_d4(lexed, &mut ctx);
+    if !class.is_bench {
+        rule_d5(lexed, scopes, &mut ctx);
+        rule_d6(lexed, scopes, &mut ctx);
+        rule_d8(lexed, scopes, &mut ctx);
     }
-    if class.hot_loop && !class.is_bench {
-        rule_d6(&lexed, test_start, &mut ctx);
-    }
+    rule_d7(lexed, ast, scopes, &mut ctx);
 
     report.findings.sort();
     report
 }
 
 /// Parses every `lint: allow(RULE)` annotation out of the comment
-/// channel; malformed ones (missing justification or unknown rule)
-/// become `ANN` findings.
+/// channel; malformed ones (missing justification, unknown rule, or a
+/// rule that cannot be annotated) become `ANN` findings.
 fn parse_annotations(path: &str, lexed: &Lexed, report: &mut FileReport) {
     for comment in &lexed.comments {
         // Only plain `// lint: …` comments are annotations; doc
@@ -247,12 +380,12 @@ fn parse_annotations(path: &str, lexed: &Lexed, report: &mut FileReport) {
             continue;
         };
         let rule = rest[..close].trim().to_string();
-        if !RULE_IDS.contains(&rule.as_str()) || rule == "ANN" {
+        if !RULE_IDS.contains(&rule.as_str()) || UNANNOTATABLE.contains(&rule.as_str()) {
             report.findings.push(Finding {
                 file: path.to_string(),
                 line: comment.line,
                 rule: "ANN".into(),
-                message: format!("unknown rule `{rule}` in lint annotation"),
+                message: format!("rule `{rule}` cannot be allowed by annotation"),
             });
             continue;
         }
@@ -359,6 +492,19 @@ fn statement_start(tokens: &[Token], i: usize) -> usize {
             break;
         }
         j -= 1;
+    }
+    j
+}
+
+/// Index one past the last token of the statement containing `i`.
+fn statement_end(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j < tokens.len() {
+        let text = tokens[j].text.as_str();
+        if text == ";" || text == "{" || text == "}" {
+            break;
+        }
+        j += 1;
     }
     j
 }
@@ -628,73 +774,307 @@ fn rule_d4(lexed: &Lexed, ctx: &mut Ctx<'_>) {
     }
 }
 
-/// D5: narrowing `as` casts in counter/flip-arithmetic files.
-fn rule_d5(lexed: &Lexed, test_start: u32, ctx: &mut Ctx<'_>) {
+/// D5: narrowing `as` casts inside counter-scope function bodies (the
+/// functions reachable from a lane kernel or a merge root — see
+/// [`crate::graph::derive_scopes`]).
+fn rule_d5(lexed: &Lexed, scopes: &FileScopes, ctx: &mut Ctx<'_>) {
     let t = &lexed.tokens;
     for i in 0..t.len().saturating_sub(1) {
         if is_ident(&t[i], "as")
             && t[i + 1].kind == TokenKind::Ident
             && NARROW_INTS.contains(&t[i + 1].text.as_str())
-            && t[i].line < test_start
         {
+            let Some(scope) = scopes.innermost(t[i].start) else {
+                continue;
+            };
+            if scope.is_test || !scope.counter {
+                continue;
+            }
             ctx.finding(
                 "D5",
                 t[i].line,
                 format!(
-                    "`as {}` narrowing cast in counter arithmetic: use try_from/checked ops \
-                     so overflow is loud, not silent",
-                    t[i + 1].text
+                    "`as {}` narrowing cast in counter scope (`{}` is kernel/merge-reachable): \
+                     use try_from/checked ops so overflow is loud, not silent",
+                    t[i + 1].text, scope.name
                 ),
             );
         }
     }
 }
 
-/// D6: allocation calls in hot-loop files.  The flagged forms are
+/// D6: allocation calls inside hot-scope function bodies (reachable
+/// from an `on_batch` kernel or driver).  The flagged forms are
 /// `Vec::new`, `vec![…]`, `Box::new` and `.collect()` (including
 /// turbofish) — the constructions that either allocate outright or
 /// produce a zero-capacity buffer that will allocate on first push
 /// inside the steady loop.  `Vec::with_capacity` and in-place reuse
 /// (`clear`/`reset`) are the blessed idioms and pass silently.
-fn rule_d6(lexed: &Lexed, test_start: u32, ctx: &mut Ctx<'_>) {
+fn rule_d6(lexed: &Lexed, scopes: &FileScopes, ctx: &mut Ctx<'_>) {
     let t = &lexed.tokens;
+    let hot = |ctx: &mut Ctx<'_>, i: usize| -> Option<String> {
+        let scope = scopes.innermost(t[i].start)?;
+        let _ = ctx;
+        (!scope.is_test && scope.hot).then(|| scope.name.clone())
+    };
     for i in 0..t.len() {
-        if t[i].line >= test_start {
-            continue;
-        }
         if (is_ident(&t[i], "Vec") || is_ident(&t[i], "Box"))
             && t.get(i + 1).is_some_and(|n| n.text == "::")
             && t.get(i + 2).is_some_and(|n| is_ident(n, "new"))
         {
-            ctx.finding(
-                "D6",
-                t[i].line,
-                format!(
-                    "`{}::new` in a hot-loop file: preallocate with `with_capacity` (or reuse in \
-                     place) and annotate construction-time sites with `lint: allow(D6)`",
-                    t[i].text
-                ),
-            );
+            if let Some(name) = hot(ctx, i) {
+                ctx.finding(
+                    "D6",
+                    t[i].line,
+                    format!(
+                        "`{}::new` in hot scope (`{name}` is on_batch-reachable): preallocate \
+                         with `with_capacity` (or reuse in place) and annotate \
+                         construction-time sites with `lint: allow(D6)`",
+                        t[i].text
+                    ),
+                );
+            }
         }
         if is_ident(&t[i], "vec") && t.get(i + 1).is_some_and(|n| n.text == "!") {
-            ctx.finding(
-                "D6",
-                t[i].line,
-                "`vec![…]` in a hot-loop file: allocates every evaluation; annotate \
-                 construction-time sites with `lint: allow(D6)` or reuse a preallocated buffer"
-                    .to_string(),
-            );
+            if let Some(name) = hot(ctx, i) {
+                ctx.finding(
+                    "D6",
+                    t[i].line,
+                    format!(
+                        "`vec![…]` in hot scope (`{name}` is on_batch-reachable): allocates \
+                         every evaluation; annotate construction-time sites with \
+                         `lint: allow(D6)` or reuse a preallocated buffer"
+                    ),
+                );
+            }
         }
         if is_ident(&t[i], "collect") && i > 0 && t[i - 1].text == "." {
-            ctx.finding(
-                "D6",
-                t[i].line,
-                "`.collect()` in a hot-loop file: allocates a fresh container; annotate \
-                 construction-time sites with `lint: allow(D6)` or fill a reused buffer"
-                    .to_string(),
-            );
+            if let Some(name) = hot(ctx, i) {
+                ctx.finding(
+                    "D6",
+                    t[i].line,
+                    format!(
+                        "`.collect()` in hot scope (`{name}` is on_batch-reachable): allocates \
+                         a fresh container; annotate construction-time sites with \
+                         `lint: allow(D6)` or fill a reused buffer"
+                    ),
+                );
+            }
         }
     }
+}
+
+/// D7 part one: RNG draws outside a seeded lineage.  A draw site is a
+/// call to one of [`DRAW_CALLS`]; the enclosing function must be in
+/// the seeded set derived by [`crate::graph::derive_scopes`].
+fn rule_d7(lexed: &Lexed, ast: &Ast, scopes: &FileScopes, ctx: &mut Ctx<'_>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident || !DRAW_CALLS.contains(&t[i].text.as_str()) {
+            continue;
+        }
+        // A call site, not a definition, import or plain ident: the
+        // name is followed by `(` or a turbofish `::<`.
+        let is_call = match t.get(i + 1) {
+            Some(n) if n.text == "(" => true,
+            Some(n) if n.text == "::" => t.get(i + 2).is_some_and(|n| n.text == "<"),
+            _ => false,
+        };
+        if !is_call || (i > 0 && is_ident(&t[i - 1], "fn")) {
+            continue;
+        }
+        if is_ident(&t[statement_start(t, i)], "use") {
+            continue;
+        }
+        let Some(scope) = scopes.innermost(t[i].start) else {
+            continue;
+        };
+        if scope.is_test || scope.seeded {
+            continue;
+        }
+        ctx.finding(
+            "D7",
+            t[i].line,
+            format!(
+                "`{}` draw in `{}`, which has no seeded lineage: nothing ties this stream to \
+                 the run/bank/device seed tree (seed via bank_seed/device_seed/seed_from_u64, \
+                 or take a seeded generator as a parameter)",
+                t[i].text, scope.name
+            ),
+        );
+    }
+
+    rule_d7_escapes(ast, ctx);
+}
+
+/// D7 part two: a `draw_block` refill stored into `self` state escapes
+/// its originating run — the block would be drained in a later run,
+/// desyncing sequential vs sharded streams.
+fn rule_d7_escapes(ast: &Ast, ctx: &mut Ctx<'_>) {
+    fn contains_draw_block(stmts: &[Stmt]) -> Option<u32> {
+        for stmt in stmts {
+            for expr in &stmt.exprs {
+                match &expr.kind {
+                    ExprKind::MethodCall { method, .. } if method == "draw_block" => {
+                        return Some(expr.line);
+                    }
+                    ExprKind::Call { path, .. } if path.last().is_some_and(|s| s == "draw_block") =>
+                    {
+                        return Some(expr.line);
+                    }
+                    _ => {}
+                }
+                if let Some(line) = contains_draw_block(&expr.args) {
+                    return Some(line);
+                }
+            }
+        }
+        None
+    }
+
+    fn walk_items(items: &[Item], in_test: bool, ctx: &mut Ctx<'_>) {
+        for item in items {
+            let in_test = in_test || item.is_test;
+            if in_test {
+                continue;
+            }
+            if item.kind == ItemKind::Fn {
+                if let Some(body) = &item.body {
+                    walk_stmts(&body.stmts, ctx);
+                }
+            }
+            walk_items(&item.children, in_test, ctx);
+        }
+    }
+
+    fn walk_stmts(stmts: &[Stmt], ctx: &mut Ctx<'_>) {
+        for stmt in stmts {
+            let assign_at = stmt
+                .exprs
+                .iter()
+                .position(|e| matches!(e.kind, ExprKind::Assign));
+            if let Some(at) = assign_at {
+                let lhs_is_self_state = at > 0
+                    && matches!(
+                        &stmt.exprs[0].kind,
+                        ExprKind::Path { segments } if segments.first().is_some_and(|s| s == "self")
+                    );
+                if lhs_is_self_state {
+                    if let Some(line) = contains_draw_block_exprs(&stmt.exprs[at + 1..]) {
+                        ctx.finding(
+                            "D7",
+                            line,
+                            "`draw_block` refill stored into `self` state: the block escapes \
+                             its originating run, desyncing sequential vs sharded streams — \
+                             consume the refill within the run that drew it"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            for expr in &stmt.exprs {
+                walk_stmts(&expr.args, ctx);
+            }
+        }
+    }
+
+    fn contains_draw_block_exprs(exprs: &[crate::ast::Expr]) -> Option<u32> {
+        for expr in exprs {
+            match &expr.kind {
+                ExprKind::MethodCall { method, .. } if method == "draw_block" => {
+                    return Some(expr.line);
+                }
+                ExprKind::Call { path, .. } if path.last().is_some_and(|s| s == "draw_block") => {
+                    return Some(expr.line);
+                }
+                _ => {}
+            }
+            if let Some(line) = contains_draw_block(&expr.args) {
+                return Some(line);
+            }
+        }
+        None
+    }
+
+    walk_items(&ast.items, false, ctx);
+}
+
+/// D8: order-dependent float accumulation inside merge-scope function
+/// bodies.  Flags compound assignments (`+=`/`-=`/`*=`) whose
+/// statement carries float evidence (a float literal, an `f64`/`f32`
+/// token, `powf`/`sqrt`) and `.sum()`/`.product()` reductions over
+/// floats.  Float addition is not associative: folding shard results
+/// in worker order produces different bits at different worker counts.
+fn rule_d8(lexed: &Lexed, scopes: &FileScopes, ctx: &mut Ctx<'_>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        let in_merge = |scopes: &FileScopes| -> Option<String> {
+            let scope = scopes.innermost(t[i].start)?;
+            (!scope.is_test && scope.merge).then(|| scope.name.clone())
+        };
+        if ORDER_DEPENDENT_OPS.contains(&t[i].text.as_str()) {
+            let Some(name) = in_merge(scopes) else {
+                continue;
+            };
+            let start = statement_start(t, i);
+            let end = statement_end(t, i);
+            if has_float_evidence(&t[start..end]) {
+                ctx.finding(
+                    "D8",
+                    t[i].line,
+                    format!(
+                        "float `{}` accumulation on a merge-reachable path (`{name}`): float \
+                         addition is not associative, so fold order changes the bits; use an \
+                         integer/fixed-point accumulator, a compensated sum, or annotate with \
+                         `lint: allow(D8)` stating why order is fixed",
+                        t[i].text
+                    ),
+                );
+            }
+        }
+        if (is_ident(&t[i], "sum") || is_ident(&t[i], "product"))
+            && i > 0
+            && t[i - 1].text == "."
+        {
+            let Some(name) = in_merge(scopes) else {
+                continue;
+            };
+            let start = statement_start(t, i);
+            let end = statement_end(t, i);
+            let float_turbofish = t.get(i + 1).is_some_and(|n| n.text == "::")
+                && t.get(i + 2).is_some_and(|n| n.text == "<")
+                && t.get(i + 3)
+                    .is_some_and(|n| is_ident(n, "f64") || is_ident(n, "f32"));
+            if float_turbofish || has_float_evidence(&t[start..end]) {
+                ctx.finding(
+                    "D8",
+                    t[i].line,
+                    format!(
+                        "float `.{}()` reduction on a merge-reachable path (`{name}`): \
+                         iterator fold order fixes the bits only if the source order is \
+                         deterministic; use integers or annotate with `lint: allow(D8)`",
+                        t[i].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Whether a statement's tokens show float arithmetic: a float
+/// literal, an `f64`/`f32` type token, or a float-only method.
+fn has_float_evidence(tokens: &[Token]) -> bool {
+    tokens.iter().any(|tok| match tok.kind {
+        TokenKind::Literal => {
+            let text = tok.text.as_str();
+            text.starts_with(|c: char| c.is_ascii_digit())
+                && (text.contains('.') || text.ends_with("f64") || text.ends_with("f32"))
+        }
+        TokenKind::Ident => {
+            matches!(tok.text.as_str(), "f64" | "f32" | "powf" | "sqrt" | "exp" | "ln")
+        }
+        _ => false,
+    })
 }
 
 #[cfg(test)]
@@ -783,48 +1163,53 @@ mod tests {
     }
 
     #[test]
-    fn d5_scoped_to_counter_files() {
-        let class = FileClass {
-            counter_scope: true,
-            ..FileClass::default()
-        };
-        let r = lint_source("mem.rs", "fn f(x: u64) -> u32 { x as u32 }", &class);
+    fn d5_scoped_by_merge_reachability() {
+        // `merge` is a scope root: the cast inside it is counter scope.
+        let r = lint("pub fn merge(total: u64, other: u64) -> u32 { (total + other) as u32 }");
         assert_eq!(rules_of(&r), vec!["D5"]);
-        // Out of scope: same source, no counter_scope.
-        let r = lint("fn f(x: u64) -> u32 { x as u32 }");
-        assert!(r.findings.is_empty());
+        // Same cast in an unreachable helper: out of scope.
+        let r = lint("pub fn narrow(total: u64) -> u32 { total as u32 }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]
-    fn d6_scoped_to_hot_loop_files() {
-        let class = FileClass {
-            hot_loop: true,
-            ..FileClass::default()
-        };
-        let src = "fn f(xs: &[u32]) -> Vec<u32> { let v: Vec<u32> = xs.iter().copied().collect(); let w = vec![0; 4]; let b = Box::new(w); let e: Vec<u32> = Vec::new(); v }";
-        let r = lint_source("mem.rs", src, &class);
-        assert_eq!(rules_of(&r), vec!["D6", "D6", "D6", "D6"]);
-        // Out of scope: same source, no hot_loop.
+    fn d5_reaches_transitive_callees_of_kernels() {
+        let src = "\
+pub fn on_batch(events: &[u64], sink: &mut ActionSink) { step(events) }
+fn step(events: &[u64]) { let _ = events.len() as u32; }
+fn unreached(events: &[u64]) { let _ = events.len() as u32; }";
         let r = lint(src);
+        assert_eq!(rules_of(&r), vec!["D5"]);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn d6_scoped_by_on_batch_reachability() {
+        let src = "\
+pub fn on_batch(events: &[u32], sink: &mut ActionSink) -> Vec<u32> {
+    let v: Vec<u32> = events.iter().copied().collect();
+    let w = vec![0; 4];
+    let b = Box::new(w);
+    let e: Vec<u32> = Vec::new();
+    v
+}";
+        let r = lint(src);
+        assert_eq!(rules_of(&r), vec!["D6", "D6", "D6", "D6"]);
+        // The same body under a non-kernel name is out of scope (no
+        // ActionSink in the signature, nobody calls on_batch).
+        let cold = src.replace("on_batch", "assemble").replace(", sink: &mut ActionSink", "");
+        let r = lint(&cold);
         assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
     #[test]
     fn d6_accepts_with_capacity_and_honors_annotation() {
-        let class = FileClass {
-            hot_loop: true,
-            ..FileClass::default()
-        };
-        let r = lint_source(
-            "mem.rs",
-            "fn f() -> Vec<u32> { Vec::with_capacity(1024) }",
-            &class,
+        let r = lint(
+            "pub fn on_batch(n: usize, sink: &mut ActionSink) -> Vec<u32> { Vec::with_capacity(n) }",
         );
         assert!(r.findings.is_empty(), "{:?}", r.findings);
-        let r = lint_source(
-            "mem.rs",
-            "fn f() -> Vec<u32> {\n    // lint: allow(D6) — construction-time, never in the loop\n    Vec::new()\n}",
-            &class,
+        let r = lint(
+            "pub fn on_batch(n: usize, sink: &mut ActionSink) -> Vec<u32> {\n    // lint: allow(D6) — construction-time, never in the loop\n    Vec::new()\n}",
         );
         assert!(r.findings.is_empty(), "{:?}", r.findings);
         assert!(r.annotations[0].used);
@@ -832,30 +1217,139 @@ mod tests {
 
     #[test]
     fn d6_ignores_test_code_and_bench_files() {
-        let class = FileClass {
-            hot_loop: true,
+        let r = lint(
+            "#[cfg(test)]\nmod tests { fn on_batch(b: &[u32], sink: &mut ActionSink) -> Vec<u32> { b.iter().copied().collect() } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        let bench = FileClass {
+            is_bench: true,
             ..FileClass::default()
         };
         let r = lint_source(
             "mem.rs",
-            "#[cfg(test)]\nmod tests { fn f() -> Vec<u32> { (0..4).collect() } }",
-            &class,
+            "pub fn on_batch(b: &[u32], sink: &mut ActionSink) -> Vec<u32> { Vec::new() }",
+            &bench,
         );
         assert!(r.findings.is_empty(), "{:?}", r.findings);
-        let bench = FileClass {
-            hot_loop: true,
-            is_bench: true,
-            ..FileClass::default()
-        };
-        let r = lint_source("mem.rs", "fn f() -> Vec<u32> { Vec::new() }", &bench);
+    }
+
+    #[test]
+    fn d7_flags_draws_without_seeded_lineage() {
+        let r = lint(
+            "struct Orphan { rng: StdRng }\n\
+             impl Orphan { pub fn draw(&mut self) -> u64 { self.rng.next_u64() } }",
+        );
+        assert_eq!(rules_of(&r), vec!["D7"]);
+    }
+
+    #[test]
+    fn d7_accepts_constructor_seeded_types() {
+        let r = lint(
+            "struct Pool { rng: StdRng }\n\
+             impl Pool {\n\
+               pub fn new(seed: u64) -> Pool { Pool { rng: StdRng::seed_from_u64(bank_seed(seed, 0)) } }\n\
+               pub fn draw(&mut self) -> u64 { self.rng.next_u64() }\n\
+             }",
+        );
         assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d7_accepts_seeded_generator_passed_as_parameter() {
+        let r = lint(
+            "fn run(seed: u64) -> u64 { let mut rng = StdRng::seed_from_u64(seed); sample_one(&mut rng) }\n\
+             fn sample_one(rng: &mut StdRng) -> u64 { rng.next_u64() }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d7_flags_draw_block_escaping_into_self_state() {
+        let r = lint(
+            "impl Lane {\n\
+               pub fn new(seed: u64) -> Lane { Lane { rngs: BankRngs::with_banks(StdRng::seed_from_u64(seed), 4) } }\n\
+               pub fn stash(&mut self, bank: u32) { self.saved = self.rngs.draw_block(bank, 64).to_vec(); }\n\
+             }",
+        );
+        assert_eq!(rules_of(&r), vec!["D7"]);
+        assert!(r.findings[0].message.contains("escapes"));
+    }
+
+    #[test]
+    fn d7_ignores_test_draws() {
+        let r = lint(
+            "#[cfg(test)]\nmod tests { fn f(rng: &mut StdRng) -> u64 { rng.next_u64() } }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d7_honors_annotation() {
+        let r = lint(
+            "impl Replay {\n\
+               pub fn next(&mut self) -> u64 {\n\
+                 // lint: allow(D7) — replay stream, values come from a recorded trace\n\
+                 self.rng.next_u64()\n\
+               }\n\
+             }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.annotations[0].used);
+    }
+
+    #[test]
+    fn d8_flags_float_accumulation_in_merge_scope() {
+        let r = lint(
+            "pub fn merge(acc: &mut Stats, x: f64) { acc.mean += x * 0.5; }",
+        );
+        assert_eq!(rules_of(&r), vec!["D8"]);
+    }
+
+    #[test]
+    fn d8_accepts_integer_accumulation_in_merge_scope() {
+        let r = lint("pub fn merge(acc: &mut Stats, x: u64) { acc.total += x; }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d8_flags_float_sum_reductions() {
+        let r = lint(
+            "pub fn merge_population(xs: &[f64]) -> f64 { xs.iter().copied().sum::<f64>() }",
+        );
+        assert_eq!(rules_of(&r), vec!["D8"]);
+    }
+
+    #[test]
+    fn d8_ignores_float_math_outside_merge_scope() {
+        let r = lint("pub fn weight(x: f64) -> f64 { let mut w = x; w *= 0.5; w }");
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn d8_honors_annotation() {
+        let r = lint(
+            "pub fn merge(acc: &mut Stats, x: f64) {\n\
+               // lint: allow(D8) — shard order is canonicalized before the fold\n\
+               acc.mean += x as f64;\n\
+             }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.annotations[0].used);
     }
 
     #[test]
     fn ann_flags_missing_justification_and_unknown_rule() {
         let r = lint("// lint: allow(D4)\nfn f() {}");
         assert_eq!(rules_of(&r), vec!["ANN"]);
-        let r = lint("// lint: allow(D9) — bogus\nfn f() {}");
+        let r = lint("// lint: allow(D12) — bogus\nfn f() {}");
+        assert_eq!(rules_of(&r), vec!["ANN"]);
+    }
+
+    #[test]
+    fn ann_rejects_unannotatable_rules() {
+        // D9 is the scope-derivation meta-rule: you cannot annotate
+        // your way out of reachability.
+        let r = lint("// lint: allow(D9) — trying to opt out of scoping\nfn f() {}");
         assert_eq!(rules_of(&r), vec!["ANN"]);
     }
 

@@ -4,6 +4,11 @@
 //! findings, annotations and the JSON report are byte-stable across
 //! runs and platforms — the linter holds itself to the determinism bar
 //! it enforces.
+//!
+//! Path classification only decides test/bench/timing status.  The
+//! counter and hot-loop scopes that used to live here as hand-curated
+//! file inventories are now *derived* from the workspace call graph —
+//! see [`crate::graph::derive_scopes`] (rule D9).
 
 use crate::rules::FileClass;
 use std::path::{Path, PathBuf};
@@ -15,65 +20,6 @@ const ROOTS: [&str; 3] = ["crates", "src", "tests"];
 /// stand-ins for external crates (not workspace code), `target/` is
 /// build output, and the lint fixtures are *known-bad by design*.
 const EXCLUDES: [&str; 3] = ["shims/", "target/", "crates/lint/tests/fixtures/"];
-
-/// Files where D5 (narrowing casts) applies: the counter/flip
-/// arithmetic the run metrics are built from, plus the lane-kernel
-/// decision layer (event-tag and counter arithmetic flow through it).
-const COUNTER_SCOPE: [&str; 28] = [
-    "crates/baselines/src/cat.rs",
-    "crates/baselines/src/cra.rs",
-    "crates/baselines/src/graphene.rs",
-    "crates/baselines/src/mrloc.rs",
-    "crates/baselines/src/para.rs",
-    "crates/baselines/src/prohit.rs",
-    "crates/baselines/src/twice.rs",
-    "crates/dram/src/backend.rs",
-    "crates/dram/src/cycle.rs",
-    "crates/dram/src/device.rs",
-    "crates/dram/src/disturb.rs",
-    "crates/dram/src/fast.rs",
-    "crates/dram/src/weakmap.rs",
-    "crates/exploit/src/campaign.rs",
-    "crates/exploit/src/map.rs",
-    "crates/fleet/src/campaign.rs",
-    "crates/fleet/src/sketch.rs",
-    "crates/harness/src/engine.rs",
-    "crates/harness/src/metrics.rs",
-    "crates/tivapromi/src/bank_rng.rs",
-    "crates/tivapromi/src/capromi.rs",
-    "crates/tivapromi/src/counter_table.rs",
-    "crates/tivapromi/src/draw.rs",
-    "crates/tivapromi/src/history.rs",
-    "crates/tivapromi/src/mitigation.rs",
-    "crates/tivapromi/src/time_varying.rs",
-    "crates/trace/src/batch.rs",
-    "crates/trace/src/stats.rs",
-];
-
-/// Files where D6 (hot-loop allocation) applies: the per-event decision
-/// path — run-grouped lane kernels, the batched engine loop, the
-/// `ActionSink` arena and the column store they all consume.  The
-/// disturbance-backend tiers are deliberately *not* here: flip logs
-/// grow with device state, which is workload physics, not kernel
-/// overhead (and the backend tiers carry an annotation-free claim).
-const HOT_LOOP: [&str; 16] = [
-    "crates/baselines/src/cat.rs",
-    "crates/baselines/src/cra.rs",
-    "crates/baselines/src/graphene.rs",
-    "crates/baselines/src/mrloc.rs",
-    "crates/baselines/src/para.rs",
-    "crates/baselines/src/prohit.rs",
-    "crates/baselines/src/twice.rs",
-    "crates/harness/src/engine.rs",
-    "crates/tivapromi/src/bank_rng.rs",
-    "crates/tivapromi/src/capromi.rs",
-    "crates/tivapromi/src/counter_table.rs",
-    "crates/tivapromi/src/draw.rs",
-    "crates/tivapromi/src/history.rs",
-    "crates/tivapromi/src/mitigation.rs",
-    "crates/tivapromi/src/time_varying.rs",
-    "crates/trace/src/batch.rs",
-];
 
 /// The designated wall-clock home: `PerfCounters` and the other
 /// timing-based observers live here, outside the determinism contract.
@@ -88,8 +34,6 @@ pub fn classify(rel: &str) -> FileClass {
         is_test,
         is_bench,
         timing_exempt: TIMING_EXEMPT.contains(&rel),
-        counter_scope: COUNTER_SCOPE.contains(&rel),
-        hot_loop: HOT_LOOP.contains(&rel),
     }
 }
 
@@ -138,34 +82,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn classify_scopes_tests_benches_and_counters() {
+    fn classify_scopes_tests_benches_and_timing() {
         assert!(classify("tests/determinism.rs").is_test);
         assert!(classify("crates/trace/tests/sharding.rs").is_test);
         assert!(!classify("crates/trace/src/stats.rs").is_test);
         assert!(classify("crates/bench/benches/throughput.rs").is_bench);
         assert!(classify("crates/harness/src/observe.rs").timing_exempt);
-        assert!(classify("crates/dram/src/disturb.rs").counter_scope);
-        assert!(classify("crates/fleet/src/sketch.rs").counter_scope);
-        assert!(classify("crates/fleet/src/campaign.rs").counter_scope);
-        assert!(classify("crates/dram/src/backend.rs").counter_scope);
-        assert!(classify("crates/dram/src/fast.rs").counter_scope);
-        assert!(classify("crates/dram/src/cycle.rs").counter_scope);
-        assert!(classify("crates/dram/src/weakmap.rs").counter_scope);
-        assert!(classify("crates/harness/src/engine.rs").counter_scope);
-        assert!(classify("crates/exploit/src/campaign.rs").counter_scope);
-        assert!(classify("crates/exploit/src/map.rs").counter_scope);
-        assert!(!classify("crates/dram/src/geometry.rs").counter_scope);
-        // The lane-kernel decision layer is both counter scope and hot
-        // loop; the backend tiers stay out of the hot-loop inventory.
-        assert!(classify("crates/baselines/src/para.rs").counter_scope);
-        assert!(classify("crates/tivapromi/src/draw.rs").counter_scope);
-        assert!(classify("crates/trace/src/batch.rs").hot_loop);
-        assert!(classify("crates/baselines/src/cra.rs").hot_loop);
-        assert!(classify("crates/tivapromi/src/mitigation.rs").hot_loop);
-        assert!(classify("crates/harness/src/engine.rs").hot_loop);
-        assert!(!classify("crates/dram/src/fast.rs").hot_loop);
-        assert!(!classify("crates/dram/src/cycle.rs").hot_loop);
-        assert!(!classify("crates/dram/src/backend.rs").hot_loop);
+        assert!(!classify("crates/harness/src/engine.rs").timing_exempt);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Property test for the lexer→parser span contract: every AST node's
+//! byte range is token-aligned, and re-lexing the node's source slice
+//! in isolation reproduces exactly the tokens the full-file lex placed
+//! inside that range.  The interprocedural rules lean on this —
+//! [`rh_lint::FileScopes::innermost`] maps a token offset to its
+//! enclosing function by span containment, so a span that drifted off
+//! token boundaries (or swallowed/shed tokens) would silently
+//! mis-scope findings.
+//!
+//! Sources are generated compositionally from a fragment grammar
+//! (free fns, impl blocks, traits, nested mods, statements with
+//! strings/generics/compound ops/comments) so the corpus exercises the
+//! parser's recovery paths, not just pretty input.
+
+use proptest::prelude::*;
+use rh_lint::ast::{parse_lexed, Ast, Block, Expr, Item, Span, Stmt};
+use rh_lint::lexer::{lex, Token};
+
+/// Statement bodies chosen to stress distinct lexer/parser paths:
+/// method chains, turbofish, compound assignment, strings with
+/// embedded punctuation, lifetimes, macros, nested groups, comments.
+const STMTS: [&str; 12] = [
+    "let total = rows.iter().map(|r| r.count).sum::<u64>();",
+    "self.acc += other.weighted * 0.5;",
+    "counter.fetch_add(1, Ordering::Relaxed);",
+    "let label = \"brace } paren ) quote \\\" done\";",
+    "let tag: &'static str = \"x\"; // trailing comment ; fn {",
+    "rngs.draw_block(bank, 64).iter().for_each(|v| sink.push(*v));",
+    "if total > 65_536 { return (total % 65_536) as u32; }",
+    "let xs: Vec<(u64, u32)> = Vec::with_capacity(n);",
+    "match kind { Kind::Hot => step(events), _ => 0 }",
+    "total *= 2; /* block ; comment */ total -= 1;",
+    "let c = '}'; let d = '\\'';",
+    "assert_eq!(a, b, \"mismatch at {}\", idx);",
+];
+
+/// Item shells a statement gets wrapped in.
+fn item(shape: usize, name_salt: u64, body: &str) -> String {
+    let n = name_salt % 1000;
+    match shape {
+        0 => format!("pub fn free_{n}(events: &[u64]) -> u64 {{ {body} 0 }}\n"),
+        1 => format!(
+            "impl Lane_{n} {{\n    pub fn on_batch(&mut self, sink: &mut ActionSink) {{ {body} }}\n}}\n"
+        ),
+        2 => format!(
+            "mod inner_{n} {{\n    pub fn helper<T: Clone>(x: T) -> T {{ {body} x }}\n}}\n"
+        ),
+        3 => format!(
+            "trait Run_{n} {{\n    fn go(&self) -> u32;\n    fn dflt(&self) {{ {body} }}\n}}\n"
+        ),
+        4 => format!(
+            "#[cfg(test)]\nmod tests_{n} {{\n    #[test]\n    fn t() {{ {body} }}\n}}\n"
+        ),
+        _ => format!("pub struct S_{n} {{ pub field: u64 }}\nconst K_{n}: u32 = 7;\n"),
+    }
+}
+
+/// The tokens of the full-file lex that fall inside `span`, as
+/// comparable (kind, text) pairs.
+fn tokens_within(tokens: &[Token], span: Span) -> Vec<(String, String)> {
+    tokens
+        .iter()
+        .filter(|t| span.start <= t.start && t.end <= span.end)
+        .map(|t| (format!("{:?}", t.kind), t.text.clone()))
+        .collect()
+}
+
+/// Asserts the round-trip property for one span, returning an error
+/// message on violation (so `proptest!` reports the seed).
+fn check_span(source: &str, tokens: &[Token], span: Span, what: &str) -> Result<(), String> {
+    if span.start > span.end || span.end as usize > source.len() {
+        return Err(format!("{what}: degenerate span {span:?}"));
+    }
+    // Token alignment: both edges must coincide with token edges of
+    // the full-file lex (or the span is empty).
+    if span.start != span.end {
+        let starts = tokens.iter().any(|t| t.start == span.start);
+        let ends = tokens.iter().any(|t| t.end == span.end);
+        if !starts || !ends {
+            return Err(format!("{what}: span {span:?} not token-aligned"));
+        }
+    }
+    let slice = &source[span.start as usize..span.end as usize];
+    let relexed: Vec<(String, String)> = lex(slice)
+        .tokens
+        .iter()
+        .map(|t| (format!("{:?}", t.kind), t.text.clone()))
+        .collect();
+    let within = tokens_within(tokens, span);
+    if relexed != within {
+        return Err(format!(
+            "{what}: span {span:?} re-lexes to {} tokens, full-file lex holds {}:\n  slice: {slice:?}",
+            relexed.len(),
+            within.len()
+        ));
+    }
+    Ok(())
+}
+
+fn check_block(source: &str, tokens: &[Token], block: &Block) -> Result<(), String> {
+    check_span(source, tokens, block.span, "block")?;
+    for stmt in &block.stmts {
+        check_stmt(source, tokens, stmt)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(source: &str, tokens: &[Token], stmt: &Stmt) -> Result<(), String> {
+    for expr in &stmt.exprs {
+        check_expr(source, tokens, expr)?;
+    }
+    Ok(())
+}
+
+fn check_expr(source: &str, tokens: &[Token], expr: &Expr) -> Result<(), String> {
+    check_span(source, tokens, expr.span, "expr")?;
+    for arg in &expr.args {
+        check_stmt(source, tokens, arg)?;
+    }
+    Ok(())
+}
+
+fn check_item(source: &str, tokens: &[Token], item: &Item) -> Result<(), String> {
+    check_span(source, tokens, item.span, "item")?;
+    if let Some(body) = &item.body {
+        if !item.span.contains(&body.span) {
+            return Err(format!(
+                "fn `{}`: body span {:?} escapes item span {:?}",
+                item.name, body.span, item.span
+            ));
+        }
+        check_block(source, tokens, body)?;
+    }
+    for child in &item.children {
+        if !item.span.contains(&child.span) {
+            return Err(format!(
+                "item `{}`: child `{}` span escapes parent",
+                item.name, child.name
+            ));
+        }
+        check_item(source, tokens, child)?;
+    }
+    Ok(())
+}
+
+fn check_ast(source: &str) -> Result<(), String> {
+    let lexed = lex(source);
+    let ast: Ast = parse_lexed(&lexed);
+    for item in &ast.items {
+        check_item(source, &lexed.tokens, item)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every AST node span in a generated source file re-lexes to its
+    /// own tokens.
+    #[test]
+    fn ast_spans_relex_to_their_own_tokens(
+        picks in proptest::collection::vec((0usize..6, 0usize..12, any::<u64>()), 1..8),
+    ) {
+        let mut source = String::new();
+        for (shape, stmt, salt) in &picks {
+            source.push_str(&item(*shape, *salt, STMTS[*stmt]));
+        }
+        if let Err(msg) = check_ast(&source) {
+            prop_assert!(false, "{msg}\n--- source ---\n{source}");
+        }
+    }
+}
+
+/// The same property pinned against real workspace code: the linter's
+/// own sources are the hardest fixture we ship.
+#[test]
+fn ast_spans_roundtrip_on_own_sources() {
+    for file in ["src/lexer.rs", "src/ast.rs", "src/graph.rs", "src/rules.rs"] {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
+        let source = std::fs::read_to_string(&path).unwrap();
+        if let Err(msg) = check_ast(&source) {
+            panic!("{file}: {msg}");
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! Clean fixture: the well-behaved counterpart of the d*.rs files —
 //! ordered containers, annotated atomics, checked conversions,
-//! preallocated buffers.  Must produce zero findings even with
-//! `counter_scope` and `hot_loop` set.
+//! preallocated buffers, seeded RNG lineages and integer merge folds.
+//! It deliberately contains scope *roots* (`on_batch`, `merge`, a
+//! seeding constructor) so the derived scopes are live here, and the
+//! code inside them is the blessed idiom for each rule.  Must produce
+//! zero findings.
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -19,6 +22,39 @@ pub fn bump(counter: &AtomicUsize) -> usize {
     counter.fetch_add(1, Ordering::Relaxed)
 }
 
-pub fn fold_counter(total: u64) -> u32 {
-    u32::try_from(total % 65_536).expect("modulo a u32 bound always fits")
+/// A lane kernel: hot scope, yet allocation-free — the buffer is
+/// preallocated and the fold is checked, not cast.
+pub fn on_batch(events: &[u64], sink: &mut ActionSink) -> Vec<u32> {
+    let mut tags = Vec::with_capacity(events.len());
+    for (index, _event) in events.iter().enumerate() {
+        tags.push(u32::try_from(index).expect("batch length fits u32"));
+        sink.mark(index);
+    }
+    tags
+}
+
+/// A metric fold: merge scope, yet order-safe — integer accumulation
+/// and a checked narrowing.
+pub fn merge(total: u64, other: u64) -> u32 {
+    let mut sum = total;
+    sum += other;
+    u32::try_from(sum % 65_536).expect("modulo a u32 bound always fits")
+}
+
+/// A seeded generator pool: its constructor derives every stream from
+/// the run seed, so draws anywhere on the type have provenance.
+pub struct Pool {
+    rng: StdRng,
+}
+
+impl Pool {
+    pub fn with_bank(run_seed: u64, bank: u32) -> Pool {
+        Pool {
+            rng: StdRng::seed_from_u64(bank_seed(run_seed, bank)),
+        }
+    }
+
+    pub fn draw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
 }

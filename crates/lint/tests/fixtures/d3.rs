@@ -1,7 +1,8 @@
 //! D3 fixture: OS-entropy randomness.  Must trip exactly one D3
-//! finding and nothing else.
+//! finding and nothing else.  (No draw call here — drawing from an
+//! unseeded generator is D7's territory; the entropy *source* alone
+//! is the D3 offense.)
 
-pub fn jitter() -> u64 {
-    let mut rng = rand::thread_rng();
-    rng.next_u64()
+pub fn jitter_source() -> ThreadRng {
+    rand::thread_rng()
 }

@@ -1,7 +1,7 @@
-//! D5 fixture: narrowing `as` cast in counter arithmetic (linted with
-//! `counter_scope` set).  Must trip exactly one D5 finding and nothing
-//! else.
+//! D5 fixture: narrowing `as` cast inside counter scope.  `merge` is a
+//! scope root (a metric fold), so the cast in its body is in derived
+//! counter scope.  Must trip exactly one D5 finding and nothing else.
 
-pub fn fold_counter(total: u64) -> u32 {
-    (total % 65_536) as u32
+pub fn merge(total: u64, other: u64) -> u32 {
+    ((total + other) % 65_536) as u32
 }

@@ -1,7 +1,10 @@
-//! D6 fixture: allocation call in a hot-loop file (linted with
-//! `hot_loop` set).  Must trip exactly one D6 finding and nothing
+//! D6 fixture: allocation call inside hot scope.  `on_batch` with an
+//! `ActionSink` parameter is a lane-kernel root, so its body is in
+//! derived hot scope.  Must trip exactly one D6 finding and nothing
 //! else.
 
-pub fn drain_pending(pending: &[u64]) -> Vec<u64> {
-    pending.iter().copied().collect()
+pub fn on_batch(pending: &[u64], sink: &mut ActionSink) -> Vec<u64> {
+    let drained: Vec<u64> = pending.iter().copied().collect();
+    sink.reserve(drained.len());
+    drained
 }

@@ -1,0 +1,33 @@
+//! D7 fixture: RNG draws without a seeded lineage, and a `draw_block`
+//! refill escaping its run.  Nothing in this file derives a seed from
+//! `bank_seed`/`device_seed`/`seed_from_u64`, so `Orphan::roll` has no
+//! provenance story; `Lane::stash` copies a refill into `self` state,
+//! crossing run boundaries.  Must trip exactly two D7 findings and
+//! nothing else.
+
+pub struct Orphan {
+    rng: StdRng,
+}
+
+impl Orphan {
+    pub fn roll(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+pub struct Lane {
+    saved: Vec<u64>,
+}
+
+impl Lane {
+    pub fn seeded(seed: u64) -> Lane {
+        let _rng = StdRng::seed_from_u64(seed);
+        Lane {
+            saved: Vec::with_capacity(64),
+        }
+    }
+
+    pub fn stash(&mut self, rngs: &mut BankRngs, bank: u32) {
+        self.saved = rngs.draw_block(bank, 64).to_vec();
+    }
+}

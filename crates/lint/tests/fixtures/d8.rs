@@ -1,0 +1,9 @@
+//! D8 fixture: order-dependent float accumulation on a merge path.
+//! `merge` is a scope root, and the `+=` statement carries float
+//! evidence, so the fold order changes the bits.  Must trip exactly
+//! one D8 finding and nothing else.
+
+pub fn merge(acc: &mut Stats, other: &Stats) {
+    acc.weighted_mean += other.weighted_mean * 0.5;
+    acc.samples = acc.samples.max(other.samples);
+}

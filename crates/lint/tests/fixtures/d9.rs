@@ -1,0 +1,23 @@
+//! D9 fixture: scope-by-reachability.  Two byte-identical narrowing
+//! folds — one reachable from an `on_batch` lane kernel through an
+//! intermediate step, one unreachable.  Only the reachable one may
+//! trip D5: the finding count proves scoping is function-granular
+//! reachability, not a file-level inventory.  Must trip exactly one
+//! D5 finding (in `fold_reached`) and nothing else.
+
+pub fn on_batch(events: &[u64], sink: &mut ActionSink) {
+    let folded = step(events);
+    sink.reserve(folded as usize);
+}
+
+fn step(events: &[u64]) -> u32 {
+    fold_reached(events.len() as u64)
+}
+
+fn fold_reached(total: u64) -> u32 {
+    (total % 65_536) as u32
+}
+
+pub fn fold_unreached(total: u64) -> u32 {
+    (total % 65_536) as u32
+}

@@ -71,11 +71,9 @@ impl CaPromi {
         CaPromi {
             histories: (0..config.banks)
                 .map(|_| HistoryTable::with_policy(config.history_entries, config.history_policy))
-                // lint: allow(D6) — constructor-time table allocation.
                 .collect(),
             counters: (0..config.banks)
                 .map(|_| CounterTable::new(config.counter_entries, config.lock_threshold))
-                // lint: allow(D6) — constructor-time table allocation.
                 .collect(),
             // Each counter entry decides at most once per interval, so
             // `counter_entries × banks` bounds the pending backlog

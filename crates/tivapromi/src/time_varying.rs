@@ -58,7 +58,6 @@ struct SlotWeights {
 impl SlotWeights {
     fn new(ref_int: u32) -> Self {
         SlotWeights {
-            // lint: allow(D6) — constructor-time memo; `get` refreshes slots in place.
             slots: vec![
                 SlotWeight {
                     epoch: u32::MAX,
@@ -132,7 +131,6 @@ impl TimeVarying {
         TimeVarying {
             histories: (0..config.banks)
                 .map(|_| HistoryTable::with_policy(config.history_entries, config.history_policy))
-                // lint: allow(D6) — constructor-time table allocation.
                 .collect(),
             mode,
             interval: 0,

@@ -52,14 +52,10 @@ impl EventBatch {
     /// (clamped to at least 1).
     pub fn with_target_events(target_events: usize) -> Self {
         EventBatch {
-            // lint: allow(D6) — construction: empty lanes; fills reuse
-            // capacity so `next_batch` never reallocates at steady state.
             banks: Vec::new(),
             rows: Vec::new(),
-            // lint: allow(D6) — construction-time empty lanes (see above).
             aggressors: Vec::new(),
             ticks: Vec::new(),
-            // lint: allow(D6) — construction-time empty lanes (see above).
             boundaries: Vec::new(),
             scratch: Vec::new(),
             target_events: target_events.max(1),
@@ -214,7 +210,6 @@ impl EventBatch {
         self.banks.push(bank);
         self.rows.push(row);
         self.aggressors.push(aggressor);
-        // lint: allow(D5) — the tick is the interval ordinal, far below u32::MAX.
         self.ticks.push(self.boundaries.len() as u32);
     }
 
